@@ -1,0 +1,115 @@
+// Ablation bench for the Section VII future-work extensions implemented in
+// this library:
+//   * top-K census: exact top-K via bound-ordered early termination vs the
+//     full census + sort;
+//   * approximate census: match-sampling at various rates vs the exact
+//     census, with measured error on the top nodes.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "census/approx.h"
+#include "census/topk.h"
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace egocensus;
+  using namespace egocensus::bench;
+  PrintHeader("Extensions",
+              "top-K early termination and sampling-based approximation "
+              "(paper Section VII future work)");
+
+  GeneratorOptions gen;
+  gen.num_nodes = Scaled(30000);
+  gen.edges_per_node = 5;
+  gen.seed = 29;
+  Graph graph = GeneratePreferentialAttachment(gen);
+  Pattern pattern = MakeTriangle(false);
+  auto focal = AllNodes(graph);
+  std::cout << "graph: " << graph.NumNodes()
+            << " nodes; unlabeled triangle census, k = 2\n\n";
+
+  // Exact full census (reference).
+  CensusOptions exact_opts;
+  exact_opts.algorithm = CensusAlgorithm::kNdPvot;
+  exact_opts.k = 2;
+  CensusStats exact_stats;
+  double exact_seconds =
+      TimeCensus(graph, pattern, focal, exact_opts, &exact_stats);
+  auto exact = RunCensus(graph, pattern, focal, exact_opts);
+
+  // ---- Top-K ----
+  TablePrinter topk_table({"top_k", "full census+sort (s)", "top-K (s)",
+                           "exact evaluations", "of focal"});
+  for (std::size_t top_k : {10u, 50u, 200u}) {
+    TopKOptions opts;
+    opts.k = 2;
+    opts.top_k = top_k;
+    Timer timer;
+    auto result = RunTopKCensus(graph, pattern, focal, opts);
+    double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    topk_table.AddRow({std::to_string(top_k),
+                       TablePrinter::FormatDouble(exact_seconds, 2),
+                       TablePrinter::FormatDouble(seconds, 2),
+                       std::to_string(result->exact_evaluations),
+                       std::to_string(focal.size())});
+  }
+  topk_table.PrintText(std::cout);
+  std::cout << "\nexact top-K results with only a small fraction of focal "
+               "nodes needing\ncontainment checks (the bound pass is one "
+               "check-free BFS per node)\n\n";
+
+  // ---- Approximation ----
+  // Error metric: mean relative error over the 100 highest-count nodes.
+  std::vector<NodeId> heavy(focal.begin(), focal.end());
+  std::partial_sort(heavy.begin(), heavy.begin() + 100, heavy.end(),
+                    [&](NodeId a, NodeId b) {
+                      return exact->counts[a] > exact->counts[b];
+                    });
+  heavy.resize(100);
+
+  TablePrinter approx_table({"sample rate", "exact (s)", "approx (s)",
+                             "census speedup", "mean rel. error (top 100)"});
+  for (double rate : {0.5, 0.2, 0.1, 0.05}) {
+    ApproximateCensusOptions opts;
+    opts.k = 2;
+    opts.sample_rate = rate;
+    opts.seed = 31;
+    Timer timer;
+    auto result = RunApproximateCensus(graph, pattern, focal, opts);
+    double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    double err_sum = 0;
+    for (NodeId n : heavy) {
+      double truth = static_cast<double>(exact->counts[n]);
+      if (truth > 0) {
+        err_sum += std::abs(result->estimates[n] - truth) / truth;
+      }
+    }
+    approx_table.AddRow(
+        {TablePrinter::FormatDouble(rate, 2),
+         TablePrinter::FormatDouble(exact_stats.census_seconds, 2),
+         TablePrinter::FormatDouble(result->stats.census_seconds, 2),
+         TablePrinter::FormatDouble(
+             exact_stats.census_seconds / result->stats.census_seconds, 2),
+         TablePrinter::FormatDouble(err_sum / heavy.size(), 3)});
+  }
+  approx_table.PrintText(std::cout);
+  std::cout << "\nestimates stay accurate on high-count nodes (relative "
+               "std. error ~ sqrt((1-p)/(p*count)))\nwhile the counting "
+               "pass shrinks with the sampling rate\n";
+  return 0;
+}

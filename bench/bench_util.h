@@ -1,0 +1,62 @@
+#ifndef EGOCENSUS_BENCH_BENCH_UTIL_H_
+#define EGOCENSUS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints the same series the corresponding figure of the paper
+// plots. Default graph sizes are scaled down from the paper's testbed so a
+// full `for b in build/bench/*; do $b; done` sweep finishes in minutes;
+// set ECENSUS_SCALE (e.g. 5.0) to scale sizes back up toward the paper's.
+
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <string>
+
+#include "census/census.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "util/timer.h"
+
+namespace egocensus::bench {
+
+/// Multiplier applied to all default graph sizes (env ECENSUS_SCALE).
+inline double ScaleFactor() {
+  const char* env = std::getenv("ECENSUS_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline std::uint32_t Scaled(std::uint32_t base) {
+  return static_cast<std::uint32_t>(base * ScaleFactor());
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << figure << " — " << what << "\n"
+            << "(scale " << ScaleFactor()
+            << "x; set ECENSUS_SCALE to change)\n"
+            << "==========================================================\n";
+}
+
+/// Runs one census and returns end-to-end wall-clock seconds (match +
+/// index + counting). Exits on error.
+inline double TimeCensus(const Graph& graph, const Pattern& pattern,
+                         std::span<const NodeId> focal,
+                         const CensusOptions& options,
+                         CensusStats* stats_out = nullptr) {
+  Timer timer;
+  auto result = RunCensus(graph, pattern, focal, options);
+  double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::cerr << "census failed: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  if (stats_out != nullptr) *stats_out = result->stats;
+  return seconds;
+}
+
+}  // namespace egocensus::bench
+
+#endif  // EGOCENSUS_BENCH_BENCH_UTIL_H_

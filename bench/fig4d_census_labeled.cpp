@@ -1,0 +1,72 @@
+// Figure 4(d): pattern census runtime vs graph size on LABELED graphs (4
+// labels) — COUNTP(clq3, SUBGRAPH(ID, 2)) over all nodes. The labeled
+// triangle is selective (few matches), so the pattern-driven PT-OPT wins
+// and PT-RND shows the cost of abandoning best-first ordering.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/distance_index.h"
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace egocensus;
+  using namespace egocensus::bench;
+  PrintHeader("Figure 4(d)",
+              "census runtime vs size, labeled clq3, k=2, all nodes");
+
+  const std::vector<std::uint32_t> sizes = {Scaled(20000), Scaled(40000),
+                                            Scaled(80000)};
+  const CensusAlgorithm algorithms[] = {
+      CensusAlgorithm::kNdPvot, CensusAlgorithm::kNdDiff,
+      CensusAlgorithm::kPtBas, CensusAlgorithm::kPtOpt,
+      CensusAlgorithm::kPtRnd};
+
+  Pattern pattern = MakeTriangle(true);
+  TablePrinter table({"nodes", "matches", "ND-PVOT s (visits)", "ND-DIFF",
+                      "PT-BAS", "PT-OPT", "PT-RND"});
+  for (std::uint32_t n : sizes) {
+    GeneratorOptions gen;
+    gen.num_nodes = n;
+    gen.edges_per_node = 5;
+    gen.num_labels = 4;
+    gen.seed = 22;
+    Graph graph = GeneratePreferentialAttachment(gen);
+    auto focal = AllNodes(graph);
+    // Centers are chosen apriori (Section IV-B4): prebuild the index.
+    CenterDistanceIndex index =
+        CenterDistanceIndex::Build(graph, PickHighestDegreeCenters(graph, 12));
+
+    std::vector<std::string> row = {std::to_string(n)};
+    std::uint64_t matches = 0;
+    std::vector<std::string> cells;
+    for (auto algorithm : algorithms) {
+      CensusOptions opts;
+      opts.algorithm = algorithm;
+      opts.k = 2;
+      opts.center_index = &index;
+      CensusStats stats;
+      double seconds = TimeCensus(graph, pattern, focal, opts, &stats);
+      matches = stats.num_matches;
+      cells.push_back(TablePrinter::FormatDouble(seconds, 2) + " (" +
+                      TablePrinter::FormatDouble(
+                          stats.nodes_expanded / 1e6, 1) +
+                      "M)");
+    }
+    row.push_back(std::to_string(matches));
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.AddRow(std::move(row));
+  }
+  table.PrintText(std::cout);
+  std::cout
+      << "\npaper shape: pattern-driven beats node-driven on this selective "
+         "pattern and\nPT-OPT beats PT-RND (best-first matters). Note: on "
+         "the in-memory substrate\nPT-BAS wall-clock can undercut PT-OPT at "
+         "laptop scale even though PT-OPT\nvisits ~7x fewer nodes (see "
+         "visit counts) — traversals are no longer the\ndominant cost they "
+         "were on the paper's disk-based engine; see EXPERIMENTS.md\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 4(f): effect of the number of centers and of how they are chosen
+// (DEG-CNTR = highest degree vs RND-CNTR = random) on the pattern-driven
+// algorithm — COUNTP(clq3, SUBGRAPH(ID, 2)) on a labeled graph. To isolate
+// the PMD-initialization effect from clustering quality, the K-means
+// feature centers are pinned to a fixed 12-degree-center index while the
+// number of PMD centers sweeps 0..24 (the paper's methodology).
+// Center-index build time is excluded (centers are chosen apriori).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/distance_index.h"
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace egocensus;
+  using namespace egocensus::bench;
+  PrintHeader("Figure 4(f)",
+              "effect of #centers and center choice on PT-OPT, labeled clq3, "
+              "k=2");
+
+  GeneratorOptions gen;
+  gen.num_nodes = Scaled(60000);
+  gen.edges_per_node = 5;
+  gen.num_labels = 4;
+  gen.seed = 24;
+  Graph graph = GeneratePreferentialAttachment(gen);
+  Pattern pattern = MakeTriangle(true);
+  auto focal = AllNodes(graph);
+  std::cout << "graph: " << graph.NumNodes() << " nodes\n";
+
+  // Prebuilt indexes: 24 degree centers, 24 random centers, and the fixed
+  // 12-degree-center clustering index.
+  CenterDistanceIndex deg_index =
+      CenterDistanceIndex::Build(graph, PickHighestDegreeCenters(graph, 24));
+  Rng rng(9);
+  CenterDistanceIndex rnd_index =
+      CenterDistanceIndex::Build(graph, PickRandomCenters(graph, 24, &rng));
+  CenterDistanceIndex cluster_index =
+      CenterDistanceIndex::Build(graph, PickHighestDegreeCenters(graph, 12));
+
+  TablePrinter table({"centers", "DEG-CNTR s (reinsertions)",
+                      "RND-CNTR s (reinsertions)"});
+  for (std::uint32_t centers : {0u, 4u, 8u, 12u, 16u, 24u}) {
+    std::vector<std::string> row = {std::to_string(centers)};
+    for (bool random : {false, true}) {
+      CensusOptions opts;
+      opts.algorithm = CensusAlgorithm::kPtOpt;
+      opts.k = 2;
+      opts.num_centers = centers;
+      opts.center_index = random ? &rnd_index : &deg_index;
+      opts.cluster_center_index = &cluster_index;  // fixed clustering
+      CensusStats stats;
+      TimeCensus(graph, pattern, focal, opts, &stats);
+      // Report match + counting time only (the center index is apriori),
+      // plus the queue reinsertions the centers are meant to eliminate.
+      row.push_back(
+          TablePrinter::FormatDouble(
+              stats.match_seconds + stats.census_seconds, 2) +
+          " (" + std::to_string(stats.reinsertions) + ")");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.PrintText(std::cout);
+  std::cout
+      << "\npaper shape: degree-chosen centers steadily reduce the queue "
+         "reinsertions the\noptimization targets, random centers do not; "
+         "with too many centers the\nper-node initialization overhead "
+         "dominates (the paper's right-hand tail). On\nthis in-memory "
+         "substrate the overhead shows earlier in wall-clock than it did\n"
+         "on the paper's disk-based engine; see EXPERIMENTS.md.\n";
+  return 0;
+}

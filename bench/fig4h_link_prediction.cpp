@@ -1,0 +1,112 @@
+// Figure 4(h) + the Section V-B runtime notes: DBLP link prediction.
+// Nine pairwise census measures (common nodes/edges/triangles within 1/2/3
+// hops of the pair's intersected neighborhoods), the Jaccard coefficient
+// and a random predictor, scored as precision@50 and @600 against future
+// collaborations; plus the ND-BAS / PT-BAS / PT-OPT runtime comparison
+// (paper: ND-BAS orders of magnitude slower; PT-OPT 0.9x–3.4x vs PT-BAS).
+
+#include <iostream>
+#include <vector>
+
+#include "apps/dblp_gen.h"
+#include "apps/link_prediction.h"
+#include "bench/bench_util.h"
+#include "census/pairwise.h"
+#include "pattern/catalog.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace egocensus;
+  using namespace egocensus::bench;
+  PrintHeader("Figure 4(h)", "DBLP link prediction, precision@50 / @600");
+
+  DblpOptions gen;
+  gen.num_authors = Scaled(3000);
+  gen.papers_per_year = Scaled(350);
+  gen.seed = 2001;
+  DblpData data = GenerateDblp(gen);
+  std::cout << "train: " << data.train.NumNodes() << " authors, "
+            << data.train.NumEdges() << " collaborations; test: "
+            << data.test_edges.size() << " new collaborations\n\n";
+
+  LinkPredictionOptions options;
+  options.radii = {1, 2, 3};
+  options.precision_ks = {50, 600};
+  auto report = RunLinkPrediction(data, options);
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  TablePrinter table({"measure", "prec@50", "prec@600", "pairs", "time (s)"});
+  for (const auto& m : report->measures) {
+    table.AddRow({m.name, TablePrinter::FormatDouble(m.precision[0], 3),
+                  TablePrinter::FormatDouble(m.precision[1], 3),
+                  std::to_string(m.ranked_pairs),
+                  TablePrinter::FormatDouble(m.seconds, 2)});
+  }
+  table.PrintText(std::cout);
+  std::cout << "\npaper shape: several census measures beat Jaccard "
+               "(common nodes @2 ~2x Jaccard);\nrandom predictor at ~0\n";
+
+  // ---- Runtime comparison (Section V-B): ND-BAS vs PT-BAS vs PT-OPT ----
+  std::cout << "\nRuntime comparison on two measures (all-pairs census):\n";
+  TablePrinter runtime({"measure", "PT-BAS (s)", "PT-OPT (s)", "PT speedup",
+                        "ND-BAS est. (s, extrapolated)"});
+  struct MeasureDef {
+    const char* name;
+    std::uint32_t k;
+    bool triangle;
+  };
+  for (const auto& def :
+       std::vector<MeasureDef>{{"node@1", 1, false}, {"triangle@3", 3, true}}) {
+    Pattern pattern =
+        def.triangle ? MakeTriangle(false) : MakeSingleNode();
+    PairwiseCensusOptions opts;
+    opts.k = def.k;
+    opts.neighborhood = PairNeighborhood::kIntersection;
+
+    Timer t1;
+    auto bas = RunPairwisePtBas(data.train, pattern, opts);
+    double bas_seconds = t1.ElapsedSeconds();
+    Timer t2;
+    auto opt = RunPairwisePtOpt(data.train, pattern, opts);
+    double opt_seconds = t2.ElapsedSeconds();
+    if (!bas.ok() || !opt.ok() || *bas != *opt) {
+      std::cerr << "pairwise result mismatch on " << def.name << "\n";
+      return 1;
+    }
+
+    // ND-BAS over all ~N^2/2 pairs is infeasible; time a sample and
+    // extrapolate (the paper reports it "orders of magnitude" slower).
+    const std::size_t sample = 500;
+    Rng rng(5);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    while (pairs.size() < sample) {
+      NodeId a = static_cast<NodeId>(rng.NextBounded(data.train.NumNodes()));
+      NodeId b = static_cast<NodeId>(rng.NextBounded(data.train.NumNodes()));
+      if (a != b) pairs.emplace_back(a, b);
+    }
+    Timer t3;
+    auto nd = RunPairwiseNdBas(data.train, pattern, pairs, opts);
+    double nd_sample_seconds = t3.ElapsedSeconds();
+    if (!nd.ok()) {
+      std::cerr << nd.status().ToString() << "\n";
+      return 1;
+    }
+    double total_pairs = 0.5 * data.train.NumNodes() *
+                         (data.train.NumNodes() - 1.0);
+    double nd_estimate = nd_sample_seconds / sample * total_pairs;
+
+    runtime.AddRow({def.name, TablePrinter::FormatDouble(bas_seconds, 2),
+                    TablePrinter::FormatDouble(opt_seconds, 2),
+                    TablePrinter::FormatDouble(bas_seconds / opt_seconds, 2),
+                    TablePrinter::FormatDouble(nd_estimate, 0)});
+  }
+  runtime.PrintText(std::cout);
+  std::cout << "\npaper shape: ND-BAS poorest by orders of magnitude; PT-OPT "
+               "0.9x-3.4x vs PT-BAS\n(overhead can outweigh gains on the "
+               "cheapest measure)\n";
+  return 0;
+}

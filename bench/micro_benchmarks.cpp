@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the building blocks behind the
+// paper's optimizations: the O(1) array bucket queue vs a binary heap
+// (Section IV-B3), k-hop BFS, profile index construction, subgraph
+// extraction, CN vs GQL matching, and the simultaneous expander.
+
+#include <benchmark/benchmark.h>
+
+#include <queue>
+
+#include "census/pt_expander.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/profile_index.h"
+#include "graph/subgraph.h"
+#include "match/cn_matcher.h"
+#include "match/gql_matcher.h"
+#include "pattern/catalog.h"
+#include "util/bucket_queue.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    GeneratorOptions gen;
+    gen.num_nodes = 20000;
+    gen.edges_per_node = 5;
+    gen.num_labels = 4;
+    gen.seed = 77;
+    return new Graph(GeneratePreferentialAttachment(gen));
+  }();
+  return *graph;
+}
+
+void BM_BucketQueue(benchmark::State& state) {
+  const std::size_t n = 10000;
+  Rng rng(1);
+  std::vector<std::pair<std::uint32_t, std::size_t>> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.emplace_back(static_cast<std::uint32_t>(i), rng.NextBounded(64));
+  }
+  for (auto _ : state) {
+    BucketQueue<std::uint32_t> queue(64);
+    for (const auto& [value, score] : items) queue.Push(value, score);
+    std::uint64_t sum = 0;
+    while (!queue.Empty()) sum += queue.PopMin();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BucketQueue);
+
+void BM_BinaryHeap(benchmark::State& state) {
+  const std::size_t n = 10000;
+  Rng rng(1);
+  std::vector<std::pair<std::size_t, std::uint32_t>> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.emplace_back(rng.NextBounded(64), static_cast<std::uint32_t>(i));
+  }
+  for (auto _ : state) {
+    std::priority_queue<std::pair<std::size_t, std::uint32_t>,
+                        std::vector<std::pair<std::size_t, std::uint32_t>>,
+                        std::greater<>>
+        queue;
+    for (const auto& item : items) queue.push(item);
+    std::uint64_t sum = 0;
+    while (!queue.empty()) {
+      sum += queue.top().second;
+      queue.pop();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BinaryHeap);
+
+void BM_KHopBfs(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  BfsWorkspace bfs;
+  NodeId source = 0;
+  for (auto _ : state) {
+    const auto& visited =
+        bfs.Run(graph, source, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(visited.size());
+    source = (source + 1) % graph.NumNodes();
+  }
+}
+BENCHMARK(BM_KHopBfs)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ProfileIndexBuild(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    ProfileIndex index = ProfileIndex::Build(graph);
+    benchmark::DoNotOptimize(index.num_labels());
+  }
+}
+BENCHMARK(BM_ProfileIndexBuild);
+
+void BM_SubgraphExtraction(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  SubgraphExtractor extractor(graph);
+  NodeId source = 0;
+  for (auto _ : state) {
+    EgoSubgraph sub = extractor.ExtractKHop(source, 2);
+    benchmark::DoNotOptimize(sub.graph.NumEdges());
+    source = (source + 1) % graph.NumNodes();
+  }
+}
+BENCHMARK(BM_SubgraphExtraction);
+
+void BM_CnMatch(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Pattern pattern = MakeTriangle(true);
+  for (auto _ : state) {
+    CnMatcher matcher;
+    benchmark::DoNotOptimize(matcher.FindMatches(graph, pattern).size());
+  }
+}
+BENCHMARK(BM_CnMatch);
+
+void BM_GqlMatch(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Pattern pattern = MakeTriangle(true);
+  for (auto _ : state) {
+    GqlMatcher matcher;
+    benchmark::DoNotOptimize(matcher.FindMatches(graph, pattern).size());
+  }
+}
+BENCHMARK(BM_GqlMatch);
+
+void BM_SimultaneousExpander(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  internal::ExpanderOptions options;
+  options.k = 2;
+  options.best_first = state.range(0) != 0;
+  internal::SimultaneousExpander expander(graph, options);
+  Rng rng(3);
+  std::vector<std::vector<NodeId>> anchors = {
+      {static_cast<NodeId>(rng.NextBounded(graph.NumNodes())),
+       static_cast<NodeId>(rng.NextBounded(graph.NumNodes())),
+       static_cast<NodeId>(rng.NextBounded(graph.NumNodes()))}};
+  for (auto _ : state) {
+    expander.Expand(anchors, nullptr);
+    benchmark::DoNotOptimize(expander.NumVisited());
+  }
+}
+BENCHMARK(BM_SimultaneousExpander)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace egocensus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Brokerage analysis (Fig. 1(c) / Table I row 4): in a directed transaction
+// network whose nodes carry an organization label, the middle node B of a
+// triad A -> B -> C (with no direct A -> C edge) plays one of the five
+// Gould-Fernandez roles determined by the organizations involved. Each
+// role is one COUNTSP query with the subpattern {?B} and k = 0, wrapped by
+// the ComputeBrokerage library call; the declarative route through the
+// query engine is shown for one role as well.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/brokerage.h"
+#include "graph/generators.h"
+#include "lang/engine.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace egocensus;
+
+  // Directed transaction network: 800 actors in 4 organizations
+  // (label = organization id).
+  Rng rng(7);
+  Graph graph(/*directed=*/true);
+  graph.AddNodes(800);
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    graph.SetLabel(n, static_cast<Label>(rng.NextBounded(4)));
+  }
+  // Transactions: mostly within the organization, some across.
+  for (int e = 0; e < 4000; ++e) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(800));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(800));
+    if (a == b) continue;
+    bool same_org = graph.label(a) == graph.label(b);
+    if (!same_org && !rng.NextBool(0.25)) continue;
+    graph.AddEdge(a, b);
+  }
+  graph.Finalize();
+  std::cout << "transaction network: " << graph.NumNodes() << " actors, "
+            << graph.NumEdges() << " directed transactions\n\n";
+
+  // Library route: all five roles at once.
+  auto brokerage = ComputeBrokerage(graph, CensusOptions());
+  if (!brokerage.ok()) {
+    std::cerr << "brokerage failed: " << brokerage.status().ToString() << "\n";
+    return 1;
+  }
+  TablePrinter table({"role", "total triads", "top broker", "their count"});
+  for (int r = 0; r < kNumBrokerageRoles; ++r) {
+    std::uint64_t total = 0;
+    NodeId best = 0;
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      total += brokerage->counts[n][r];
+      if (brokerage->counts[n][r] > brokerage->counts[best][r]) best = n;
+    }
+    table.AddRow({BrokerageRoleName(static_cast<BrokerageRole>(r)),
+                  std::to_string(total),
+                  "node " + std::to_string(best) + " (org " +
+                      std::to_string(graph.label(best)) + ")",
+                  std::to_string(brokerage->counts[best][r])});
+  }
+  table.PrintText(std::cout);
+
+  // Declarative route for one role (Table I row 4 verbatim, plus ORDER BY).
+  QueryEngine engine(graph);
+  auto result = engine.Execute(
+      "PATTERN triad {\n"
+      "  ?A->?B; ?B->?C; ?A!->?C;\n"
+      "  [?A.LABEL=?B.LABEL];\n"
+      "  [?B.LABEL=?C.LABEL];\n"
+      "  SUBPATTERN coordinator {?B;}\n"
+      "}\n"
+      "SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes "
+      "ORDER BY 2 DESC LIMIT 5");
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nTop coordinators via the SQL surface:\n"
+            << result->ToString();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Graph indexing (Section I, "Graph Indexing"): census counts of small
+// patterns in every node's 1-hop neighborhood act as *node signatures* for
+// subgraph search. A database node can play a role in a query subgraph only
+// if its signature dominates the role's signature, which prunes far more
+// candidates than a plain degree filter.
+//
+// Demo: build triangle/wedge signatures, then count the candidates for a
+// node of a 4-clique query under (a) degree filtering only and (b)
+// signature filtering, and verify the signature filter keeps all true
+// 4-clique members.
+
+#include <iostream>
+#include <vector>
+
+#include "apps/signatures.h"
+#include "census/census.h"
+#include "graph/generators.h"
+#include "match/cn_matcher.h"
+#include "pattern/catalog.h"
+
+int main() {
+  using namespace egocensus;
+
+  GeneratorOptions gen;
+  gen.num_nodes = 8000;
+  gen.edges_per_node = 6;
+  gen.seed = 5;
+  Graph graph = GeneratePreferentialAttachment(gen);
+  std::cout << "graph: " << graph.NumNodes() << " nodes, " << graph.NumEdges()
+            << " edges\n";
+
+  // Signature family: edges and triangles within the 1-hop ego network.
+  std::vector<Pattern> family;
+  family.push_back(MakeSingleEdge());
+  family.push_back(MakeTriangle(false));
+  SignatureOptions options;
+  auto signatures = BuildNodeSignatures(graph, family, options);
+  if (!signatures.ok()) {
+    std::cerr << signatures.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Query: a 4-clique. The signature of any of its roles (6 edges, 4
+  // triangles in the skeleton ego net) must be dominated.
+  Pattern clq4_query = MakeClique4(false);
+  auto role_sig = RoleSignature(clq4_query, 0, family, options);
+  if (!role_sig.ok()) {
+    std::cerr << role_sig.status().ToString() << "\n";
+    return 1;
+  }
+  auto filtered = FilterCandidatesBySignature(*signatures, *role_sig);
+  std::size_t degree_candidates = 0;
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    if (graph.Degree(n) >= 3) ++degree_candidates;
+  }
+  std::size_t signature_candidates = filtered.size();
+
+  // Ground truth: nodes that actually participate in a 4-clique.
+  std::vector<char> is_candidate(graph.NumNodes(), 0);
+  for (NodeId n : filtered) is_candidate[n] = 1;
+  CnMatcher matcher;
+  MatchSet matches = matcher.FindMatches(graph, clq4_query);
+  std::vector<char> in_clique(graph.NumNodes(), 0);
+  for (std::size_t m = 0; m < matches.size(); ++m) {
+    for (NodeId n : matches.Match(m)) in_clique[n] = 1;
+  }
+  std::size_t true_members = 0;
+  std::size_t missed = 0;
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    if (!in_clique[n]) continue;
+    ++true_members;
+    if (!is_candidate[n]) ++missed;
+  }
+
+  std::cout << "4-clique role candidates by degree filter:    "
+            << degree_candidates << "\n"
+            << "4-clique role candidates by census signature: "
+            << signature_candidates << "\n"
+            << "pruning gain: "
+            << static_cast<double>(degree_candidates) /
+                   static_cast<double>(signature_candidates)
+            << "x fewer candidates\n"
+            << "true 4-clique members: " << true_members
+            << ", missed by the filter: " << missed
+            << " (signatures are a sound filter)\n";
+  return missed == 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Link prediction over a DBLP-like co-authorship network (Section V-B):
+// predict future collaborations from the counts of common nodes, edges and
+// triangles in pairs of authors' intersected k-hop neighborhoods, and
+// compare against the Jaccard coefficient and a random predictor.
+
+#include <iostream>
+
+#include "apps/dblp_gen.h"
+#include "apps/link_prediction.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace egocensus;
+
+  DblpOptions gen;
+  gen.num_authors = 1500;
+  gen.papers_per_year = 250;
+  gen.seed = 2001;
+  DblpData data = GenerateDblp(gen);
+  std::cout << "train graph (years 1-5): " << data.train.NumNodes()
+            << " authors, " << data.train.NumEdges() << " collaborations\n"
+            << "test: " << data.test_edges.size()
+            << " new collaborations in years 6-10\n\n";
+
+  LinkPredictionOptions options;
+  options.radii = {1, 2, 3};
+  options.precision_ks = {50, 600};
+  auto report = RunLinkPrediction(data, options);
+  if (!report.ok()) {
+    std::cerr << "link prediction failed: " << report.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"measure", "precision@50", "precision@600",
+                      "candidate pairs", "census time (s)"});
+  for (const auto& m : report->measures) {
+    table.AddRow({m.name, TablePrinter::FormatDouble(m.precision[0], 3),
+                  TablePrinter::FormatDouble(m.precision[1], 3),
+                  std::to_string(m.ranked_pairs),
+                  TablePrinter::FormatDouble(m.seconds, 2)});
+  }
+  table.PrintText(std::cout);
+  std::cout << "\n(the paper finds common nodes within 2 hops the strongest "
+               "predictor,\n well above the Jaccard coefficient)\n";
+  return 0;
+}

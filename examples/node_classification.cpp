@@ -1,0 +1,107 @@
+// Node classification (Fig. 1(b)): in a family network with "parent of"
+// edges and a SMOKER attribute, a child's risk is measured by counting, in
+// their 3-hop neighborhood, the relatives who smoke and whose own parent
+// also smokes — a COUNTSP query whose full pattern (parent -> relative,
+// both smokers) extends beyond the part anchored in the neighborhood.
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "lang/engine.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace egocensus;
+
+  // Synthetic multi-generation family forest with marriages linking
+  // families; smoking is familially correlated.
+  Rng rng(77);
+  Graph graph(/*directed=*/true);
+  const std::uint32_t kFamilies = 60;
+  const std::uint32_t kGenerations = 4;
+  const std::uint32_t kChildrenPerCouple = 3;
+
+  std::vector<std::vector<NodeId>> generation(kGenerations);
+  std::vector<char> smoker;
+  auto add_person = [&](double smoke_prob) {
+    NodeId person = graph.AddNode();
+    smoker.push_back(rng.NextBool(smoke_prob) ? 1 : 0);
+    return person;
+  };
+  // Founders.
+  for (std::uint32_t f = 0; f < kFamilies; ++f) {
+    generation[0].push_back(add_person(0.3));
+  }
+  // Later generations: each child gets a parent from the previous
+  // generation; smoking probability rises sharply if the parent smokes.
+  for (std::uint32_t gen = 1; gen < kGenerations; ++gen) {
+    for (NodeId parent : generation[gen - 1]) {
+      for (std::uint32_t c = 0; c < kChildrenPerCouple; ++c) {
+        if (!rng.NextBool(0.7)) continue;
+        double p = smoker[parent] ? 0.55 : 0.12;
+        NodeId child = add_person(p);
+        generation[gen].push_back(child);
+        graph.AddEdge(parent, child);  // parent -> child
+      }
+    }
+  }
+  // Marriages create cross-family ties (undirected semantics via two
+  // directed edges is unnecessary; neighborhood expansion ignores
+  // direction, so one edge suffices to connect the families).
+  std::set<std::pair<NodeId, NodeId>> married;
+  for (std::uint32_t m = 0; m < kFamilies; ++m) {
+    const auto& pool = generation[1];
+    if (pool.size() < 2) break;
+    NodeId a = pool[rng.NextBounded(pool.size())];
+    NodeId b = pool[rng.NextBounded(pool.size())];
+    if (a == b) continue;
+    auto key = std::minmax(a, b);
+    if (married.insert(key).second) graph.AddEdge(a, b);
+  }
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    graph.node_attributes().Set(n, "SMOKER",
+                                static_cast<std::int64_t>(smoker[n]));
+  }
+  graph.Finalize();
+  std::cout << "family network: " << graph.NumNodes() << " people, "
+            << graph.NumEdges() << " ties\n";
+
+  QueryEngine engine(graph);
+  auto result = engine.Execute(
+      "PATTERN smoking_lineage {\n"
+      "  ?P->?R;\n"
+      "  [?P.SMOKER = 1];\n"
+      "  [?R.SMOKER = 1];\n"
+      "  SUBPATTERN relative {?R;}\n"
+      "}\n"
+      "SELECT ID, COUNTSP(relative, smoking_lineage, SUBGRAPH(ID, 3)) "
+      "FROM nodes");
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Validation: the risk measure should be higher for actual smokers.
+  double smoker_sum = 0, smoker_n = 0, non_sum = 0, non_n = 0;
+  for (std::size_t r = 0; r < result->NumRows(); ++r) {
+    NodeId n = static_cast<NodeId>(std::get<std::int64_t>(result->At(r, 0)));
+    double score =
+        static_cast<double>(std::get<std::int64_t>(result->At(r, 1)));
+    if (smoker[n]) {
+      smoker_sum += score;
+      ++smoker_n;
+    } else {
+      non_sum += score;
+      ++non_n;
+    }
+  }
+  std::cout << "avg risk score of smokers:     " << smoker_sum / smoker_n
+            << "\n"
+            << "avg risk score of non-smokers: " << non_sum / non_n << "\n"
+            << "(the ego-centric census score separates the classes, which "
+               "is what a\ncollective classifier would exploit)\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "apps/brokerage.h"
+
+#include "census/census.h"
+
+namespace egocensus {
+namespace {
+
+PatternPredicate LabelPredicate(int a, int b, bool equal) {
+  PatternPredicate pred;
+  pred.lhs = NodeAttrRef{a, "LABEL"};
+  pred.op = equal ? PredicateOp::kEq : PredicateOp::kNe;
+  pred.rhs = NodeAttrRef{b, "LABEL"};
+  return pred;
+}
+
+/// Builds the open-triad pattern A -> B -> C, no A -> C, with the label
+/// relations of the given role, subpattern {B}.
+Result<Pattern> MakeRolePattern(BrokerageRole role) {
+  Pattern p("triad-" + std::string(BrokerageRoleName(role)));
+  p.AddEdge("A", "B", /*directed=*/true);
+  p.AddEdge("B", "C", /*directed=*/true);
+  p.AddEdge("A", "C", /*directed=*/true, /*negated=*/true);
+  int a = p.FindNode("A");
+  int b = p.FindNode("B");
+  int c = p.FindNode("C");
+  switch (role) {
+    case BrokerageRole::kCoordinator:
+      p.AddPredicate(LabelPredicate(a, b, true));
+      p.AddPredicate(LabelPredicate(b, c, true));
+      break;
+    case BrokerageRole::kGatekeeper:
+      p.AddPredicate(LabelPredicate(a, b, false));
+      p.AddPredicate(LabelPredicate(b, c, true));
+      break;
+    case BrokerageRole::kRepresentative:
+      p.AddPredicate(LabelPredicate(a, b, true));
+      p.AddPredicate(LabelPredicate(b, c, false));
+      break;
+    case BrokerageRole::kConsultant:
+      p.AddPredicate(LabelPredicate(a, c, true));
+      p.AddPredicate(LabelPredicate(a, b, false));
+      break;
+    case BrokerageRole::kLiaison:
+      p.AddPredicate(LabelPredicate(a, b, false));
+      p.AddPredicate(LabelPredicate(b, c, false));
+      p.AddPredicate(LabelPredicate(a, c, false));
+      break;
+  }
+  Status s = p.AddSubpattern("broker", {"B"});
+  if (!s.ok()) return s;
+  s = p.Prepare();
+  if (!s.ok()) return s;
+  return p;
+}
+
+}  // namespace
+
+const char* BrokerageRoleName(BrokerageRole role) {
+  switch (role) {
+    case BrokerageRole::kCoordinator:
+      return "coordinator";
+    case BrokerageRole::kGatekeeper:
+      return "gatekeeper";
+    case BrokerageRole::kRepresentative:
+      return "representative";
+    case BrokerageRole::kConsultant:
+      return "consultant";
+    case BrokerageRole::kLiaison:
+      return "liaison";
+  }
+  return "?";
+}
+
+Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
+                                         const CensusOptions& base_options) {
+  if (!graph.directed()) {
+    return Status::InvalidArgument(
+        "brokerage analysis requires a directed graph");
+  }
+  BrokerageResult result;
+  result.counts.assign(graph.NumNodes(), {});
+  auto focal = AllNodes(graph);
+  for (int r = 0; r < kNumBrokerageRoles; ++r) {
+    auto role = static_cast<BrokerageRole>(r);
+    auto pattern = MakeRolePattern(role);
+    if (!pattern.ok()) return pattern.status();
+    CensusOptions options = base_options;
+    options.k = 0;
+    options.subpattern = "broker";
+    auto census = RunCensus(graph, *pattern, focal, options);
+    if (!census.ok()) return census.status();
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      result.counts[n][r] = census->counts[n];
+    }
+  }
+  return result;
+}
+
+}  // namespace egocensus

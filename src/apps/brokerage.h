@@ -1,0 +1,45 @@
+#ifndef EGOCENSUS_APPS_BROKERAGE_H_
+#define EGOCENSUS_APPS_BROKERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "census/census.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// The five Gould-Fernandez brokerage roles of Fig. 1(c). The middle node B
+/// of a directed open triad A -> B -> C (no A -> C edge) is classified by
+/// which of the three nodes share B's organization (the node label):
+enum class BrokerageRole {
+  kCoordinator = 0,     // A, B, C all in the same organization
+  kGatekeeper = 1,      // A outside; B, C inside
+  kRepresentative = 2,  // A, B inside; C outside
+  kConsultant = 3,      // A, C in one organization, B in another
+  kLiaison = 4,         // all three in different organizations
+};
+
+inline constexpr int kNumBrokerageRoles = 5;
+
+const char* BrokerageRoleName(BrokerageRole role);
+
+struct BrokerageResult {
+  /// counts[n][role] = number of open triads with n as the broker of that
+  /// role. Roles are mutually exclusive and cover all label combinations,
+  /// so summing over roles gives n's total open-triad brokerage.
+  std::vector<std::array<std::uint64_t, kNumBrokerageRoles>> counts;
+};
+
+/// Computes the full brokerage census of a directed graph whose node labels
+/// encode organization membership: one COUNTSP(broker, triad, SUBGRAPH(ID,0))
+/// census per role, with the role's label equalities/inequalities attached
+/// as pattern predicates.
+Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
+                                         const CensusOptions& base_options);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_APPS_BROKERAGE_H_

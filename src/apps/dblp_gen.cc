@@ -1,0 +1,115 @@
+#include "apps/dblp_gen.h"
+
+#include <algorithm>
+
+#include "census/pairwise.h"
+#include "util/rng.h"
+
+namespace egocensus {
+
+DblpData GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  const std::uint32_t n = options.num_authors;
+  const std::uint32_t communities = std::max(1u, options.num_communities);
+
+  std::vector<std::uint32_t> community(n);
+  std::vector<std::vector<NodeId>> members(communities);
+  for (NodeId a = 0; a < n; ++a) {
+    community[a] = static_cast<std::uint32_t>(rng.NextBounded(communities));
+    members[community[a]].push_back(a);
+  }
+
+  // Collaboration state across all years. coauthors[a] lists a's past
+  // coauthors (with multiplicity, so repeat collaborators are favored);
+  // papers[a] counts productivity for preferential first-author selection.
+  std::vector<std::vector<NodeId>> coauthors(n);
+  std::vector<std::uint32_t> papers(n, 1);
+
+  // Per-year edge sets.
+  std::vector<std::unordered_set<std::uint64_t>> year_edges(options.num_years);
+
+  auto pick_from_community = [&](std::uint32_t c) -> NodeId {
+    const auto& pool = members[c];
+    // Productivity-weighted pick: tournament of two uniform draws.
+    NodeId a = pool[rng.NextBounded(pool.size())];
+    NodeId b = pool[rng.NextBounded(pool.size())];
+    return papers[a] >= papers[b] ? a : b;
+  };
+
+  std::vector<NodeId> team;
+  for (std::uint32_t year = 0; year < options.num_years; ++year) {
+    for (std::uint32_t p = 0; p < options.papers_per_year; ++p) {
+      std::uint32_t c = static_cast<std::uint32_t>(rng.NextBounded(communities));
+      if (members[c].empty()) continue;
+      std::uint32_t team_size = static_cast<std::uint32_t>(
+          rng.NextInRange(options.min_team, options.max_team));
+      team.clear();
+      team.push_back(pick_from_community(c));
+      std::uint32_t attempts = 0;
+      while (team.size() < team_size && attempts < team_size * 16) {
+        ++attempts;
+        NodeId cand;
+        // Triadic closure: reuse a coauthor of someone already on the
+        // paper; otherwise draw from this (or occasionally another)
+        // community.
+        NodeId seed_author = team[rng.NextBounded(team.size())];
+        if (!coauthors[seed_author].empty() &&
+            rng.NextBool(options.closure_prob)) {
+          cand = coauthors[seed_author][rng.NextBounded(
+              coauthors[seed_author].size())];
+        } else {
+          std::uint32_t cc = c;
+          if (rng.NextBool(options.cross_community_prob)) {
+            cc = static_cast<std::uint32_t>(rng.NextBounded(communities));
+          }
+          if (members[cc].empty()) continue;
+          cand = pick_from_community(cc);
+        }
+        if (std::find(team.begin(), team.end(), cand) == team.end()) {
+          team.push_back(cand);
+        }
+      }
+      if (team.size() < 2) continue;
+      for (NodeId a : team) ++papers[a];
+      for (std::size_t i = 0; i < team.size(); ++i) {
+        for (std::size_t j = i + 1; j < team.size(); ++j) {
+          year_edges[year].insert(PackPair(team[i], team[j]));
+          coauthors[team[i]].push_back(team[j]);
+          coauthors[team[j]].push_back(team[i]);
+        }
+      }
+    }
+  }
+
+  DblpData data;
+  data.train = Graph(/*directed=*/false);
+  data.train.AddNodes(n);
+  for (NodeId a = 0; a < n; ++a) {
+    data.train.node_attributes().Set(
+        a, "COMMUNITY", static_cast<std::int64_t>(community[a]));
+  }
+  for (std::uint32_t year = 0; year < options.train_years; ++year) {
+    for (std::uint64_t key : year_edges[year]) {
+      if (data.train_edge_keys.insert(key).second) {
+        auto [a, b] = UnpackPair(key);
+        data.train.AddEdge(a, b);
+      }
+    }
+  }
+  data.train.Finalize();
+
+  std::unordered_set<std::uint64_t> test_seen;
+  for (std::uint32_t year = options.train_years; year < options.num_years;
+       ++year) {
+    for (std::uint64_t key : year_edges[year]) {
+      if (data.train_edge_keys.count(key) != 0) continue;
+      if (test_seen.insert(key).second) {
+        data.test_edges.push_back(UnpackPair(key));
+      }
+    }
+  }
+  std::sort(data.test_edges.begin(), data.test_edges.end());
+  return data;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,54 @@
+#ifndef EGOCENSUS_APPS_DBLP_GEN_H_
+#define EGOCENSUS_APPS_DBLP_GEN_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace egocensus {
+
+/// Synthetic DBLP-like co-authorship workload standing in for the paper's
+/// SIGMOD/VLDB/ICDE 2001-2010 crawl (Section V-B). Authors belong to
+/// research communities; each simulated year produces papers whose author
+/// teams mix community affinity, productivity-proportional (preferential)
+/// selection and triadic closure — the mechanisms that make "common
+/// nodes/edges/triangles within r hops" predictive of future collaboration.
+/// Years 1..train_years form the training graph; an edge first co-occurring
+/// in a later year between two training-graph authors is a test edge.
+struct DblpOptions {
+  std::uint32_t num_authors = 3000;
+  std::uint32_t num_communities = 60;
+  std::uint32_t num_years = 10;
+  std::uint32_t train_years = 5;
+  std::uint32_t papers_per_year = 350;
+  /// Probability that a coauthor is drawn from outside the paper's
+  /// community.
+  double cross_community_prob = 0.08;
+  /// Probability that a coauthor is picked by triadic closure (a coauthor
+  /// of an author already on the paper) rather than fresh from the
+  /// community.
+  double closure_prob = 0.3;
+  std::uint32_t min_team = 2;
+  std::uint32_t max_team = 4;
+  std::uint64_t seed = 2001;
+};
+
+struct DblpData {
+  /// Undirected co-authorship graph over years [1, train_years], finalized.
+  /// Node attribute "COMMUNITY" holds the community id.
+  Graph train;
+  /// New collaborations (absent from train) appearing in the test years,
+  /// canonical (smaller id first), deduplicated.
+  std::vector<std::pair<NodeId, NodeId>> test_edges;
+  /// Packed training edges (PackPair keys) for membership tests.
+  std::unordered_set<std::uint64_t> train_edge_keys;
+};
+
+DblpData GenerateDblp(const DblpOptions& options);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_APPS_DBLP_GEN_H_

@@ -1,0 +1,63 @@
+#ifndef EGOCENSUS_APPS_LINK_PREDICTION_H_
+#define EGOCENSUS_APPS_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/dblp_gen.h"
+#include "census/pairwise.h"
+#include "graph/graph.h"
+
+namespace egocensus {
+
+/// The link prediction experiment of Section V-B / Fig. 4(h): for every
+/// pair of authors, measure the number of nodes, edges and triangles in
+/// their common (intersection) 1/2/3-hop neighborhoods — 9 pairwise census
+/// measures — plus the Jaccard coefficient and a random predictor; rank
+/// non-collaborating pairs by each measure and report precision at K.
+struct LinkPredictionOptions {
+  std::vector<std::uint32_t> radii = {1, 2, 3};
+  std::vector<std::size_t> precision_ks = {50, 600};
+  /// Pattern-driven census machinery knobs (k/subpattern/neighborhood are
+  /// set per measure).
+  PairwiseCensusOptions pairwise;
+  std::uint64_t seed = 11;
+};
+
+struct MeasureResult {
+  std::string name;
+  std::vector<double> precision;  // parallel to options.precision_ks
+  std::size_t ranked_pairs = 0;   // candidate pairs with a nonzero score
+  double seconds = 0;             // census time for this measure
+};
+
+struct LinkPredictionReport {
+  std::vector<MeasureResult> measures;  // 9 census + jaccard + random
+};
+
+/// Runs all measures over the training graph and scores against the test
+/// edges. Pairs already linked in training are excluded from rankings.
+Result<LinkPredictionReport> RunLinkPrediction(
+    const DblpData& data, const LinkPredictionOptions& options);
+
+/// Ranks the pairs of `counts` by descending count (ties by pair key) after
+/// removing `exclude` pairs; returns packed pair keys.
+std::vector<std::uint64_t> RankPairs(
+    const PairCounts& counts,
+    const std::unordered_set<std::uint64_t>& exclude);
+
+/// Fraction of the top-K ranked pairs present in `truth`.
+double PrecisionAtK(const std::vector<std::uint64_t>& ranked,
+                    const std::unordered_set<std::uint64_t>& truth,
+                    std::size_t k);
+
+/// Jaccard coefficient |N(u) cap N(v)| / |N(u) cup N(v)| for all pairs with
+/// at least one common neighbor (the classic link prediction baseline).
+std::vector<std::pair<std::uint64_t, double>> ComputeJaccardScores(
+    const Graph& graph);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_APPS_LINK_PREDICTION_H_

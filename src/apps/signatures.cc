@@ -1,0 +1,73 @@
+#include "apps/signatures.h"
+
+namespace egocensus {
+
+Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
+    const Graph& graph, std::span<const Pattern> patterns,
+    const SignatureOptions& options) {
+  std::vector<std::vector<std::uint64_t>> signatures(
+      graph.NumNodes(), std::vector<std::uint64_t>(patterns.size(), 0));
+  auto focal = AllNodes(graph);
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    CensusOptions census;
+    census.algorithm = options.algorithm;
+    census.k = options.k;
+    auto result = RunCensus(graph, patterns[i], focal, census);
+    if (!result.ok()) return result.status();
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      signatures[n][i] = result->counts[n];
+    }
+  }
+  return signatures;
+}
+
+Graph PatternToGraph(const Pattern& pattern) {
+  Graph graph(/*directed=*/false);
+  for (int v = 0; v < pattern.NumNodes(); ++v) {
+    graph.AddNode(pattern.LabelConstraint(v).value_or(kDefaultLabel));
+  }
+  for (const auto& e : pattern.PositiveEdges()) {
+    graph.AddEdge(static_cast<NodeId>(e.src), static_cast<NodeId>(e.dst));
+  }
+  graph.Finalize();
+  return graph;
+}
+
+Result<std::vector<std::uint64_t>> RoleSignature(
+    const Pattern& query, int role, std::span<const Pattern> patterns,
+    const SignatureOptions& options) {
+  if (role < 0 || role >= query.NumNodes()) {
+    return Status::OutOfRange("role out of range");
+  }
+  Graph skeleton = PatternToGraph(query);
+  std::vector<NodeId> focal = {static_cast<NodeId>(role)};
+  std::vector<std::uint64_t> signature(patterns.size(), 0);
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    CensusOptions census;
+    census.algorithm = options.algorithm;
+    census.k = options.k;
+    auto result = RunCensus(skeleton, patterns[i], focal, census);
+    if (!result.ok()) return result.status();
+    signature[i] = result->counts[role];
+  }
+  return signature;
+}
+
+std::vector<NodeId> FilterCandidatesBySignature(
+    const std::vector<std::vector<std::uint64_t>>& signatures,
+    const std::vector<std::uint64_t>& role_signature) {
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < signatures.size(); ++n) {
+    bool dominates = true;
+    for (std::size_t i = 0; i < role_signature.size(); ++i) {
+      if (signatures[n][i] < role_signature[i]) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) candidates.push_back(n);
+  }
+  return candidates;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,52 @@
+#ifndef EGOCENSUS_APPS_SIGNATURES_H_
+#define EGOCENSUS_APPS_SIGNATURES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "census/census.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Node signatures for subgraph-search pruning (Section I, "Graph
+/// Indexing"): the counts of a fixed family of small patterns inside every
+/// node's k-hop ego network form a per-node vector; a database node can be
+/// the image of a query-pattern role only if its signature *dominates* the
+/// role's own signature (census counts are monotone under the embedding of
+/// the query's ego network into the data node's ego network).
+struct SignatureOptions {
+  std::uint32_t k = 1;
+  CensusAlgorithm algorithm = CensusAlgorithm::kNdPvot;
+};
+
+/// signatures[n][i] = count of patterns[i] within S(n, k).
+Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
+    const Graph& graph, std::span<const Pattern> patterns,
+    const SignatureOptions& options);
+
+/// Materializes a (prepared) pattern's positive skeleton as a concrete
+/// graph: one node per variable (labels from label constraints, default
+/// otherwise), one edge per positive structural edge. Negative edges and
+/// predicates are dropped — the result over-approximates the structure,
+/// keeping signature filtering sound.
+Graph PatternToGraph(const Pattern& pattern);
+
+/// Signature of one role (pattern node) of a query pattern: the census
+/// counts around that node within the query's own skeleton.
+Result<std::vector<std::uint64_t>> RoleSignature(
+    const Pattern& query, int role, std::span<const Pattern> patterns,
+    const SignatureOptions& options);
+
+/// Candidate nodes for `role`: nodes whose signature dominates the role's
+/// component-wise. A sound (never drops a true image) necessary filter.
+std::vector<NodeId> FilterCandidatesBySignature(
+    const std::vector<std::vector<std::uint64_t>>& signatures,
+    const std::vector<std::uint64_t>& role_signature);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_APPS_SIGNATURES_H_

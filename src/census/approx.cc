@@ -1,0 +1,108 @@
+#include "census/approx.h"
+
+#include <algorithm>
+
+#include "census/pmi.h"
+#include "graph/bfs.h"
+#include "match/cn_matcher.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace egocensus {
+
+Result<ApproximateCensusResult> RunApproximateCensus(
+    const Graph& graph, const Pattern& pattern, std::span<const NodeId> focal,
+    const ApproximateCensusOptions& options) {
+  if (!pattern.prepared()) {
+    return Status::InvalidArgument("pattern must be prepared");
+  }
+  if (!(options.sample_rate > 0.0) || options.sample_rate > 1.0) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  auto anchor_nodes = ResolveAnchorNodes(pattern, options.subpattern);
+  if (!anchor_nodes.ok()) return anchor_nodes.status();
+
+  ApproximateCensusResult result;
+  result.estimates.assign(graph.NumNodes(), 0.0);
+  const std::uint32_t k = options.k;
+
+  Timer match_timer;
+  CnMatcher matcher;
+  MatchSet all_matches = matcher.FindMatches(graph, pattern);
+  result.stats.match_seconds = match_timer.ElapsedSeconds();
+  result.stats.num_matches = all_matches.size();
+
+  // Bernoulli-sample the matches.
+  Timer index_timer;
+  Rng rng(options.seed);
+  MatchSet sampled(all_matches.arity());
+  for (std::size_t m = 0; m < all_matches.size(); ++m) {
+    if (rng.NextBool(options.sample_rate)) sampled.Add(all_matches.Match(m));
+  }
+  result.sampled_matches = sampled.size();
+  MatchAnchors anchors(&sampled, *anchor_nodes);
+
+  // Pivot setup identical to ND-PVOT.
+  int pivot = (*anchor_nodes)[0];
+  std::uint32_t max_v = 0;
+  {
+    std::uint32_t best = Pattern::kUnreachable;
+    for (int x : *anchor_nodes) {
+      std::uint32_t ecc = 0;
+      for (int y : *anchor_nodes) ecc = std::max(ecc, pattern.Distance(x, y));
+      if (ecc < best) {
+        best = ecc;
+        pivot = x;
+      }
+    }
+    max_v = best;
+  }
+  std::vector<std::vector<int>> distant(max_v + 1);
+  for (std::uint32_t i = 1; i <= max_v; ++i) {
+    for (std::size_t j = 0; j < anchor_nodes->size(); ++j) {
+      if (pattern.Distance(pivot, (*anchor_nodes)[j]) >= i) {
+        distant[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  PatternMatchIndex pmi = PatternMatchIndex::BuildOnNode(sampled, pivot);
+  result.stats.index_seconds = index_timer.ElapsedSeconds();
+
+  Timer census_timer;
+  const double scale = 1.0 / options.sample_rate;
+  BfsWorkspace bfs;
+  for (NodeId n : focal) {
+    if (n >= graph.NumNodes()) {
+      return Status::OutOfRange("focal node out of range");
+    }
+    bfs.Run(graph, n, k);
+    result.stats.nodes_expanded += bfs.visited().size();
+    std::uint64_t count = 0;
+    for (NodeId visited : bfs.visited()) {
+      auto mids = pmi.MatchesAt(visited);
+      if (mids.empty()) continue;
+      std::uint32_t d = bfs.DistanceTo(visited);
+      if (d + max_v <= k) {
+        count += mids.size();
+        continue;
+      }
+      const auto& check_set = distant[k - d + 1];
+      for (std::uint32_t mid : mids) {
+        bool inside = true;
+        for (int j : check_set) {
+          ++result.stats.containment_checks;
+          if (!bfs.Reached(anchors.Anchor(mid, j))) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++count;
+      }
+    }
+    result.estimates[n] = static_cast<double>(count) * scale;
+  }
+  result.stats.census_seconds = census_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,93 @@
+#include "census/census.h"
+
+#include <numeric>
+
+#include "census/engines.h"
+#include "census/pmi.h"
+#include "match/cn_matcher.h"
+#include "util/timer.h"
+
+namespace egocensus {
+
+const char* CensusAlgorithmName(CensusAlgorithm algorithm) {
+  switch (algorithm) {
+    case CensusAlgorithm::kNdBas:
+      return "ND-BAS";
+    case CensusAlgorithm::kNdPvot:
+      return "ND-PVOT";
+    case CensusAlgorithm::kNdDiff:
+      return "ND-DIFF";
+    case CensusAlgorithm::kPtBas:
+      return "PT-BAS";
+    case CensusAlgorithm::kPtOpt:
+      return "PT-OPT";
+    case CensusAlgorithm::kPtRnd:
+      return "PT-RND";
+  }
+  return "?";
+}
+
+std::vector<NodeId> AllNodes(const Graph& graph) {
+  std::vector<NodeId> nodes(graph.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  return nodes;
+}
+
+namespace internal {
+
+MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats) {
+  Timer timer;
+  CnMatcher matcher(ctx.options->profile_index);
+  MatchSet matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+  stats->match_seconds = timer.ElapsedSeconds();
+  stats->num_matches = matches.size();
+  return matches;
+}
+
+}  // namespace internal
+
+Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
+                               std::span<const NodeId> focal,
+                               const CensusOptions& options) {
+  if (!pattern.prepared()) {
+    return Status::InvalidArgument("pattern must be prepared");
+  }
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  auto anchors = ResolveAnchorNodes(pattern, options.subpattern);
+  if (!anchors.ok()) return anchors.status();
+
+  std::vector<char> is_focal(graph.NumNodes(), 0);
+  for (NodeId n : focal) {
+    if (n >= graph.NumNodes()) {
+      return Status::OutOfRange("focal node out of range");
+    }
+    is_focal[n] = 1;
+  }
+
+  internal::CensusContext ctx;
+  ctx.graph = &graph;
+  ctx.pattern = &pattern;
+  ctx.focal = focal;
+  ctx.is_focal = &is_focal;
+  ctx.anchor_nodes = std::move(anchors).value();
+  ctx.options = &options;
+
+  switch (options.algorithm) {
+    case CensusAlgorithm::kNdBas:
+      return internal::RunNdBas(ctx);
+    case CensusAlgorithm::kNdPvot:
+      return internal::RunNdPvot(ctx);
+    case CensusAlgorithm::kNdDiff:
+      return internal::RunNdDiff(ctx);
+    case CensusAlgorithm::kPtBas:
+      return internal::RunPtBas(ctx);
+    case CensusAlgorithm::kPtOpt:
+    case CensusAlgorithm::kPtRnd:
+      return internal::RunPtOpt(ctx);
+  }
+  return Status::Internal("unknown census algorithm");
+}
+
+}  // namespace egocensus

@@ -1,0 +1,122 @@
+#ifndef EGOCENSUS_CENSUS_CENSUS_H_
+#define EGOCENSUS_CENSUS_CENSUS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/distance_index.h"
+#include "graph/graph.h"
+#include "graph/profile_index.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// The six query evaluation algorithms of Sections IV and V.
+enum class CensusAlgorithm {
+  kNdBas,   // node-driven baseline: extract S(n,k), match inside
+  kNdPvot,  // node-driven pivot indexing (Algorithm 2)
+  kNdDiff,  // node-driven differential counting (Algorithm 3)
+  kPtBas,   // pattern-driven baseline
+  kPtOpt,   // pattern-driven, all optimizations (Algorithm 4)
+  kPtRnd,   // PT-OPT with random instead of best-first queue order
+};
+
+const char* CensusAlgorithmName(CensusAlgorithm algorithm);
+
+/// Pattern-match clustering mode for the pattern-driven algorithms
+/// (Section IV-B5 / Fig. 4(g)).
+enum class ClusteringMode {
+  kNone,    // NO-CLUST: process each match independently
+  kRandom,  // RND-CLUST: random assignment into num_clusters groups
+  kKMeans,  // OPT-CLUST: K-means over center-distance feature vectors
+};
+
+struct CensusOptions {
+  CensusAlgorithm algorithm = CensusAlgorithm::kNdPvot;
+
+  /// Neighborhood radius k of SUBGRAPH(ID, k).
+  std::uint32_t k = 1;
+
+  /// COUNTSP subpattern name; empty means count the whole pattern (COUNTP).
+  std::string subpattern;
+
+  // ---- Pattern-driven parameters (PT-OPT / PT-RND) ----
+
+  /// Number of centers used for PMD initialization (paper default: 12;
+  /// 0 disables center seeding). Fig. 4(f) sweeps this.
+  std::uint32_t num_centers = 12;
+
+  /// Number of centers used to build K-means feature vectors. Fig. 4(f)
+  /// holds this fixed while sweeping num_centers to isolate the two
+  /// effects.
+  std::uint32_t num_cluster_centers = 12;
+
+  /// DEG-CNTR (false) vs RND-CNTR (true).
+  bool random_centers = false;
+
+  ClusteringMode clustering = ClusteringMode::kKMeans;
+
+  /// Number of clusters; 0 = auto (num_matches / 4, capped at 1024 to keep
+  /// Lloyd's algorithm tractable; the paper uses num_matches / 4).
+  std::uint32_t num_clusters = 0;
+
+  /// K-means iterations (paper: 10).
+  std::uint32_t kmeans_iterations = 10;
+
+  std::uint64_t seed = 7;
+
+  /// Optional prebuilt center index (must have at least
+  /// max(num_centers, num_cluster_centers) centers). When null the engine
+  /// builds one; its build time is reported in stats.index_seconds.
+  const CenterDistanceIndex* center_index = nullptr;
+
+  /// Optional separate index supplying the K-means feature centers. When
+  /// null, features use center_index. Fig. 4(f) sweeps num_centers while
+  /// keeping the clustering features pinned to a fixed index, isolating the
+  /// PMD-initialization effect from clustering quality.
+  const CenterDistanceIndex* cluster_center_index = nullptr;
+
+  /// Optional prebuilt node-profile index for the matcher (amortizes
+  /// profile computation across repeated censuses on the same graph; the
+  /// QueryEngine caches and supplies one automatically).
+  const ProfileIndex* profile_index = nullptr;
+};
+
+struct CensusStats {
+  std::uint64_t num_matches = 0;     // |M| found by the matcher
+  double match_seconds = 0;          // pattern-match time
+  double index_seconds = 0;          // PMI / center-index build time
+  double census_seconds = 0;         // neighborhood counting time
+  std::uint64_t nodes_expanded = 0;  // BFS visits (ND) or queue pops (PT)
+  std::uint64_t reinsertions = 0;    // PT: re-pops of an already-processed
+                                     // node (the cost best-first minimizes)
+  std::uint64_t containment_checks = 0;
+
+  double TotalSeconds() const {
+    return match_seconds + index_seconds + census_seconds;
+  }
+};
+
+struct CensusResult {
+  /// counts[n] = number of matches whose anchor images lie in S(n, k);
+  /// sized NumNodes, zero for non-focal nodes.
+  std::vector<std::uint64_t> counts;
+  CensusStats stats;
+};
+
+/// Runs an ego-centric pattern census: for every focal node n, counts the
+/// matches of `pattern` whose anchor images are contained in the k-hop
+/// neighborhood S(n, k). `pattern` must be prepared.
+Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
+                               std::span<const NodeId> focal,
+                               const CensusOptions& options);
+
+/// Convenience: the full node set [0, NumNodes).
+std::vector<NodeId> AllNodes(const Graph& graph);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_CENSUS_CENSUS_H_

@@ -1,0 +1,40 @@
+#ifndef EGOCENSUS_CENSUS_ENGINES_H_
+#define EGOCENSUS_CENSUS_ENGINES_H_
+
+// Internal header: per-algorithm census engine entry points, dispatched by
+// RunCensus. Each engine receives the prepared pattern, the focal node set
+// (as both a list and a bitmap) and the resolved anchor pattern nodes.
+
+#include <span>
+#include <vector>
+
+#include "census/census.h"
+#include "census/pmi.h"
+#include "graph/graph.h"
+#include "match/match_set.h"
+
+namespace egocensus::internal {
+
+struct CensusContext {
+  const Graph* graph = nullptr;
+  const Pattern* pattern = nullptr;
+  std::span<const NodeId> focal;
+  const std::vector<char>* is_focal = nullptr;  // bitmap over NodeId
+  std::vector<int> anchor_nodes;                // resolved anchors
+  const CensusOptions* options = nullptr;
+};
+
+CensusResult RunNdBas(const CensusContext& ctx);
+CensusResult RunNdPvot(const CensusContext& ctx);
+CensusResult RunNdDiff(const CensusContext& ctx);
+CensusResult RunPtBas(const CensusContext& ctx);
+/// Handles both kPtOpt and kPtRnd (queue order selected by
+/// ctx.options->algorithm).
+CensusResult RunPtOpt(const CensusContext& ctx);
+
+/// Shared: runs the CN matcher and records timing/num_matches into stats.
+MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats);
+
+}  // namespace egocensus::internal
+
+#endif  // EGOCENSUS_CENSUS_ENGINES_H_

@@ -1,0 +1,69 @@
+#include <algorithm>
+
+#include "census/engines.h"
+#include "graph/subgraph.h"
+#include "match/cn_matcher.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+// ND-BAS (Section IV-A): for every focal node, extract the induced k-hop
+// subgraph S(n, k) and run the pattern matcher inside it. This repeats the
+// work of overlapping neighborhoods and is the paper's slow baseline.
+//
+// With a subpattern the full pattern may extend outside S(n, k), so the
+// baseline instead matches once globally and brute-force checks, for every
+// (focal node, match) pair, whether all anchor images lie within k hops —
+// the O(|V_sigma| * |M| * |V_P|) cost that Section IV-A1 calls impractical.
+CensusResult RunNdBas(const CensusContext& ctx) {
+  const Graph& graph = *ctx.graph;
+  const Pattern& pattern = *ctx.pattern;
+  const std::uint32_t k = ctx.options->k;
+
+  CensusResult result;
+  result.counts.assign(graph.NumNodes(), 0);
+
+  const bool whole_pattern =
+      static_cast<int>(ctx.anchor_nodes.size()) == pattern.NumNodes();
+
+  Timer timer;
+  if (whole_pattern) {
+    SubgraphExtractor extractor(graph);
+    const bool need_attrs = pattern.HasGeneralPredicates();
+    for (NodeId n : ctx.focal) {
+      EgoSubgraph sub = extractor.ExtractKHop(n, k, need_attrs);
+      CnMatcher matcher;
+      MatchSet matches = matcher.FindMatches(sub.graph, pattern);
+      result.counts[n] = matches.size();
+      result.stats.nodes_expanded += sub.graph.NumNodes();
+    }
+    result.stats.census_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  MatchAnchors anchors(&matches, ctx.anchor_nodes);
+  timer.Reset();
+  BfsWorkspace bfs;
+  for (NodeId n : ctx.focal) {
+    bfs.Run(graph, n, k);
+    result.stats.nodes_expanded += bfs.visited().size();
+    std::uint64_t count = 0;
+    for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+      bool inside = true;
+      for (int j = 0; j < anchors.NumAnchors(); ++j) {
+        ++result.stats.containment_checks;
+        if (!bfs.Reached(anchors.Anchor(m, j))) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ++count;
+    }
+    result.counts[n] = count;
+  }
+  result.stats.census_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus::internal

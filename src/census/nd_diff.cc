@@ -1,0 +1,113 @@
+#include <unordered_set>
+
+#include "census/engines.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+// ND-DIFF (Section IV-A2 / Algorithm 3): exploit overlap between the
+// neighborhoods of consecutive focal nodes. Matches are indexed under every
+// anchor image. Walking a chain of adjacent focal nodes, the match set of
+// the current node is derived from the previous node's set by (1) adding
+// matches anchored at nodes in N_k(current) - N_k(prev) that are fully
+// contained in N_k(current), and (2) removing matches with an anchor in
+// N_k(prev) - N_k(current).
+CensusResult RunNdDiff(const CensusContext& ctx) {
+  const Graph& graph = *ctx.graph;
+  const std::uint32_t k = ctx.options->k;
+
+  CensusResult result;
+  result.counts.assign(graph.NumNodes(), 0);
+
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  MatchAnchors anchors(&matches, ctx.anchor_nodes);
+
+  Timer timer;
+  PatternMatchIndex pmi = PatternMatchIndex::BuildOnAnchors(anchors);
+  result.stats.index_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  std::vector<char> pending(graph.NumNodes(), 0);
+  for (NodeId n : ctx.focal) pending[n] = 1;
+
+  BfsWorkspace bfs_a;
+  BfsWorkspace bfs_b;
+  BfsWorkspace* current_bfs = &bfs_a;
+  BfsWorkspace* prev_bfs = &bfs_b;
+
+  std::unordered_set<std::uint32_t> current_set;
+
+  auto contained = [&](std::uint32_t mid, const BfsWorkspace& bfs) {
+    for (int j = 0; j < anchors.NumAnchors(); ++j) {
+      if (!bfs.Reached(anchors.Anchor(mid, j))) return false;
+    }
+    return true;
+  };
+
+  std::size_t scan = 0;  // next focal index to consider for a fresh start
+  bool have_prev = false;
+  NodeId current = kInvalidNode;
+
+  std::size_t processed = 0;
+  const std::size_t total = ctx.focal.size();
+  while (processed < total) {
+    if (current == kInvalidNode) {
+      while (scan < total && !pending[ctx.focal[scan]]) ++scan;
+      current = ctx.focal[scan];
+      have_prev = false;
+    }
+    pending[current] = 0;
+    ++processed;
+
+    current_bfs->Run(graph, current, k);
+    result.stats.nodes_expanded += current_bfs->visited().size();
+
+    if (!have_prev) {
+      current_set.clear();
+      for (NodeId n : current_bfs->visited()) {
+        for (std::uint32_t mid : pmi.MatchesAt(n)) {
+          ++result.stats.containment_checks;
+          if (contained(mid, *current_bfs)) current_set.insert(mid);
+        }
+      }
+    } else {
+      // N1 = N_k(current) - N_k(prev): candidate additions.
+      for (NodeId n : current_bfs->visited()) {
+        if (prev_bfs->Reached(n)) continue;
+        for (std::uint32_t mid : pmi.MatchesAt(n)) {
+          ++result.stats.containment_checks;
+          if (contained(mid, *current_bfs)) current_set.insert(mid);
+        }
+      }
+      // N2 = N_k(prev) - N_k(current): removals.
+      for (NodeId n : prev_bfs->visited()) {
+        if (current_bfs->Reached(n)) continue;
+        for (std::uint32_t mid : pmi.MatchesAt(n)) {
+          current_set.erase(mid);
+        }
+      }
+    }
+    result.counts[current] = current_set.size();
+
+    // Prefer an unprocessed focal neighbor to keep neighborhoods shared.
+    NodeId next = kInvalidNode;
+    for (NodeId nbr : graph.Neighbors(current)) {
+      if (pending[nbr]) {
+        next = nbr;
+        break;
+      }
+    }
+    if (next != kInvalidNode) {
+      std::swap(current_bfs, prev_bfs);
+      have_prev = true;
+      current = next;
+    } else {
+      current = kInvalidNode;  // fresh start next iteration
+    }
+  }
+  result.stats.census_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,98 @@
+#include <algorithm>
+
+#include "census/engines.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+// ND-PVOT (Section IV-A1 / Algorithm 2): find all matches once, index them
+// by the image of a pivot pattern node, then BFS each focal node's k-hop
+// neighborhood and count the indexed matches, skipping containment checks
+// whenever the triangle bound d(n, n') + max_v <= k guarantees containment.
+// When the bound fails, only the anchors u with d_P(pivot, u) >= k - d + 1
+// (the "distant" sets) need explicit distance checks, because pattern
+// distances upper-bound match distances in the graph.
+//
+// With a subpattern, the pivot is chosen among the subpattern nodes and all
+// distances are measured to subpattern nodes only (Appendix B).
+CensusResult RunNdPvot(const CensusContext& ctx) {
+  const Graph& graph = *ctx.graph;
+  const Pattern& pattern = *ctx.pattern;
+  const std::uint32_t k = ctx.options->k;
+
+  CensusResult result;
+  result.counts.assign(graph.NumNodes(), 0);
+
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  MatchAnchors anchors(&matches, ctx.anchor_nodes);
+
+  // Pivot: anchor pattern node minimizing the maximum pattern distance to
+  // the other anchors.
+  Timer timer;
+  const auto& anchor_nodes = ctx.anchor_nodes;
+  int pivot = anchor_nodes[0];
+  std::uint32_t max_v = 0;
+  {
+    std::uint32_t best = Pattern::kUnreachable;
+    for (int x : anchor_nodes) {
+      std::uint32_t ecc = 0;
+      for (int y : anchor_nodes) {
+        ecc = std::max(ecc, pattern.Distance(x, y));
+      }
+      if (ecc < best) {
+        best = ecc;
+        pivot = x;
+      }
+    }
+    max_v = best;
+  }
+
+  // distant[i] = anchor positions u (indices into the anchor list) with
+  // d_P(pivot, u) >= i, for i in [1, max_v].
+  std::vector<std::vector<int>> distant(max_v + 1);
+  for (std::uint32_t i = 1; i <= max_v; ++i) {
+    for (int j = 0; j < anchors.NumAnchors(); ++j) {
+      if (pattern.Distance(pivot, anchor_nodes[j]) >= i) {
+        distant[i].push_back(j);
+      }
+    }
+  }
+
+  PatternMatchIndex pmi = PatternMatchIndex::BuildOnNode(matches, pivot);
+  result.stats.index_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  BfsWorkspace bfs;
+  for (NodeId n : ctx.focal) {
+    bfs.Run(graph, n, k);
+    result.stats.nodes_expanded += bfs.visited().size();
+    std::uint64_t count = 0;
+    for (NodeId visited : bfs.visited()) {
+      auto mids = pmi.MatchesAt(visited);
+      if (mids.empty()) continue;
+      std::uint32_t d = bfs.DistanceTo(visited);
+      if (d + max_v <= k) {
+        count += mids.size();  // containment guaranteed, no checks
+        continue;
+      }
+      const auto& check_set = distant[k - d + 1];
+      for (std::uint32_t mid : mids) {
+        bool inside = true;
+        for (int j : check_set) {
+          ++result.stats.containment_checks;
+          if (!bfs.Reached(anchors.Anchor(mid, j))) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++count;
+      }
+    }
+    result.counts[n] = count;
+  }
+  result.stats.census_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,356 @@
+#include "census/pairwise.h"
+
+#include <algorithm>
+
+#include "census/pmi.h"
+#include "census/pt_common.h"
+#include "census/pt_expander.h"
+#include "graph/bfs.h"
+#include "graph/subgraph.h"
+#include "match/cn_matcher.h"
+#include "util/timer.h"
+
+namespace egocensus {
+namespace {
+
+using internal::BuildPtSetup;
+using internal::ExpanderOptions;
+using internal::PtParams;
+using internal::PtParamsFromPairwiseOptions;
+using internal::PtSetup;
+using internal::SimultaneousExpander;
+
+struct Prepared {
+  MatchSet matches{0};
+  std::vector<int> anchor_nodes;
+};
+
+Result<Prepared> PrepareMatches(const Graph& graph, const Pattern& pattern,
+                                const std::string& subpattern) {
+  if (!pattern.prepared()) {
+    return Status::InvalidArgument("pattern must be prepared");
+  }
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  auto anchor_nodes = ResolveAnchorNodes(pattern, subpattern);
+  if (!anchor_nodes.ok()) return anchor_nodes.status();
+  Prepared prepared;
+  prepared.anchor_nodes = std::move(anchor_nodes).value();
+  CnMatcher matcher;
+  prepared.matches = matcher.FindMatches(graph, pattern);
+  return prepared;
+}
+
+/// Adds +1 for every unordered pair from `nodes` (all of which contain the
+/// match in their intersection neighborhood).
+void EmitIntersectionPairs(const std::vector<NodeId>& nodes,
+                           PairCounts* counts) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      ++(*counts)[PackPair(nodes[i], nodes[j])];
+    }
+  }
+}
+
+/// Groups: (coverage mask over the match's anchors) -> nodes with exactly
+/// that nonzero mask. Adds +1 for every unordered pair whose joint coverage
+/// is complete.
+void EmitUnionPairs(
+    const std::vector<std::pair<std::uint16_t, std::vector<NodeId>>>& groups,
+    std::uint16_t full_mask, PairCounts* counts) {
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t gj = gi; gj < groups.size(); ++gj) {
+      if ((groups[gi].first | groups[gj].first) != full_mask) continue;
+      const auto& a = groups[gi].second;
+      const auto& b = groups[gj].second;
+      if (gi == gj) {
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          for (std::size_t j = i + 1; j < a.size(); ++j) {
+            ++(*counts)[PackPair(a[i], a[j])];
+          }
+        }
+      } else {
+        for (NodeId x : a) {
+          for (NodeId y : b) {
+            ++(*counts)[PackPair(x, y)];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::uint16_t, std::vector<NodeId>>> GroupByMask(
+    const std::vector<std::pair<NodeId, std::uint16_t>>& node_masks) {
+  std::unordered_map<std::uint16_t, std::vector<NodeId>> map;
+  for (const auto& [n, mask] : node_masks) {
+    if (mask != 0) map[mask].push_back(n);
+  }
+  std::vector<std::pair<std::uint16_t, std::vector<NodeId>>> groups;
+  groups.reserve(map.size());
+  for (auto& [mask, nodes] : map) {
+    groups.emplace_back(mask, std::move(nodes));
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
+                                    const PairwiseCensusOptions& options) {
+  auto prepared = PrepareMatches(graph, pattern, options.subpattern);
+  if (!prepared.ok()) return prepared.status();
+  MatchAnchors anchors(&prepared->matches, prepared->anchor_nodes);
+  PairCounts counts;
+  if (anchors.NumMatches() == 0) return counts;
+
+  PtParams params = PtParamsFromPairwiseOptions(options);
+  PtSetup setup = BuildPtSetup(graph, pattern, anchors, params);
+
+  ExpanderOptions expander_options;
+  expander_options.k = options.k;
+  expander_options.best_first = params.best_first;
+  expander_options.centers = setup.center_index;
+  expander_options.num_centers = params.num_centers;
+  expander_options.seed = params.seed + 2;
+  SimultaneousExpander expander(graph, expander_options);
+
+  const std::uint32_t k = options.k;
+  std::vector<std::vector<NodeId>> anchor_sets;
+  std::vector<NodeId> buffer;
+  std::vector<NodeId> full_nodes;
+  std::vector<std::pair<NodeId, std::uint16_t>> node_masks;
+  for (const auto& cluster : setup.clusters) {
+    anchor_sets.clear();
+    for (std::uint32_t mid : cluster) {
+      anchors.Get(mid, &buffer);
+      anchor_sets.push_back(buffer);
+    }
+    expander.Expand(anchor_sets, &setup.anchor_dist);
+    const auto& match_anchor_idx = expander.match_anchor_indices();
+    for (const auto& idx : match_anchor_idx) {
+      if (options.neighborhood == PairNeighborhood::kIntersection) {
+        full_nodes.clear();
+        for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+          bool near = true;
+          for (std::uint32_t a : idx) {
+            if (expander.Pmd(slot, a) > k) {
+              near = false;
+              break;
+            }
+          }
+          if (near) full_nodes.push_back(expander.VisitedNode(slot));
+        }
+        EmitIntersectionPairs(full_nodes, &counts);
+      } else {
+        node_masks.clear();
+        const std::uint16_t full_mask =
+            static_cast<std::uint16_t>((1u << idx.size()) - 1);
+        for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+          std::uint16_t mask = 0;
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            if (expander.Pmd(slot, idx[j]) <= k) {
+              mask = static_cast<std::uint16_t>(mask | (1u << j));
+            }
+          }
+          if (mask != 0) {
+            node_masks.emplace_back(expander.VisitedNode(slot), mask);
+          }
+        }
+        EmitUnionPairs(GroupByMask(node_masks), full_mask, &counts);
+      }
+    }
+  }
+  return counts;
+}
+
+Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
+                                    const PairwiseCensusOptions& options) {
+  auto prepared = PrepareMatches(graph, pattern, options.subpattern);
+  if (!prepared.ok()) return prepared.status();
+  MatchAnchors anchors(&prepared->matches, prepared->anchor_nodes);
+  PairCounts counts;
+  const int t = anchors.NumAnchors();
+  const std::uint32_t k = options.k;
+
+  std::vector<BfsWorkspace> bfs(t);
+  std::vector<NodeId> full_nodes;
+  std::vector<std::pair<NodeId, std::uint16_t>> node_masks;
+  for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+    int min_idx = 0;
+    for (int j = 0; j < t; ++j) {
+      bfs[j].Run(graph, anchors.Anchor(m, j), k);
+      if (bfs[j].visited().size() < bfs[min_idx].visited().size()) {
+        min_idx = j;
+      }
+    }
+    if (options.neighborhood == PairNeighborhood::kIntersection) {
+      full_nodes.clear();
+      for (NodeId n : bfs[min_idx].visited()) {
+        bool near = true;
+        for (int j = 0; j < t; ++j) {
+          if (j != min_idx && !bfs[j].Reached(n)) {
+            near = false;
+            break;
+          }
+        }
+        if (near) full_nodes.push_back(n);
+      }
+      EmitIntersectionPairs(full_nodes, &counts);
+    } else {
+      // Union: collect coverage masks over the union of all anchors'
+      // neighborhoods.
+      std::unordered_map<NodeId, std::uint16_t> masks;
+      for (int j = 0; j < t; ++j) {
+        for (NodeId n : bfs[j].visited()) {
+          masks[n] = static_cast<std::uint16_t>(masks[n] | (1u << j));
+        }
+      }
+      node_masks.assign(masks.begin(), masks.end());
+      EmitUnionPairs(GroupByMask(node_masks),
+                     static_cast<std::uint16_t>((1u << t) - 1), &counts);
+    }
+  }
+  return counts;
+}
+
+Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
+    const Graph& graph, const Pattern& pattern,
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const PairwiseCensusOptions& options) {
+  const bool whole_pattern = options.subpattern.empty();
+  std::vector<std::uint64_t> counts(pairs.size(), 0);
+  const std::uint32_t k = options.k;
+
+  if (whole_pattern) {
+    SubgraphExtractor extractor(graph);
+    const bool need_attrs = pattern.HasGeneralPredicates();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EgoSubgraph sub =
+          options.neighborhood == PairNeighborhood::kIntersection
+              ? extractor.ExtractIntersection(pairs[i].first, pairs[i].second,
+                                              k, need_attrs)
+              : extractor.ExtractUnion(pairs[i].first, pairs[i].second, k,
+                                       need_attrs);
+      CnMatcher matcher;
+      counts[i] = matcher.FindMatches(sub.graph, pattern).size();
+    }
+    return counts;
+  }
+
+  auto prepared = PrepareMatches(graph, pattern, options.subpattern);
+  if (!prepared.ok()) return prepared.status();
+  MatchAnchors anchors(&prepared->matches, prepared->anchor_nodes);
+  BfsWorkspace bfs1, bfs2;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    bfs1.Run(graph, pairs[i].first, k);
+    bfs2.Run(graph, pairs[i].second, k);
+    std::uint64_t count = 0;
+    for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+      bool inside = true;
+      for (int j = 0; j < anchors.NumAnchors(); ++j) {
+        NodeId a = anchors.Anchor(m, j);
+        bool covered =
+            options.neighborhood == PairNeighborhood::kIntersection
+                ? (bfs1.Reached(a) && bfs2.Reached(a))
+                : (bfs1.Reached(a) || bfs2.Reached(a));
+        if (!covered) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ++count;
+    }
+    counts[i] = count;
+  }
+  return counts;
+}
+
+Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
+    const Graph& graph, const Pattern& pattern,
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const PairwiseCensusOptions& options) {
+  auto prepared = PrepareMatches(graph, pattern, options.subpattern);
+  if (!prepared.ok()) return prepared.status();
+  MatchAnchors anchors(&prepared->matches, prepared->anchor_nodes);
+  const auto& anchor_nodes = prepared->anchor_nodes;
+  const std::uint32_t k = options.k;
+  const bool intersection =
+      options.neighborhood == PairNeighborhood::kIntersection;
+
+  // Pivot and distant sets exactly as in the single-node ND-PVOT.
+  int pivot = anchor_nodes[0];
+  std::uint32_t max_v = 0;
+  {
+    std::uint32_t best = Pattern::kUnreachable;
+    for (int x : anchor_nodes) {
+      std::uint32_t ecc = 0;
+      for (int y : anchor_nodes) ecc = std::max(ecc, pattern.Distance(x, y));
+      if (ecc < best) {
+        best = ecc;
+        pivot = x;
+      }
+    }
+    max_v = best;
+  }
+  std::vector<std::vector<int>> distant(max_v + 1);
+  for (std::uint32_t i = 1; i <= max_v; ++i) {
+    for (int j = 0; j < anchors.NumAnchors(); ++j) {
+      if (pattern.Distance(pivot, anchor_nodes[j]) >= i) {
+        distant[i].push_back(j);
+      }
+    }
+  }
+  PatternMatchIndex pmi =
+      PatternMatchIndex::BuildOnNode(prepared->matches, pivot);
+
+  std::vector<std::uint64_t> counts(pairs.size(), 0);
+  BfsWorkspace bfs1, bfs2;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    bfs1.Run(graph, pairs[i].first, k);
+    bfs2.Run(graph, pairs[i].second, k);
+    std::uint64_t count = 0;
+    auto covered = [&](NodeId n) {
+      return intersection ? (bfs1.Reached(n) && bfs2.Reached(n))
+                          : (bfs1.Reached(n) || bfs2.Reached(n));
+    };
+    auto process = [&](NodeId visited) {
+      auto mids = pmi.MatchesAt(visited);
+      if (mids.empty()) return;
+      // Intersection: d = max of the two distances; union: d = min.
+      std::uint32_t d1 = bfs1.DistanceTo(visited);
+      std::uint32_t d2 = bfs2.DistanceTo(visited);
+      std::uint32_t d = intersection ? std::max(d1, d2) : std::min(d1, d2);
+      if (d + max_v <= k) {
+        count += mids.size();
+        return;
+      }
+      const auto& check_set = distant[k - d + 1];
+      for (std::uint32_t mid : mids) {
+        bool inside = true;
+        for (int j : check_set) {
+          if (!covered(anchors.Anchor(mid, j))) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++count;
+      }
+    };
+    if (intersection) {
+      for (NodeId n : bfs1.visited()) {
+        if (bfs2.Reached(n)) process(n);
+      }
+    } else {
+      for (NodeId n : bfs1.visited()) process(n);
+      for (NodeId n : bfs2.visited()) {
+        if (!bfs1.Reached(n)) process(n);
+      }
+    }
+    counts[i] = count;
+  }
+  return counts;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,47 @@
+#include "census/pmi.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace egocensus {
+
+Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
+                                            const std::string& subpattern) {
+  if (subpattern.empty()) {
+    std::vector<int> all(pattern.NumNodes());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const std::vector<int>* members = pattern.FindSubpattern(subpattern);
+  if (members == nullptr) {
+    return Status::NotFound("pattern " + pattern.name() +
+                            " has no subpattern named " + subpattern);
+  }
+  return *members;
+}
+
+PatternMatchIndex PatternMatchIndex::BuildOnNode(const MatchSet& matches,
+                                                 int v) {
+  PatternMatchIndex index;
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    index.index_[matches.Image(i, v)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  return index;
+}
+
+PatternMatchIndex PatternMatchIndex::BuildOnAnchors(
+    const MatchAnchors& anchors) {
+  PatternMatchIndex index;
+  for (std::size_t i = 0; i < anchors.NumMatches(); ++i) {
+    for (int j = 0; j < anchors.NumAnchors(); ++j) {
+      // Anchor images within a match are distinct (matches are injective),
+      // so no per-match deduplication is needed.
+      index.index_[anchors.Anchor(i, j)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  return index;
+}
+
+}  // namespace egocensus

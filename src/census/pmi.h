@@ -1,0 +1,76 @@
+#ifndef EGOCENSUS_CENSUS_PMI_H_
+#define EGOCENSUS_CENSUS_PMI_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "match/match_set.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// The "anchor" view of a match set: the pattern nodes whose images must lie
+/// inside the search neighborhood. For plain COUNTP queries the anchors are
+/// all pattern nodes; for COUNTSP they are the subpattern's nodes (the
+/// appendix's mu(V_SP, M) generalization). All census engines are written
+/// against this view.
+class MatchAnchors {
+ public:
+  /// `anchor_nodes` are pattern node indices (sorted, distinct).
+  MatchAnchors(const MatchSet* matches, std::vector<int> anchor_nodes)
+      : matches_(matches), anchor_nodes_(std::move(anchor_nodes)) {}
+
+  std::size_t NumMatches() const { return matches_->size(); }
+  int NumAnchors() const { return static_cast<int>(anchor_nodes_.size()); }
+  const std::vector<int>& anchor_nodes() const { return anchor_nodes_; }
+  const MatchSet& matches() const { return *matches_; }
+
+  /// Image of the j-th anchor in match `index`.
+  NodeId Anchor(std::size_t index, int j) const {
+    return matches_->Image(index, anchor_nodes_[j]);
+  }
+
+  /// Copies the anchor images of match `index` into `out`.
+  void Get(std::size_t index, std::vector<NodeId>* out) const {
+    out->clear();
+    for (int j = 0; j < NumAnchors(); ++j) out->push_back(Anchor(index, j));
+  }
+
+ private:
+  const MatchSet* matches_;
+  std::vector<int> anchor_nodes_;
+};
+
+/// Resolves the anchor pattern nodes for a census run: all pattern nodes
+/// when `subpattern` is empty, otherwise the named subpattern's nodes.
+Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
+                                            const std::string& subpattern);
+
+/// Pattern match index (Section IV-A1): maps a database node to the ids of
+/// the matches anchored at it. ND-PVOT indexes on the pivot's images only;
+/// ND-DIFF indexes every match under each of its anchor images.
+class PatternMatchIndex {
+ public:
+  /// PMI_v: index matches by the image of the single pattern node `v`.
+  static PatternMatchIndex BuildOnNode(const MatchSet& matches, int v);
+
+  /// PMI: index each match under every distinct anchor image.
+  static PatternMatchIndex BuildOnAnchors(const MatchAnchors& anchors);
+
+  /// Ids of matches indexed at node n (empty span when none).
+  std::span<const std::uint32_t> MatchesAt(NodeId n) const {
+    auto it = index_.find(n);
+    if (it == index_.end()) return {};
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_CENSUS_PMI_H_

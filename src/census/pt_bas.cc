@@ -1,0 +1,56 @@
+#include <algorithm>
+
+#include "census/engines.h"
+#include "graph/bfs.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+// PT-BAS (Section IV-B): process each pattern match independently. For a
+// match with anchors m_1..m_t, BFS each anchor's k-hop neighborhood, pick
+// the anchor m_min with the fewest k-hop neighbors, and test every node in
+// its neighborhood for reachability within k hops from every other anchor.
+CensusResult RunPtBas(const CensusContext& ctx) {
+  const Graph& graph = *ctx.graph;
+  const std::uint32_t k = ctx.options->k;
+  const std::vector<char>& is_focal = *ctx.is_focal;
+
+  CensusResult result;
+  result.counts.assign(graph.NumNodes(), 0);
+
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  MatchAnchors anchors(&matches, ctx.anchor_nodes);
+  const int t = anchors.NumAnchors();
+
+  Timer timer;
+  std::vector<BfsWorkspace> bfs(t);
+  for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+    int min_idx = 0;
+    std::size_t min_size = 0;
+    for (int j = 0; j < t; ++j) {
+      bfs[j].Run(graph, anchors.Anchor(m, j), k);
+      result.stats.nodes_expanded += bfs[j].visited().size();
+      if (j == 0 || bfs[j].visited().size() < min_size) {
+        min_idx = j;
+        min_size = bfs[j].visited().size();
+      }
+    }
+    for (NodeId n : bfs[min_idx].visited()) {
+      if (!is_focal[n]) continue;
+      bool near = true;
+      for (int j = 0; j < t; ++j) {
+        if (j == min_idx) continue;
+        ++result.stats.containment_checks;
+        if (!bfs[j].Reached(n)) {
+          near = false;
+          break;
+        }
+      }
+      if (near) ++result.counts[n];
+    }
+  }
+  result.stats.census_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,153 @@
+#include "census/pt_common.h"
+
+#include <algorithm>
+
+#include "census/kmeans.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+PtParams PtParamsFromCensusOptions(const CensusOptions& options) {
+  PtParams p;
+  p.k = options.k;
+  p.best_first = options.algorithm != CensusAlgorithm::kPtRnd;
+  p.num_centers = options.num_centers;
+  p.num_cluster_centers = options.num_cluster_centers;
+  p.random_centers = options.random_centers;
+  p.clustering = options.clustering;
+  p.num_clusters = options.num_clusters;
+  p.kmeans_iterations = options.kmeans_iterations;
+  p.seed = options.seed;
+  p.center_index = options.center_index;
+  p.cluster_center_index = options.cluster_center_index;
+  return p;
+}
+
+PtParams PtParamsFromPairwiseOptions(const PairwiseCensusOptions& options) {
+  PtParams p;
+  p.k = options.k;
+  p.best_first = options.best_first;
+  p.num_centers = options.num_centers;
+  p.num_cluster_centers = options.num_cluster_centers;
+  p.random_centers = options.random_centers;
+  p.clustering = options.clustering;
+  p.num_clusters = options.num_clusters;
+  p.kmeans_iterations = options.kmeans_iterations;
+  p.seed = options.seed;
+  p.center_index = options.center_index;
+  p.cluster_center_index = options.cluster_center_index;
+  return p;
+}
+
+PtSetup BuildPtSetup(const Graph& graph, const Pattern& pattern,
+                     const MatchAnchors& anchors, const PtParams& params) {
+  PtSetup setup;
+  const std::size_t num_matches = anchors.NumMatches();
+  const int t = anchors.NumAnchors();
+
+  // Center distance index.
+  Timer timer;
+  const std::size_t centers_needed = std::max<std::size_t>(
+      params.num_centers, params.clustering == ClusteringMode::kKMeans
+                              ? params.num_cluster_centers
+                              : 0);
+  setup.center_index = params.center_index;
+  if (setup.center_index == nullptr && centers_needed > 0) {
+    Rng center_rng(params.seed);
+    std::vector<NodeId> centers =
+        params.random_centers
+            ? PickRandomCenters(graph,
+                                static_cast<std::uint32_t>(centers_needed),
+                                &center_rng)
+            : PickHighestDegreeCenters(
+                  graph, static_cast<std::uint32_t>(centers_needed));
+    setup.local_index = CenterDistanceIndex::Build(graph, std::move(centers));
+    setup.center_index = &setup.local_index;
+  }
+  setup.index_seconds = timer.ElapsedSeconds();
+
+  // Pattern-distance shortcut matrix between anchor positions.
+  const auto& anchor_nodes = anchors.anchor_nodes();
+  setup.anchor_dist.assign(static_cast<std::size_t>(t) * t, params.k + 1);
+  for (int j = 0; j < t; ++j) {
+    for (int l = 0; l < t; ++l) {
+      std::uint32_t d = pattern.Distance(anchor_nodes[j], anchor_nodes[l]);
+      setup.anchor_dist[static_cast<std::size_t>(j) * t + l] =
+          std::min(d, params.k + 1);
+    }
+  }
+
+  if (num_matches == 0) return setup;
+
+  // Cluster the matches.
+  Rng rng(params.seed + 1);
+  std::uint32_t num_clusters = params.num_clusters;
+  if (num_clusters == 0) {
+    // Paper default: |M| / 4; capped so Lloyd's O(M * K * dim) stays
+    // tractable when M is large.
+    num_clusters = static_cast<std::uint32_t>(
+        std::clamp<std::size_t>(num_matches / 4, 1, 1024));
+  }
+  num_clusters = std::min<std::uint32_t>(
+      num_clusters, static_cast<std::uint32_t>(num_matches));
+
+  std::vector<std::uint32_t> assignment(num_matches, 0);
+  bool clustered = false;
+  switch (params.clustering) {
+    case ClusteringMode::kNone:
+      break;
+    case ClusteringMode::kRandom:
+      for (std::size_t m = 0; m < num_matches; ++m) {
+        assignment[m] =
+            static_cast<std::uint32_t>(rng.NextBounded(num_clusters));
+      }
+      clustered = true;
+      break;
+    case ClusteringMode::kKMeans: {
+      const CenterDistanceIndex* feature_index =
+          params.cluster_center_index != nullptr ? params.cluster_center_index
+                                                 : setup.center_index;
+      const std::size_t feature_centers =
+          feature_index == nullptr
+              ? 0
+              : std::min<std::size_t>(params.num_cluster_centers,
+                                      feature_index->NumCenters());
+      if (feature_centers == 0) break;  // no features: degenerate to none
+      const std::size_t dim = feature_centers * static_cast<std::size_t>(t);
+      std::vector<float> features(num_matches * dim);
+      for (std::size_t m = 0; m < num_matches; ++m) {
+        float* f = features.data() + m * dim;
+        for (std::size_t c = 0; c < feature_centers; ++c) {
+          for (int j = 0; j < t; ++j) {
+            std::uint16_t d = feature_index->Distance(c, anchors.Anchor(m, j));
+            f[c * t + j] = static_cast<float>(std::min<std::uint16_t>(d, 255));
+          }
+        }
+      }
+      assignment = KMeansCluster(features, num_matches, dim, num_clusters,
+                                 params.kmeans_iterations, &rng);
+      clustered = true;
+      break;
+    }
+  }
+
+  if (!clustered) {
+    setup.clusters.resize(num_matches);
+    for (std::uint32_t m = 0; m < num_matches; ++m) {
+      setup.clusters[m].push_back(m);
+    }
+  } else {
+    setup.clusters.resize(num_clusters);
+    for (std::uint32_t m = 0; m < num_matches; ++m) {
+      setup.clusters[assignment[m]].push_back(m);
+    }
+    setup.clusters.erase(
+        std::remove_if(setup.clusters.begin(), setup.clusters.end(),
+                       [](const auto& g) { return g.empty(); }),
+        setup.clusters.end());
+  }
+  return setup;
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,229 @@
+#include "census/pt_expander.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/bucket_queue.h"
+
+namespace egocensus::internal {
+
+namespace {
+constexpr std::uint32_t kNotProcessed =
+    std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+SimultaneousExpander::SimultaneousExpander(const Graph& graph,
+                                           const ExpanderOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  assert(options_.k <= 253);
+  far_ = static_cast<std::uint8_t>(options_.k + 1);
+  if (options_.centers == nullptr) options_.num_centers = 0;
+  options_.num_centers =
+      std::min(options_.num_centers,
+               options_.centers != nullptr ? options_.centers->NumCenters()
+                                           : std::size_t{0});
+  slot_of_.resize(graph.NumNodes());
+  slot_epoch_.resize(graph.NumNodes(), 0);
+}
+
+std::uint32_t SimultaneousExpander::SlotOf(NodeId n) {
+  if (slot_epoch_[n] == epoch_) return slot_of_[n];
+  slot_epoch_[n] = epoch_;
+  const std::size_t num_anchors = cluster_anchors_.size();
+  std::uint32_t slot = static_cast<std::uint32_t>(slot_nodes_.size());
+  slot_of_[n] = slot;
+  slot_nodes_.push_back(n);
+  std::size_t base = pmd_.size();
+  pmd_.resize(base + num_anchors, far_);
+  processed_score_.push_back(kNotProcessed);
+  // Triangle-inequality initialization (Section IV-B4):
+  //   PMD_m[n] <= min_c d(m, c) + d(c, n).
+  for (std::size_t ci = 0; ci < useful_centers_.size(); ++ci) {
+    std::uint32_t dc =
+        options_.centers->Distance(useful_centers_[ci], n);
+    if (dc >= far_) continue;  // bound cannot beat the k+1 cap
+    const std::uint8_t* cad = center_anchor_dist_.data() + ci * num_anchors;
+    for (std::size_t a = 0; a < num_anchors; ++a) {
+      std::uint32_t bound = dc + cad[a];
+      if (bound < pmd_[base + a]) {
+        pmd_[base + a] = static_cast<std::uint8_t>(bound);
+      }
+    }
+  }
+  // Score maintained incrementally from here on.
+  std::uint32_t score = 0;
+  for (std::size_t a = 0; a < num_anchors; ++a) score += pmd_[base + a];
+  current_score_.push_back(score);
+  return slot;
+}
+
+void SimultaneousExpander::Expand(
+    const std::vector<std::vector<NodeId>>& anchor_sets,
+    const std::vector<std::uint32_t>* anchor_pattern_dist) {
+  ++epoch_;
+  slot_nodes_.clear();
+  pmd_.clear();
+  current_score_.clear();
+  processed_score_.clear();
+
+  // Distinct anchors of the cluster.
+  cluster_anchors_.clear();
+  match_anchor_indices_.assign(anchor_sets.size(), {});
+  {
+    std::unordered_map<NodeId, std::uint32_t> anchor_idx;
+    for (std::size_t m = 0; m < anchor_sets.size(); ++m) {
+      for (NodeId a : anchor_sets[m]) {
+        auto [it, inserted] = anchor_idx.try_emplace(
+            a, static_cast<std::uint32_t>(cluster_anchors_.size()));
+        if (inserted) cluster_anchors_.push_back(a);
+        match_anchor_indices_[m].push_back(it->second);
+      }
+    }
+  }
+  const std::size_t num_anchors = cluster_anchors_.size();
+  if (num_anchors == 0) return;
+
+  // Center-to-anchor distances, clamped so uint8 sums stay in range. A
+  // center whose distance to every cluster anchor is >= k can never supply
+  // a bound below the k+1 cap (d(m,c) + d(c,n) >= k+1 once d(c,n) >= 1,
+  // and the d(c,n) = 0 case is the center's own seeded slot), so only
+  // useful centers participate in per-node initialization.
+  useful_centers_.clear();
+  center_anchor_dist_.clear();
+  for (std::size_t c = 0; c < options_.num_centers; ++c) {
+    bool useful = false;
+    for (std::size_t a = 0; a < num_anchors; ++a) {
+      if (options_.centers->Distance(c, cluster_anchors_[a]) < options_.k) {
+        useful = true;
+        break;
+      }
+    }
+    if (!useful) continue;
+    useful_centers_.push_back(static_cast<std::uint32_t>(c));
+    for (std::size_t a = 0; a < num_anchors; ++a) {
+      std::uint16_t d = options_.centers->Distance(c, cluster_anchors_[a]);
+      center_anchor_dist_.push_back(
+          static_cast<std::uint8_t>(std::min<std::uint16_t>(d, 254)));
+    }
+  }
+
+  auto set_pmd = [&](std::uint32_t slot, std::size_t a, std::uint8_t value) {
+    std::uint8_t& cell = pmd_[static_cast<std::size_t>(slot) * num_anchors + a];
+    if (value < cell) {
+      current_score_[slot] -= cell - value;
+      cell = value;
+    }
+  };
+
+  // Anchor slots: self-distance 0 plus pattern-distance shortcuts between
+  // anchors of the same match (Section IV-B2).
+  for (std::size_t a = 0; a < num_anchors; ++a) {
+    set_pmd(SlotOf(cluster_anchors_[a]), a, 0);
+  }
+  if (anchor_pattern_dist != nullptr) {
+    for (std::size_t m = 0; m < anchor_sets.size(); ++m) {
+      const auto& idx = match_anchor_indices_[m];
+      const std::size_t t = idx.size();
+      for (std::size_t j = 0; j < t; ++j) {
+        std::uint32_t slot = slot_of_[anchor_sets[m][j]];
+        for (std::size_t l = 0; l < t; ++l) {
+          set_pmd(slot, idx[l],
+                  static_cast<std::uint8_t>(std::min<std::uint32_t>(
+                      (*anchor_pattern_dist)[j * t + l], far_)));
+        }
+      }
+    }
+  }
+  // Center slots (SlotOf's triangle init yields the exact center-to-anchor
+  // distances because d(c, c) = 0 contributes d(c, m) itself).
+  for (std::size_t c = 0; c < options_.num_centers; ++c) {
+    SlotOf(options_.centers->centers()[c]);
+  }
+
+  // Queues: array-based bucket priority queue (best-first) or a random-pop
+  // vector (PT-RND).
+  BucketQueue<std::uint32_t> bq(static_cast<std::size_t>(far_) * num_anchors);
+  std::vector<std::uint32_t> rq;
+  std::vector<char> in_rq;
+  auto push_slot = [&](std::uint32_t slot) {
+    if (options_.best_first) {
+      bq.Push(slot, current_score_[slot]);
+    } else {
+      if (in_rq.size() < slot_nodes_.size()) {
+        in_rq.resize(slot_nodes_.size(), 0);
+      }
+      if (!in_rq[slot]) {
+        in_rq[slot] = 1;
+        rq.push_back(slot);
+      }
+    }
+  };
+  for (std::uint32_t slot = 0; slot < slot_nodes_.size(); ++slot) {
+    push_slot(slot);
+  }
+
+  std::vector<std::uint8_t> row(num_anchors);
+  for (;;) {
+    std::uint32_t slot;
+    if (options_.best_first) {
+      if (bq.Empty()) break;
+      std::size_t popped_score;
+      slot = bq.PopMin(&popped_score);
+      if (popped_score != current_score_[slot]) continue;  // stale entry
+    } else {
+      if (rq.empty()) break;
+      std::size_t pick = rng_.NextBounded(rq.size());
+      slot = rq[pick];
+      rq[pick] = rq.back();
+      rq.pop_back();
+      in_rq[slot] = 0;
+    }
+    ++stats_.pops;
+    if (processed_score_[slot] != kNotProcessed) {
+      if (processed_score_[slot] <= current_score_[slot]) continue;
+      ++stats_.reinsertions;
+    }
+    processed_score_[slot] = current_score_[slot];
+
+    // Expand only if some anchor is strictly within k: otherwise every
+    // neighbor would receive distances >= k+1, which the cap already
+    // encodes (Algorithm 4's "far" test). `row` caches this node's PMD
+    // values + 1 (the candidate distances for its neighbors); pmd_ may
+    // reallocate while neighbors are being created.
+    {
+      const std::uint8_t* prow =
+          pmd_.data() + static_cast<std::size_t>(slot) * num_anchors;
+      bool can_expand = false;
+      for (std::size_t a = 0; a < num_anchors; ++a) {
+        // prow[a] <= far_ <= 254, so +1 cannot overflow.
+        row[a] = static_cast<std::uint8_t>(prow[a] + 1);
+        if (prow[a] < options_.k) can_expand = true;
+      }
+      if (!can_expand) continue;
+    }
+
+    NodeId n = slot_nodes_[slot];
+    for (NodeId nbr : graph_.Neighbors(n)) {
+      bool is_new = slot_epoch_[nbr] != epoch_;
+      std::uint32_t ns = SlotOf(nbr);
+      std::uint8_t* nrow =
+          pmd_.data() + static_cast<std::size_t>(ns) * num_anchors;
+      // Branchless min so the compiler can vectorize the byte lanes.
+      std::uint32_t improvement = 0;
+      for (std::size_t a = 0; a < num_anchors; ++a) {
+        std::uint8_t old = nrow[a];
+        std::uint8_t nv = row[a] < old ? row[a] : old;
+        improvement += static_cast<std::uint32_t>(old - nv);
+        nrow[a] = nv;
+      }
+      if (is_new || improvement > 0) {
+        stats_.relaxations += improvement > 0;
+        current_score_[ns] -= improvement;
+        push_slot(ns);
+      }
+    }
+  }
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,111 @@
+#ifndef EGOCENSUS_CENSUS_PT_EXPANDER_H_
+#define EGOCENSUS_CENSUS_PT_EXPANDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/distance_index.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace egocensus::internal {
+
+/// Parameters of the simultaneous neighborhood traversal of Algorithm 4.
+struct ExpanderOptions {
+  std::uint32_t k = 1;
+  /// Best-first (array priority queue on score = sum of PMD values) vs
+  /// random queue order (PT-RND).
+  bool best_first = true;
+  /// Center distance index and how many of its centers to use for PMD
+  /// seeding / triangle-inequality initialization (0 disables centers).
+  const CenterDistanceIndex* centers = nullptr;
+  std::size_t num_centers = 0;
+  std::uint64_t seed = 7;
+};
+
+struct ExpanderStats {
+  std::uint64_t pops = 0;
+  std::uint64_t reinsertions = 0;  // pops of a node already processed at an
+                                   // equal-or-better score
+  std::uint64_t relaxations = 0;   // PMD entries improved
+};
+
+/// Simultaneous best-first traversal around a *cluster* of pattern matches
+/// (Sections IV-B1..IV-B5). Maintains, for every discovered database node,
+/// the vector PMD of upper-bound distances to each distinct anchor node of
+/// the cluster, capped at k+1. Seeds the queue with the anchors (with
+/// pattern-distance shortcuts between anchors of the same match) and the
+/// centers (with exact center distances), applies triangle-inequality
+/// initialization to newly discovered nodes, and relaxes until fixpoint.
+/// After Expand(), PMD values equal exact distances wherever those are
+/// <= k (larger values are clamped to k+1).
+class SimultaneousExpander {
+ public:
+  SimultaneousExpander(const Graph& graph, const ExpanderOptions& options);
+
+  /// Expands around the matches of one cluster. `anchor_sets[m]` holds the
+  /// anchor node ids of the m-th match. `anchor_pattern_dist`, when
+  /// non-null, is a t*t row-major matrix (t = per-match anchor count) of
+  /// pattern-graph distances between anchor positions, used for the
+  /// distance-shortcut initialization (values capped at k+1 by the caller).
+  void Expand(const std::vector<std::vector<NodeId>>& anchor_sets,
+              const std::vector<std::uint32_t>* anchor_pattern_dist);
+
+  // --- Results, valid until the next Expand() ---
+
+  std::size_t NumVisited() const { return slot_nodes_.size(); }
+  NodeId VisitedNode(std::size_t slot) const { return slot_nodes_[slot]; }
+
+  /// Distinct anchor nodes of the cluster.
+  const std::vector<NodeId>& cluster_anchors() const {
+    return cluster_anchors_;
+  }
+
+  /// For the m-th match of the cluster: indices of its anchors within
+  /// cluster_anchors().
+  const std::vector<std::vector<std::uint32_t>>& match_anchor_indices() const {
+    return match_anchor_indices_;
+  }
+
+  /// PMD of visited slot w.r.t. cluster anchor index a; k+1 means "> k".
+  std::uint8_t Pmd(std::size_t slot, std::size_t a) const {
+    return pmd_[slot * cluster_anchors_.size() + a];
+  }
+
+  const ExpanderStats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t SlotOf(NodeId n);  // creates + initializes on first touch
+
+  const Graph& graph_;
+  ExpanderOptions options_;
+  Rng rng_;
+  ExpanderStats stats_;
+
+  std::uint8_t far_;  // k+1, the PMD cap
+
+  // Dense epoch-stamped node -> slot map (reset is O(1) per Expand).
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> slot_epoch_;
+  std::uint32_t epoch_ = 0;
+
+  // Per-expansion state.
+  std::vector<NodeId> cluster_anchors_;
+  std::vector<std::vector<std::uint32_t>> match_anchor_indices_;
+  std::vector<NodeId> slot_nodes_;
+  std::vector<std::uint8_t> pmd_;             // slot-major
+  std::vector<std::uint32_t> current_score_;  // per slot, kept incrementally
+  std::vector<std::uint32_t> processed_score_;
+  // center_anchor_dist_[c * num_anchors + a] = d(center c, anchor a),
+  // capped at 254 to keep uint8 arithmetic safe. Only centers that can
+  // possibly produce a bound below k+1 for this cluster (min_a d(c, a) <= k)
+  // are kept; useful_centers_ holds their indices in the distance index.
+  std::vector<std::uint8_t> center_anchor_dist_;
+  std::vector<std::uint32_t> useful_centers_;
+};
+
+}  // namespace egocensus::internal
+
+#endif  // EGOCENSUS_CENSUS_PT_EXPANDER_H_

@@ -1,0 +1,76 @@
+#include <algorithm>
+
+#include "census/engines.h"
+#include "census/pt_common.h"
+#include "census/pt_expander.h"
+#include "util/timer.h"
+
+namespace egocensus::internal {
+
+// PT-OPT / PT-RND (Section IV-B / Algorithm 4): cluster the pattern matches
+// (K-means over center-distance feature vectors), then for each cluster run
+// one simultaneous traversal computing, for every node near the cluster, its
+// distances to all cluster anchors; a node's count increases once per match
+// whose anchors all lie within k hops. PT-RND replaces the best-first queue
+// with random pops, isolating the contribution of best-first ordering
+// (Fig. 4(d)).
+CensusResult RunPtOpt(const CensusContext& ctx) {
+  const Graph& graph = *ctx.graph;
+  const Pattern& pattern = *ctx.pattern;
+  const CensusOptions& options = *ctx.options;
+  const std::uint32_t k = options.k;
+  const std::vector<char>& is_focal = *ctx.is_focal;
+
+  CensusResult result;
+  result.counts.assign(graph.NumNodes(), 0);
+
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  MatchAnchors anchors(&matches, ctx.anchor_nodes);
+  if (anchors.NumMatches() == 0) return result;
+
+  PtParams params = PtParamsFromCensusOptions(options);
+  PtSetup setup = BuildPtSetup(graph, pattern, anchors, params);
+  result.stats.index_seconds = setup.index_seconds;
+
+  Timer timer;
+  ExpanderOptions expander_options;
+  expander_options.k = k;
+  expander_options.best_first = params.best_first;
+  expander_options.centers = setup.center_index;
+  expander_options.num_centers = params.num_centers;
+  expander_options.seed = params.seed + 2;
+  SimultaneousExpander expander(graph, expander_options);
+
+  std::vector<std::vector<NodeId>> anchor_sets;
+  std::vector<NodeId> buffer;
+  for (const auto& cluster : setup.clusters) {
+    anchor_sets.clear();
+    for (std::uint32_t mid : cluster) {
+      anchors.Get(mid, &buffer);
+      anchor_sets.push_back(buffer);
+    }
+    expander.Expand(anchor_sets, &setup.anchor_dist);
+    const auto& match_anchor_idx = expander.match_anchor_indices();
+    for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+      NodeId n = expander.VisitedNode(slot);
+      if (!is_focal[n]) continue;
+      for (const auto& idx : match_anchor_idx) {
+        bool near = true;
+        for (std::uint32_t a : idx) {
+          ++result.stats.containment_checks;
+          if (expander.Pmd(slot, a) > k) {
+            near = false;
+            break;
+          }
+        }
+        if (near) ++result.counts[n];
+      }
+    }
+  }
+  result.stats.nodes_expanded = expander.stats().pops;
+  result.stats.reinsertions = expander.stats().reinsertions;
+  result.stats.census_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus::internal

@@ -1,0 +1,171 @@
+#include "census/topk.h"
+
+#include <algorithm>
+
+#include "census/pmi.h"
+#include "graph/bfs.h"
+#include "match/cn_matcher.h"
+#include "util/timer.h"
+
+namespace egocensus {
+namespace {
+
+/// Shared pivot machinery (identical to ND-PVOT's).
+struct PivotSetup {
+  int pivot = 0;
+  std::uint32_t max_v = 0;
+  std::vector<std::vector<int>> distant;  // anchor positions per slack level
+};
+
+PivotSetup MakePivotSetup(const Pattern& pattern,
+                          const std::vector<int>& anchor_nodes) {
+  PivotSetup setup;
+  std::uint32_t best = Pattern::kUnreachable;
+  for (int x : anchor_nodes) {
+    std::uint32_t ecc = 0;
+    for (int y : anchor_nodes) ecc = std::max(ecc, pattern.Distance(x, y));
+    if (ecc < best) {
+      best = ecc;
+      setup.pivot = x;
+    }
+  }
+  setup.max_v = best;
+  setup.distant.resize(setup.max_v + 1);
+  for (std::uint32_t i = 1; i <= setup.max_v; ++i) {
+    for (std::size_t j = 0; j < anchor_nodes.size(); ++j) {
+      if (pattern.Distance(setup.pivot, anchor_nodes[j]) >= i) {
+        setup.distant[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return setup;
+}
+
+}  // namespace
+
+Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
+                                 std::span<const NodeId> focal,
+                                 const TopKOptions& options) {
+  if (!pattern.prepared()) {
+    return Status::InvalidArgument("pattern must be prepared");
+  }
+  auto anchor_nodes = ResolveAnchorNodes(pattern, options.subpattern);
+  if (!anchor_nodes.ok()) return anchor_nodes.status();
+
+  TopKResult result;
+  const std::uint32_t k = options.k;
+
+  Timer match_timer;
+  CnMatcher matcher;
+  MatchSet matches = matcher.FindMatches(graph, pattern);
+  result.stats.match_seconds = match_timer.ElapsedSeconds();
+  result.stats.num_matches = matches.size();
+  MatchAnchors anchors(&matches, *anchor_nodes);
+
+  Timer index_timer;
+  PivotSetup setup = MakePivotSetup(pattern, *anchor_nodes);
+  PatternMatchIndex pmi = PatternMatchIndex::BuildOnNode(matches, setup.pivot);
+  result.stats.index_seconds = index_timer.ElapsedSeconds();
+
+  Timer census_timer;
+  // Pass 1: upper bounds. `exact` marks nodes whose bound is already the
+  // true count (no pivot image needed a containment check).
+  struct Bound {
+    NodeId node;
+    std::uint64_t bound;
+    bool exact;
+  };
+  std::vector<Bound> bounds;
+  bounds.reserve(focal.size());
+  BfsWorkspace bfs;
+  for (NodeId n : focal) {
+    if (n >= graph.NumNodes()) {
+      return Status::OutOfRange("focal node out of range");
+    }
+    bfs.Run(graph, n, k);
+    result.stats.nodes_expanded += bfs.visited().size();
+    std::uint64_t bound = 0;
+    bool exact = true;
+    for (NodeId visited : bfs.visited()) {
+      auto mids = pmi.MatchesAt(visited);
+      if (mids.empty()) continue;
+      bound += mids.size();
+      if (bfs.DistanceTo(visited) + setup.max_v > k) exact = false;
+    }
+    bounds.push_back({n, bound, exact});
+  }
+  std::sort(bounds.begin(), bounds.end(), [](const Bound& a, const Bound& b) {
+    return a.bound != b.bound ? a.bound > b.bound : a.node < b.node;
+  });
+
+  // Pass 2: evaluate exact counts in decreasing-bound order until the
+  // current K-th best dominates every remaining bound.
+  auto exact_count = [&](NodeId n) {
+    bfs.Run(graph, n, k);
+    result.stats.nodes_expanded += bfs.visited().size();
+    std::uint64_t count = 0;
+    for (NodeId visited : bfs.visited()) {
+      auto mids = pmi.MatchesAt(visited);
+      if (mids.empty()) continue;
+      std::uint32_t d = bfs.DistanceTo(visited);
+      if (d + setup.max_v <= k) {
+        count += mids.size();
+        continue;
+      }
+      const auto& check_set = setup.distant[k - d + 1];
+      for (std::uint32_t mid : mids) {
+        bool inside = true;
+        for (int j : check_set) {
+          ++result.stats.containment_checks;
+          if (!bfs.Reached(anchors.Anchor(mid, j))) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++count;
+      }
+    }
+    return count;
+  };
+
+  const std::size_t top_k = std::min(options.top_k, bounds.size());
+  // Current best K as (count, node), kept as a min-heap on count.
+  std::vector<std::pair<std::uint64_t, NodeId>> heap;
+  auto heap_cmp = [](const auto& a, const auto& b) {
+    // Min-heap by count; among equal counts evict the larger node id first
+    // so ties resolve toward smaller ids.
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
+  for (const Bound& b : bounds) {
+    if (heap.size() == top_k &&
+        (top_k == 0 || heap.front().first >= b.bound)) {
+      break;  // no remaining node can displace the current top-K
+    }
+    std::uint64_t count;
+    if (b.exact) {
+      count = b.bound;
+    } else {
+      count = exact_count(b.node);
+      ++result.exact_evaluations;
+    }
+    if (heap.size() < top_k) {
+      heap.emplace_back(count, b.node);
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    } else if (top_k > 0 && (count > heap.front().first ||
+                             (count == heap.front().first &&
+                              b.node < heap.front().second))) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.back() = {count, b.node};
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  result.top.reserve(heap.size());
+  for (const auto& [count, node] : heap) result.top.emplace_back(node, count);
+  result.stats.census_seconds = census_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,92 @@
+#include "graph/attributes.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace egocensus {
+
+std::string AttributeValueToString(const AttributeValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::string s = std::to_string(*d);
+    return s;
+  }
+  return std::get<std::string>(v);
+}
+
+namespace {
+
+std::optional<double> AsNumber(const AttributeValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool AttributeValuesEqual(const AttributeValue& a, const AttributeValue& b) {
+  auto cmp = CompareAttributeValues(a, b);
+  return cmp.has_value() && *cmp == 0;
+}
+
+std::optional<int> CompareAttributeValues(const AttributeValue& a,
+                                          const AttributeValue& b) {
+  const auto* sa = std::get_if<std::string>(&a);
+  const auto* sb = std::get_if<std::string>(&b);
+  if (sa != nullptr && sb != nullptr) {
+    int c = sa->compare(*sb);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (sa != nullptr || sb != nullptr) return std::nullopt;
+  double na = *AsNumber(a);
+  double nb = *AsNumber(b);
+  if (na < nb) return -1;
+  if (na > nb) return 1;
+  return 0;
+}
+
+void AttributeTable::Set(std::uint32_t id, const std::string& name,
+                         AttributeValue value) {
+  columns_[ToUpper(name)].values[id] = std::move(value);
+}
+
+const AttributeTable::Column* AttributeTable::FindColumn(
+    const std::string& normalized_name) const {
+  auto it = columns_.find(normalized_name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+std::optional<AttributeValue> AttributeTable::Get(
+    std::uint32_t id, const std::string& name) const {
+  const Column* col = FindColumn(ToUpper(name));
+  if (col == nullptr) return std::nullopt;
+  auto it = col->values.find(id);
+  if (it == col->values.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AttributeTable::Has(std::uint32_t id, const std::string& name) const {
+  return Get(id, name).has_value();
+}
+
+std::vector<std::string> AttributeTable::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, col] : columns_) names.push_back(name);
+  return names;
+}
+
+void AttributeTable::CopyFrom(const AttributeTable& src, std::uint32_t src_id,
+                              std::uint32_t dst_id) {
+  for (const auto& [name, col] : src.columns_) {
+    auto it = col.values.find(src_id);
+    if (it != col.values.end()) {
+      columns_[name].values[dst_id] = it->second;
+    }
+  }
+}
+
+}  // namespace egocensus

@@ -1,0 +1,71 @@
+#ifndef EGOCENSUS_GRAPH_ATTRIBUTES_H_
+#define EGOCENSUS_GRAPH_ATTRIBUTES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace egocensus {
+
+/// A dynamically typed attribute value. The paper's data model stores
+/// arbitrary attribute-value pairs on nodes and edges; attribute references
+/// in queries are interpreted dynamically.
+using AttributeValue = std::variant<std::int64_t, double, std::string>;
+
+/// Returns a human-readable rendering of a value.
+std::string AttributeValueToString(const AttributeValue& v);
+
+/// Equality with numeric coercion between int64 and double (so a query
+/// constant `3` matches a stored `3.0`). Strings compare only to strings.
+bool AttributeValuesEqual(const AttributeValue& a, const AttributeValue& b);
+
+/// Three-way comparison with the same coercion rules; returns std::nullopt
+/// for incomparable types (string vs number).
+std::optional<int> CompareAttributeValues(const AttributeValue& a,
+                                          const AttributeValue& b);
+
+/// Columnar store of dynamic attributes keyed by (element id, attribute
+/// name). Attribute names are case-insensitive (normalized to upper case,
+/// matching the SQL surface). Columns are created lazily on first write, so
+/// the set of attributes never has to be pre-declared.
+class AttributeTable {
+ public:
+  AttributeTable() = default;
+
+  /// Sets attribute `name` of element `id` to `value`.
+  void Set(std::uint32_t id, const std::string& name, AttributeValue value);
+
+  /// Returns the value of attribute `name` for `id`, if present.
+  std::optional<AttributeValue> Get(std::uint32_t id,
+                                    const std::string& name) const;
+
+  /// True if `id` has attribute `name`.
+  bool Has(std::uint32_t id, const std::string& name) const;
+
+  /// Names of all attributes that have been written at least once
+  /// (upper-cased).
+  std::vector<std::string> AttributeNames() const;
+
+  /// Copies all attributes of `src_id` (in `src`) onto `dst_id` in this
+  /// table. Used when materializing induced subgraphs.
+  void CopyFrom(const AttributeTable& src, std::uint32_t src_id,
+                std::uint32_t dst_id);
+
+ private:
+  struct Column {
+    // Sparse: id -> value. Ego-subgraph extraction and selective attribute
+    // use make dense vectors wasteful.
+    std::unordered_map<std::uint32_t, AttributeValue> values;
+  };
+
+  const Column* FindColumn(const std::string& normalized_name) const;
+
+  std::unordered_map<std::string, Column> columns_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_ATTRIBUTES_H_

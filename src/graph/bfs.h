@@ -1,0 +1,58 @@
+#ifndef EGOCENSUS_GRAPH_BFS_H_
+#define EGOCENSUS_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace egocensus {
+
+/// Reusable breadth-first search workspace. The census algorithms run one
+/// BFS per focal node over largely overlapping neighborhoods, so the
+/// distance array is allocated once and reset lazily (only previously
+/// visited entries are cleared between runs).
+///
+/// BFS expands the undirected neighbor view (Graph::Neighbors), matching the
+/// paper's k-hop neighborhood definition.
+class BfsWorkspace {
+ public:
+  static constexpr std::uint32_t kUnreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  BfsWorkspace() = default;
+
+  /// Runs BFS from `source` visiting nodes up to distance `max_depth`
+  /// inclusive. Returns the visited nodes (including the source) in
+  /// nondecreasing distance order. The result view is valid until the next
+  /// Run call on this workspace.
+  const std::vector<NodeId>& Run(const Graph& graph, NodeId source,
+                                 std::uint32_t max_depth);
+
+  /// Distance of `n` from the last Run's source, or kUnreached.
+  std::uint32_t DistanceTo(NodeId n) const {
+    return n < dist_.size() ? dist_[n] : kUnreached;
+  }
+
+  bool Reached(NodeId n) const { return DistanceTo(n) != kUnreached; }
+
+  /// Visited nodes from the last run, in BFS order.
+  const std::vector<NodeId>& visited() const { return visited_; }
+
+ private:
+  std::vector<std::uint32_t> dist_;
+  std::vector<NodeId> visited_;
+};
+
+/// Runs a full (unbounded) BFS from `source` and writes distances into
+/// `out_dist` (resized to NumNodes; unreachable entries get `unreached`).
+/// Used to build the center distance index.
+void FullBfsDistances(const Graph& graph, NodeId source,
+                      std::vector<std::uint16_t>* out_dist,
+                      std::uint16_t unreached);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_BFS_H_

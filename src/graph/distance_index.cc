@@ -1,0 +1,47 @@
+#include "graph/distance_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+
+namespace egocensus {
+
+CenterDistanceIndex CenterDistanceIndex::Build(const Graph& graph,
+                                               std::vector<NodeId> centers) {
+  CenterDistanceIndex index;
+  index.centers_ = std::move(centers);
+  const std::size_t num_centers = index.centers_.size();
+  index.dist_.resize(num_centers * graph.NumNodes());
+  std::vector<std::uint16_t> row;
+  for (std::size_t c = 0; c < num_centers; ++c) {
+    FullBfsDistances(graph, index.centers_[c], &row, kUnreached);
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      index.dist_[static_cast<std::size_t>(n) * num_centers + c] = row[n];
+    }
+  }
+  return index;
+}
+
+std::vector<NodeId> PickHighestDegreeCenters(const Graph& graph,
+                                             std::uint32_t count) {
+  std::vector<NodeId> nodes(graph.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  count = std::min<std::uint32_t>(count, graph.NumNodes());
+  std::partial_sort(nodes.begin(), nodes.begin() + count, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      return graph.Degree(a) != graph.Degree(b)
+                                 ? graph.Degree(a) > graph.Degree(b)
+                                 : a < b;
+                    });
+  nodes.resize(count);
+  return nodes;
+}
+
+std::vector<NodeId> PickRandomCenters(const Graph& graph, std::uint32_t count,
+                                      Rng* rng) {
+  return rng->SampleWithoutReplacement(graph.NumNodes(),
+                                       std::min(count, graph.NumNodes()));
+}
+
+}  // namespace egocensus

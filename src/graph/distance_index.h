@@ -1,0 +1,61 @@
+#ifndef EGOCENSUS_GRAPH_DISTANCE_INDEX_H_
+#define EGOCENSUS_GRAPH_DISTANCE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace egocensus {
+
+/// Center-based distance index (Section IV-B4): exact BFS distances from a
+/// small set of pre-selected center nodes to every node. PT-OPT seeds its
+/// traversal queues with the centers and uses the triangle inequality
+/// d(m, n') <= d(m, c) + d(c, n') to tighten initial distance bounds; the
+/// same distances provide the K-means feature vectors for pattern match
+/// clustering.
+class CenterDistanceIndex {
+ public:
+  static constexpr std::uint16_t kUnreached = 0xFFFF;
+
+  CenterDistanceIndex() = default;
+
+  /// Runs one full BFS per center. O(|C| * (V + E)).
+  static CenterDistanceIndex Build(const Graph& graph,
+                                   std::vector<NodeId> centers);
+
+  std::size_t NumCenters() const { return centers_.size(); }
+  const std::vector<NodeId>& centers() const { return centers_; }
+
+  /// Exact hop distance from centers()[center_idx] to n (kUnreached if in a
+  /// different component). Storage is node-major so that reading all
+  /// centers' distances to one node (the hot pattern in PT-OPT's
+  /// triangle-inequality initialization) touches one cache line.
+  std::uint16_t Distance(std::size_t center_idx, NodeId n) const {
+    return dist_[static_cast<std::size_t>(n) * centers_.size() + center_idx];
+  }
+
+  /// All centers' distances to `n`, contiguous.
+  const std::uint16_t* DistancesTo(NodeId n) const {
+    return dist_.data() + static_cast<std::size_t>(n) * centers_.size();
+  }
+
+ private:
+  std::vector<NodeId> centers_;
+  std::vector<std::uint16_t> dist_;  // node-major [node][center]
+};
+
+/// The paper's default center choice (DEG-CNTR): the `count` nodes with the
+/// highest degrees.
+std::vector<NodeId> PickHighestDegreeCenters(const Graph& graph,
+                                             std::uint32_t count);
+
+/// The RND-CNTR alternative evaluated in Fig. 4(f): uniformly random nodes.
+std::vector<NodeId> PickRandomCenters(const Graph& graph, std::uint32_t count,
+                                      Rng* rng);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_DISTANCE_INDEX_H_

@@ -1,0 +1,205 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+Label RandomLabel(Rng* rng, std::uint32_t num_labels) {
+  if (num_labels <= 1) return kDefaultLabel;
+  return static_cast<Label>(rng->NextBounded(num_labels));
+}
+
+std::uint64_t PackEdge(NodeId u, NodeId v, bool directed) {
+  if (!directed && u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph GeneratePreferentialAttachment(const GeneratorOptions& options) {
+  Rng rng(options.seed);
+  Graph graph(options.directed);
+  const std::uint32_t n = options.num_nodes;
+  const std::uint32_t m = std::max<std::uint32_t>(1, options.edges_per_node);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    graph.AddNode(RandomLabel(&rng, options.num_labels));
+  }
+  if (n == 0) {
+    graph.Finalize();
+    return graph;
+  }
+
+  // endpoint_pool holds one entry per edge endpoint, so sampling uniformly
+  // from it is degree-proportional sampling.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(n) * m * 2);
+
+  const std::uint32_t seed_size = std::min(n, m + 1);
+  // Seed clique over the first seed_size nodes.
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      graph.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> targets;
+  for (NodeId u = seed_size; u < n; ++u) {
+    targets.clear();
+    const std::uint32_t want = std::min(m, u);  // cannot exceed older nodes
+    std::uint32_t attempts = 0;
+    while (targets.size() < want && attempts < want * 64) {
+      ++attempts;
+      NodeId candidate =
+          endpoint_pool.empty()
+              ? static_cast<NodeId>(rng.NextBounded(u))
+              : endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (candidate == u) continue;
+      if (std::find(targets.begin(), targets.end(), candidate) !=
+          targets.end()) {
+        continue;
+      }
+      targets.push_back(candidate);
+    }
+    // Fallback to uniform sampling if rejection stalled (tiny graphs).
+    while (targets.size() < want) {
+      NodeId candidate = static_cast<NodeId>(rng.NextBounded(u));
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (NodeId t : targets) {
+      graph.AddEdge(u, t);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(t);
+    }
+  }
+  graph.Finalize();
+  return graph;
+}
+
+Graph GenerateErdosRenyi(std::uint32_t num_nodes, std::uint64_t num_edges,
+                         std::uint32_t num_labels, std::uint64_t seed,
+                         bool directed) {
+  Rng rng(seed);
+  Graph graph(directed);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    graph.AddNode(RandomLabel(&rng, num_labels));
+  }
+  if (num_nodes < 2) {
+    graph.Finalize();
+    return graph;
+  }
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(num_nodes) * (num_nodes - 1) /
+      (directed ? 1 : 2);
+  num_edges = std::min(num_edges, max_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  std::uint64_t added = 0;
+  while (added < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    if (!seen.insert(PackEdge(u, v, directed)).second) continue;
+    graph.AddEdge(u, v);
+    ++added;
+  }
+  graph.Finalize();
+  return graph;
+}
+
+Graph GenerateWattsStrogatz(std::uint32_t num_nodes,
+                            std::uint32_t neighbors_each_side,
+                            double rewire_prob, std::uint32_t num_labels,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  Graph graph(false);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    graph.AddNode(RandomLabel(&rng, num_labels));
+  }
+  if (num_nodes < 2) {
+    graph.Finalize();
+    return graph;
+  }
+  neighbors_each_side =
+      std::min(neighbors_each_side, (num_nodes - 1) / 2);
+  std::unordered_set<std::uint64_t> seen;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (std::uint32_t j = 1; j <= neighbors_each_side; ++j) {
+      NodeId v = (u + j) % num_nodes;
+      if (rng.NextBool(rewire_prob)) {
+        // Rewire the far endpoint; retry on self-loop/duplicate.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          NodeId w = static_cast<NodeId>(rng.NextBounded(num_nodes));
+          if (w == u) continue;
+          if (seen.count(PackEdge(u, w, false)) != 0) continue;
+          v = w;
+          break;
+        }
+      }
+      if (v == u) continue;
+      if (!seen.insert(PackEdge(u, v, false)).second) continue;
+      graph.AddEdge(u, v);
+    }
+  }
+  graph.Finalize();
+  return graph;
+}
+
+Graph GenerateRmat(std::uint32_t scale_log2, std::uint64_t num_edges,
+                   double a, double b, double c, std::uint32_t num_labels,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint32_t num_nodes = 1u << scale_log2;
+  Graph graph(false);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    graph.AddNode(RandomLabel(&rng, num_labels));
+  }
+  if (num_nodes < 2) {
+    graph.Finalize();
+    return graph;
+  }
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  num_edges = std::min(num_edges, max_edges);
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t added = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = num_edges * 64 + 1024;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = 0, v = 0;
+    for (std::uint32_t level = 0; level < scale_log2; ++level) {
+      double p = rng.NextDouble();
+      std::uint32_t bit_u = 0, bit_v = 0;
+      if (p < a) {
+        // top-left quadrant: both bits 0
+      } else if (p < a + b) {
+        bit_v = 1;
+      } else if (p < a + b + c) {
+        bit_u = 1;
+      } else {
+        bit_u = 1;
+        bit_v = 1;
+      }
+      u = (u << 1) | bit_u;
+      v = (v << 1) | bit_v;
+    }
+    if (u == v) continue;
+    if (!seen.insert(PackEdge(u, v, false)).second) continue;
+    graph.AddEdge(u, v);
+    ++added;
+  }
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,55 @@
+#ifndef EGOCENSUS_GRAPH_GENERATORS_H_
+#define EGOCENSUS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace egocensus {
+
+/// Options for the synthetic generators used throughout the evaluation. The
+/// paper's synthetic workloads are preferential-attachment graphs with
+/// |E| = 5 |V| and labels drawn uniformly at random from a small label set.
+struct GeneratorOptions {
+  std::uint32_t num_nodes = 0;
+  /// Edges added per new node in preferential attachment (the paper uses 5,
+  /// yielding |E| ~= 5 |V|).
+  std::uint32_t edges_per_node = 5;
+  /// Number of distinct labels; 0 or 1 produces an unlabeled graph.
+  std::uint32_t num_labels = 1;
+  std::uint64_t seed = 42;
+  bool directed = false;
+};
+
+/// Barabasi-Albert preferential attachment: each new node attaches to
+/// `edges_per_node` distinct existing nodes chosen with probability
+/// proportional to degree. Labels are assigned uniformly at random.
+/// The returned graph is finalized.
+Graph GeneratePreferentialAttachment(const GeneratorOptions& options);
+
+/// Erdos-Renyi G(n, m): `num_edges` distinct uniform random edges.
+Graph GenerateErdosRenyi(std::uint32_t num_nodes, std::uint64_t num_edges,
+                         std::uint32_t num_labels, std::uint64_t seed,
+                         bool directed = false);
+
+/// Watts-Strogatz small-world graph: a ring lattice where each node links
+/// to its `neighbors_each_side` nearest ring neighbors on each side, with
+/// every edge's far endpoint rewired uniformly at random with probability
+/// `rewire_prob`. High clustering + short paths — a useful contrast to the
+/// hub-dominated preferential-attachment workloads.
+Graph GenerateWattsStrogatz(std::uint32_t num_nodes,
+                            std::uint32_t neighbors_each_side,
+                            double rewire_prob, std::uint32_t num_labels,
+                            std::uint64_t seed);
+
+/// R-MAT recursive-matrix graph (Chakrabarti et al.): `num_edges` edges
+/// sampled by recursively descending the adjacency matrix with corner
+/// probabilities (a, b, c, 1-a-b-c). Produces skewed, community-like
+/// structure. Duplicate edges and self-loops are rejected and resampled.
+Graph GenerateRmat(std::uint32_t scale_log2, std::uint64_t num_edges,
+                   double a, double b, double c, std::uint32_t num_labels,
+                   std::uint64_t seed);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_GENERATORS_H_

@@ -1,0 +1,152 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace egocensus {
+
+NodeId Graph::AddNode(Label label) {
+  assert(!finalized_);
+  labels_.push_back(label);
+  max_label_ = std::max(max_label_, label);
+  build_out_.emplace_back();
+  if (directed_) build_in_.emplace_back();
+  return num_nodes_++;
+}
+
+NodeId Graph::AddNodes(std::uint32_t count, Label label) {
+  NodeId first = num_nodes_;
+  for (std::uint32_t i = 0; i < count; ++i) AddNode(label);
+  return first;
+}
+
+EdgeId Graph::AddEdge(NodeId u, NodeId v) {
+  assert(!finalized_);
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return kInvalidEdge;
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.emplace_back(u, v);
+  build_out_[u].emplace_back(v, id);
+  if (directed_) {
+    build_in_[v].emplace_back(u, id);
+  } else {
+    build_out_[v].emplace_back(u, id);
+  }
+  return id;
+}
+
+void Graph::SetLabel(NodeId n, Label label) {
+  assert(!finalized_);
+  labels_[n] = label;
+  max_label_ = std::max(max_label_, label);
+}
+
+Graph::Csr Graph::BuildCsr(
+    std::uint32_t num_nodes,
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>>* adj, bool dedup) {
+  Csr csr;
+  csr.offsets.assign(num_nodes + 1, 0);
+  std::size_t total = 0;
+  for (auto& list : *adj) {
+    std::sort(list.begin(), list.end());
+    if (dedup) {
+      list.erase(std::unique(list.begin(), list.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 list.end());
+    }
+    total += list.size();
+  }
+  csr.targets.reserve(total);
+  csr.edge_ids.reserve(total);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    csr.offsets[n] = static_cast<std::uint32_t>(csr.targets.size());
+    for (const auto& [nbr, eid] : (*adj)[n]) {
+      csr.targets.push_back(nbr);
+      csr.edge_ids.push_back(eid);
+    }
+  }
+  csr.offsets[num_nodes] = static_cast<std::uint32_t>(csr.targets.size());
+  return csr;
+}
+
+void Graph::Finalize() {
+  assert(!finalized_);
+  out_ = BuildCsr(num_nodes_, &build_out_, /*dedup=*/false);
+  if (directed_) {
+    in_ = BuildCsr(num_nodes_, &build_in_, /*dedup=*/false);
+    // Combined undirected view: merge of in and out, deduplicated.
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>> comb(num_nodes_);
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      comb[n].reserve(build_out_[n].size() + build_in_[n].size());
+      for (const auto& p : build_out_[n]) comb[n].push_back(p);
+      for (const auto& p : build_in_[n]) comb[n].push_back(p);
+    }
+    combined_ = BuildCsr(num_nodes_, &comb, /*dedup=*/true);
+  }
+  build_out_.clear();
+  build_out_.shrink_to_fit();
+  build_in_.clear();
+  build_in_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::span<const NodeId> Graph::OutNeighbors(NodeId n) const {
+  assert(finalized_);
+  return out_.NeighborsOf(n);
+}
+
+std::span<const EdgeId> Graph::OutEdgeIds(NodeId n) const {
+  assert(finalized_);
+  return {out_.edge_ids.data() + out_.offsets[n],
+          out_.edge_ids.data() + out_.offsets[n + 1]};
+}
+
+std::span<const NodeId> Graph::InNeighbors(NodeId n) const {
+  assert(finalized_);
+  return directed_ ? in_.NeighborsOf(n) : out_.NeighborsOf(n);
+}
+
+std::span<const NodeId> Graph::Neighbors(NodeId n) const {
+  assert(finalized_);
+  return directed_ ? combined_.NeighborsOf(n) : out_.NeighborsOf(n);
+}
+
+namespace {
+
+bool SortedContains(std::span<const NodeId> nodes, NodeId target) {
+  return std::binary_search(nodes.begin(), nodes.end(), target);
+}
+
+}  // namespace
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  return SortedContains(OutNeighbors(u), v);
+}
+
+bool Graph::HasUndirectedEdge(NodeId u, NodeId v) const {
+  return SortedContains(Neighbors(u), v);
+}
+
+std::optional<EdgeId> Graph::FindEdge(NodeId u, NodeId v) const {
+  assert(finalized_);
+  auto nbrs = out_.NeighborsOf(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return std::nullopt;
+  std::size_t idx = out_.offsets[u] + (it - nbrs.begin());
+  return out_.edge_ids[idx];
+}
+
+std::optional<AttributeValue> Graph::GetNodeAttribute(
+    NodeId n, const std::string& name) const {
+  if (EqualsIgnoreCase(name, "LABEL")) {
+    return AttributeValue(static_cast<std::int64_t>(labels_[n]));
+  }
+  if (EqualsIgnoreCase(name, "ID")) {
+    return AttributeValue(static_cast<std::int64_t>(n));
+  }
+  return node_attributes_.Get(n, name);
+}
+
+}  // namespace egocensus

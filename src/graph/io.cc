@@ -1,0 +1,95 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace egocensus {
+
+Status SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  out << "egocensus-graph 1 " << (graph.directed() ? 1 : 0) << ' '
+      << graph.NumNodes() << ' ' << graph.NumEdges() << '\n';
+  bool any_label = false;
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    if (graph.label(n) != kDefaultLabel) {
+      any_label = true;
+      break;
+    }
+  }
+  out << (any_label ? 1 : 0) << '\n';
+  if (any_label) {
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      out << graph.label(n) << (n + 1 == graph.NumNodes() ? '\n' : ' ');
+    }
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    auto [u, v] = graph.EdgeEndpoints(e);
+    out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string magic;
+  int version = 0;
+  int directed = 0;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_edges = 0;
+  in >> magic >> version >> directed >> num_nodes >> num_edges;
+  if (!in || magic != "egocensus-graph" || version != 1) {
+    return Status::ParseError("bad header in " + path);
+  }
+  int has_labels = 0;
+  in >> has_labels;
+  Graph graph(directed != 0);
+  graph.AddNodes(num_nodes);
+  if (has_labels != 0) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      Label l = 0;
+      in >> l;
+      if (!in) return Status::ParseError("truncated label list in " + path);
+      graph.SetLabel(n, l);
+    }
+  }
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    NodeId u = 0, v = 0;
+    in >> u >> v;
+    if (!in) return Status::ParseError("truncated edge list in " + path);
+    if (graph.AddEdge(u, v) == kInvalidEdge) {
+      return Status::ParseError("invalid edge in " + path);
+    }
+  }
+  graph.Finalize();
+  return graph;
+}
+
+Status WriteDot(const Graph& graph, std::ostream& out,
+                std::uint32_t max_nodes) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  const std::uint32_t limit = std::min(max_nodes, graph.NumNodes());
+  const bool labeled = graph.NumLabels() > 1;
+  const char* edge_op = graph.directed() ? " -> " : " -- ";
+  out << (graph.directed() ? "digraph" : "graph") << " g {\n";
+  for (NodeId n = 0; n < limit; ++n) {
+    out << "  n" << n;
+    if (labeled) out << " [label=\"" << n << ":" << graph.label(n) << "\"]";
+    out << ";\n";
+  }
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    auto [u, v] = graph.EdgeEndpoints(e);
+    if (u >= limit || v >= limit) continue;
+    out << "  n" << u << edge_op << "n" << v << ";\n";
+  }
+  out << "}\n";
+  if (!out) return Status::Internal("DOT write failed");
+  return Status::Ok();
+}
+
+}  // namespace egocensus

@@ -1,0 +1,32 @@
+#ifndef EGOCENSUS_GRAPH_IO_H_
+#define EGOCENSUS_GRAPH_IO_H_
+
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Saves the topology and labels of a finalized graph to a text file.
+/// Format (line oriented):
+///   egocensus-graph 1 <directed 0|1> <num_nodes> <num_edges>
+///   <labels: num_nodes space-separated integers, omitted when all zero>
+///   one "u v" line per edge, in edge-id order
+/// Dynamic attributes are not persisted (the evaluation workloads assign
+/// them programmatically).
+Status SaveGraph(const Graph& graph, const std::string& path);
+
+/// Loads a graph written by SaveGraph. The returned graph is finalized.
+Result<Graph> LoadGraph(const std::string& path);
+
+/// Writes the graph in Graphviz DOT format (for visualization of small
+/// graphs / ego subgraphs). Nodes are annotated with their label when the
+/// graph is labeled; at most `max_nodes` nodes are emitted.
+Status WriteDot(const Graph& graph, std::ostream& out,
+                std::uint32_t max_nodes = 500);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_IO_H_

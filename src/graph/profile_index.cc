@@ -1,0 +1,19 @@
+#include "graph/profile_index.h"
+
+namespace egocensus {
+
+ProfileIndex ProfileIndex::Build(const Graph& graph) {
+  ProfileIndex index;
+  index.num_labels_ = graph.NumLabels();
+  index.counts_.assign(
+      static_cast<std::size_t>(graph.NumNodes()) * index.num_labels_, 0);
+  for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+    std::size_t base = static_cast<std::size_t>(n) * index.num_labels_;
+    for (NodeId nbr : graph.Neighbors(n)) {
+      ++index.counts_[base + graph.label(nbr)];
+    }
+  }
+  return index;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,40 @@
+#ifndef EGOCENSUS_GRAPH_PROFILE_INDEX_H_
+#define EGOCENSUS_GRAPH_PROFILE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace egocensus {
+
+/// Node profile index (Section III-A): for each database node, the number of
+/// neighbors per label, `P(n) = <|N^l1(n)|, ..., |N^lL(n)|>`. A database
+/// node n is a candidate for pattern node v iff P(v) is contained in P(n).
+/// Profiles are computed once per graph and kept as a flat row-major matrix.
+///
+/// Profiles use the undirected neighbor view so they remain a sound filter
+/// for directed patterns as well.
+class ProfileIndex {
+ public:
+  ProfileIndex() = default;
+
+  /// Computes the profile of every node of `graph`.
+  static ProfileIndex Build(const Graph& graph);
+
+  /// Number of neighbors of `n` with label `l`.
+  std::uint32_t Count(NodeId n, Label l) const {
+    return counts_[static_cast<std::size_t>(n) * num_labels_ + l];
+  }
+
+  std::uint32_t num_labels() const { return num_labels_; }
+
+ private:
+  std::uint32_t num_labels_ = 0;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_PROFILE_INDEX_H_

@@ -1,0 +1,83 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace egocensus {
+
+SubgraphExtractor::SubgraphExtractor(const Graph& graph)
+    : graph_(graph),
+      local_of_(graph.NumNodes(), kInvalidNode),
+      epoch_of_(graph.NumNodes(), 0) {}
+
+EgoSubgraph SubgraphExtractor::Extract(std::span<const NodeId> nodes,
+                                       bool copy_attributes) {
+  ++epoch_;
+  EgoSubgraph out;
+  out.graph = Graph(graph_.directed());
+  out.to_global.reserve(nodes.size());
+  for (NodeId g : nodes) {
+    if (epoch_of_[g] == epoch_) continue;  // duplicate
+    epoch_of_[g] = epoch_;
+    local_of_[g] = static_cast<NodeId>(out.to_global.size());
+    out.to_global.push_back(g);
+    out.graph.AddNode(graph_.label(g));
+  }
+  // Induced edges: directed graphs copy every out-edge between members;
+  // undirected graphs copy each member-member edge once (from the endpoint
+  // with the smaller global id).
+  for (NodeId g : out.to_global) {
+    NodeId lu = local_of_[g];
+    auto nbrs = graph_.OutNeighbors(g);
+    auto eids = graph_.OutEdgeIds(g);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      NodeId h = nbrs[i];
+      if (epoch_of_[h] != epoch_) continue;
+      if (!graph_.directed() && h < g) continue;
+      EdgeId local_edge = out.graph.AddEdge(lu, local_of_[h]);
+      if (copy_attributes && local_edge != kInvalidEdge) {
+        out.graph.edge_attributes().CopyFrom(graph_.edge_attributes(), eids[i],
+                                             local_edge);
+      }
+    }
+  }
+  if (copy_attributes) {
+    for (NodeId g : out.to_global) {
+      out.graph.node_attributes().CopyFrom(graph_.node_attributes(), g,
+                                           local_of_[g]);
+    }
+  }
+  out.graph.Finalize();
+  return out;
+}
+
+EgoSubgraph SubgraphExtractor::ExtractKHop(NodeId n, std::uint32_t k,
+                                           bool copy_attributes) {
+  const auto& nodes = bfs1_.Run(graph_, n, k);
+  return Extract(nodes, copy_attributes);
+}
+
+EgoSubgraph SubgraphExtractor::ExtractIntersection(NodeId n1, NodeId n2,
+                                                   std::uint32_t k,
+                                                   bool copy_attributes) {
+  bfs1_.Run(graph_, n1, k);
+  const auto& nodes2 = bfs2_.Run(graph_, n2, k);
+  scratch_nodes_.clear();
+  for (NodeId n : nodes2) {
+    if (bfs1_.Reached(n)) scratch_nodes_.push_back(n);
+  }
+  return Extract(scratch_nodes_, copy_attributes);
+}
+
+EgoSubgraph SubgraphExtractor::ExtractUnion(NodeId n1, NodeId n2,
+                                            std::uint32_t k,
+                                            bool copy_attributes) {
+  const auto& nodes1 = bfs1_.Run(graph_, n1, k);
+  scratch_nodes_.assign(nodes1.begin(), nodes1.end());
+  const auto& nodes2 = bfs2_.Run(graph_, n2, k);
+  for (NodeId n : nodes2) {
+    if (!bfs1_.Reached(n)) scratch_nodes_.push_back(n);
+  }
+  return Extract(scratch_nodes_, copy_attributes);
+}
+
+}  // namespace egocensus

@@ -1,0 +1,57 @@
+#ifndef EGOCENSUS_GRAPH_SUBGRAPH_H_
+#define EGOCENSUS_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace egocensus {
+
+/// An induced subgraph S together with the mapping from its local node ids
+/// back to the parent graph. `graph` is finalized.
+struct EgoSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_global;  // local id -> parent id
+};
+
+/// Materializes induced subgraphs of a fixed parent graph. Keeps an
+/// epoch-stamped global->local scratch map so repeated extraction (one per
+/// focal node in ND-BAS) does not reallocate.
+class SubgraphExtractor {
+ public:
+  explicit SubgraphExtractor(const Graph& graph);
+
+  /// Induced subgraph on `nodes` (duplicates ignored). Labels are always
+  /// copied; node/edge attributes are copied when `copy_attributes` is set
+  /// (needed when the pattern has non-LABEL attribute predicates).
+  EgoSubgraph Extract(std::span<const NodeId> nodes,
+                      bool copy_attributes = true);
+
+  /// Induced subgraph on the k-hop neighborhood S(n, k).
+  EgoSubgraph ExtractKHop(NodeId n, std::uint32_t k,
+                          bool copy_attributes = true);
+
+  /// Induced subgraph on N_k(n1) ∩ N_k(n2).
+  EgoSubgraph ExtractIntersection(NodeId n1, NodeId n2, std::uint32_t k,
+                                  bool copy_attributes = true);
+
+  /// Induced subgraph on N_k(n1) ∪ N_k(n2).
+  EgoSubgraph ExtractUnion(NodeId n1, NodeId n2, std::uint32_t k,
+                           bool copy_attributes = true);
+
+ private:
+  const Graph& graph_;
+  BfsWorkspace bfs1_;
+  BfsWorkspace bfs2_;
+  std::vector<NodeId> local_of_;
+  std::vector<std::uint32_t> epoch_of_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> scratch_nodes_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_SUBGRAPH_H_

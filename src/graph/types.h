@@ -1,0 +1,26 @@
+#ifndef EGOCENSUS_GRAPH_TYPES_H_
+#define EGOCENSUS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace egocensus {
+
+/// Node identifier: dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Edge identifier: dense, 0-based, in insertion order.
+using EdgeId = std::uint32_t;
+
+/// Node label drawn from a small finite label space.
+using Label = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Default label for unlabeled graphs (every node shares it).
+inline constexpr Label kDefaultLabel = 0;
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_GRAPH_TYPES_H_

@@ -1,0 +1,17 @@
+#include "lang/ast.h"
+
+namespace egocensus {
+
+const char* NeighborhoodKindName(NeighborhoodSpec::Kind kind) {
+  switch (kind) {
+    case NeighborhoodSpec::Kind::kSubgraph:
+      return "SUBGRAPH";
+    case NeighborhoodSpec::Kind::kIntersection:
+      return "SUBGRAPH-INTERSECTION";
+    case NeighborhoodSpec::Kind::kUnion:
+      return "SUBGRAPH-UNION";
+  }
+  return "?";
+}
+
+}  // namespace egocensus

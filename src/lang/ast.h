@@ -1,0 +1,83 @@
+#ifndef EGOCENSUS_LANG_AST_H_
+#define EGOCENSUS_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "pattern/pattern.h"
+
+namespace egocensus {
+
+/// A search neighborhood expression (Section II): SUBGRAPH(n, k),
+/// SUBGRAPH-INTERSECTION(n1, n2, k), or SUBGRAPH-UNION(n1, n2, k).
+struct NeighborhoodSpec {
+  enum class Kind { kSubgraph, kIntersection, kUnion };
+  Kind kind = Kind::kSubgraph;
+  std::string ref1;  // table alias of the first node ("" = the sole table)
+  std::string ref2;  // second alias, for the pairwise kinds
+  std::uint32_t k = 1;
+};
+
+const char* NeighborhoodKindName(NeighborhoodSpec::Kind kind);
+
+/// A COUNTP(pattern, S) or COUNTSP(subpattern, pattern, S) aggregate.
+struct CountSpec {
+  bool count_subpattern = false;
+  std::string subpattern;  // set when count_subpattern
+  std::string pattern;
+  NeighborhoodSpec neighborhood;
+};
+
+/// One item of the SELECT list: a node id or a census aggregate.
+struct SelectItem {
+  enum class Kind { kId, kCount };
+  Kind kind = Kind::kId;
+  std::string alias;  // for kId ("" = the sole table)
+  CountSpec count;    // for kCount
+};
+
+/// Operand of a WHERE comparison.
+struct WhereOperand {
+  enum class Kind { kAttr, kConst, kRand };
+  Kind kind = Kind::kConst;
+  std::string alias;  // for kAttr; "" = the sole table
+  std::string attr;   // for kAttr (upper-cased)
+  AttributeValue value = std::int64_t{0};  // for kConst
+};
+
+/// Boolean WHERE expression tree.
+struct WhereExpr {
+  enum class Kind { kAnd, kOr, kNot, kCompare };
+  Kind kind = Kind::kCompare;
+  std::unique_ptr<WhereExpr> left;   // kAnd/kOr/kNot
+  std::unique_ptr<WhereExpr> right;  // kAnd/kOr
+  WhereOperand lhs, rhs;             // kCompare
+  PredicateOp op = PredicateOp::kEq;
+};
+
+using WhereExprPtr = std::unique_ptr<WhereExpr>;
+
+/// ORDER BY entry: 1-based SELECT column index + direction.
+struct OrderBy {
+  std::size_t column = 1;  // 1-based
+  bool descending = false;
+};
+
+/// A parsed pattern census query: inline PATTERN declarations followed by
+/// one SELECT statement.
+struct Query {
+  std::vector<Pattern> patterns;
+  std::vector<SelectItem> select;
+  std::vector<std::string> from_aliases;  // one or two entries
+  WhereExprPtr where;                     // null = all nodes / pairs
+  std::vector<OrderBy> order_by;          // applied in sequence priority
+  std::optional<std::size_t> limit;       // LIMIT n
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_AST_H_

@@ -1,0 +1,276 @@
+#include "lang/engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "lang/query_parser.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+/// Binding of table aliases to concrete nodes for WHERE evaluation.
+struct RowBinding {
+  const std::vector<std::string>* aliases = nullptr;
+  NodeId n1 = kInvalidNode;
+  NodeId n2 = kInvalidNode;
+
+  std::optional<NodeId> Resolve(const std::string& alias) const {
+    if (alias.empty() || alias == (*aliases)[0]) return n1;
+    if (aliases->size() > 1 && alias == (*aliases)[1]) return n2;
+    return std::nullopt;
+  }
+};
+
+std::optional<AttributeValue> OperandValue(const Graph& graph,
+                                           const WhereOperand& operand,
+                                           const RowBinding& binding,
+                                           Rng* rng) {
+  switch (operand.kind) {
+    case WhereOperand::Kind::kConst:
+      return operand.value;
+    case WhereOperand::Kind::kRand:
+      return AttributeValue(rng->NextDouble());
+    case WhereOperand::Kind::kAttr: {
+      auto node = binding.Resolve(operand.alias);
+      if (!node.has_value()) return std::nullopt;
+      return graph.GetNodeAttribute(*node, operand.attr);
+    }
+  }
+  return std::nullopt;
+}
+
+bool EvalWhere(const Graph& graph, const WhereExpr* expr,
+               const RowBinding& binding, Rng* rng) {
+  if (expr == nullptr) return true;
+  switch (expr->kind) {
+    case WhereExpr::Kind::kAnd:
+      return EvalWhere(graph, expr->left.get(), binding, rng) &&
+             EvalWhere(graph, expr->right.get(), binding, rng);
+    case WhereExpr::Kind::kOr:
+      return EvalWhere(graph, expr->left.get(), binding, rng) ||
+             EvalWhere(graph, expr->right.get(), binding, rng);
+    case WhereExpr::Kind::kNot:
+      return !EvalWhere(graph, expr->left.get(), binding, rng);
+    case WhereExpr::Kind::kCompare: {
+      auto lhs = OperandValue(graph, expr->lhs, binding, rng);
+      auto rhs = OperandValue(graph, expr->rhs, binding, rng);
+      if (!lhs.has_value() || !rhs.has_value()) return false;
+      auto cmp = CompareAttributeValues(*lhs, *rhs);
+      if (!cmp.has_value()) return false;
+      switch (expr->op) {
+        case PredicateOp::kEq:
+          return *cmp == 0;
+        case PredicateOp::kNe:
+          return *cmp != 0;
+        case PredicateOp::kLt:
+          return *cmp < 0;
+        case PredicateOp::kLe:
+          return *cmp <= 0;
+        case PredicateOp::kGt:
+          return *cmp > 0;
+        case PredicateOp::kGe:
+          return *cmp >= 0;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Selective patterns (label constraints or predicates) favor the
+/// pattern-driven evaluator; non-selective patterns favor ND-PVOT.
+bool PatternIsSelective(const Pattern& pattern) {
+  for (int v = 0; v < pattern.NumNodes(); ++v) {
+    if (pattern.LabelConstraint(v).has_value()) return true;
+  }
+  return !pattern.Predicates().empty();
+}
+
+std::vector<std::string> ColumnNames(const Query& query) {
+  std::vector<std::string> names;
+  for (const auto& item : query.select) {
+    if (item.kind == SelectItem::Kind::kId) {
+      names.push_back(item.alias.empty() ? "ID" : item.alias + ".ID");
+    } else {
+      std::string name =
+          item.count.count_subpattern
+              ? "COUNTSP(" + item.count.subpattern + "," + item.count.pattern
+              : "COUNTP(" + item.count.pattern;
+      name += "," + std::to_string(item.count.neighborhood.k) + ")";
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<ResultTable> QueryEngine::Execute(std::string_view query_text,
+                                         const Options& options) {
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return ExecuteParsed(*query, options);
+}
+
+const ProfileIndex& QueryEngine::CachedProfiles() {
+  if (!profiles_cache_.has_value()) {
+    profiles_cache_ = ProfileIndex::Build(graph_);
+  }
+  return *profiles_cache_;
+}
+
+const CenterDistanceIndex& QueryEngine::CachedCenters() {
+  if (!centers_cache_.has_value()) {
+    centers_cache_ = CenterDistanceIndex::Build(
+        graph_, PickHighestDegreeCenters(graph_, 24));
+  }
+  return *centers_cache_;
+}
+
+Result<ResultTable> QueryEngine::ExecuteParsed(const Query& query,
+                                               const Options& options) {
+  auto analyzed = AnalyzeQuery(query, registered_);
+  if (!analyzed.ok()) return analyzed.status();
+  last_stats_.clear();
+  auto table = analyzed->pairwise ? ExecutePairwise(*analyzed, options)
+                                  : ExecuteSingle(*analyzed, options);
+  if (!table.ok()) return table;
+  if (!query.order_by.empty()) {
+    std::vector<std::pair<std::size_t, bool>> keys;
+    for (const auto& order : query.order_by) {
+      keys.emplace_back(order.column - 1, order.descending);
+    }
+    table->SortByColumns(keys);
+  }
+  if (query.limit.has_value()) table->Truncate(*query.limit);
+  return table;
+}
+
+Result<ResultTable> QueryEngine::ExecuteSingle(const AnalyzedQuery& analyzed,
+                                               const Options& options) {
+  const Query& query = *analyzed.query;
+
+  // Focal node selection.
+  Rng rng(options.rnd_seed);
+  RowBinding binding;
+  binding.aliases = &query.from_aliases;
+  std::vector<NodeId> focal;
+  for (NodeId n = 0; n < graph_.NumNodes(); ++n) {
+    binding.n1 = n;
+    if (EvalWhere(graph_, query.where.get(), binding, &rng)) {
+      focal.push_back(n);
+    }
+  }
+
+  // Run each census aggregate.
+  std::vector<std::vector<std::uint64_t>> count_columns;
+  for (const auto& item : analyzed.counts) {
+    CensusOptions census = options.census;
+    census.k = item.spec->neighborhood.k;
+    census.subpattern =
+        item.spec->count_subpattern ? item.spec->subpattern : "";
+    if (options.auto_algorithm) {
+      census.algorithm = PatternIsSelective(*item.pattern)
+                             ? CensusAlgorithm::kPtOpt
+                             : CensusAlgorithm::kNdPvot;
+    }
+    // Share the engine's per-graph indexes across queries.
+    if (census.profile_index == nullptr) {
+      census.profile_index = &CachedProfiles();
+    }
+    if (census.center_index == nullptr &&
+        (census.algorithm == CensusAlgorithm::kPtOpt ||
+         census.algorithm == CensusAlgorithm::kPtRnd)) {
+      census.center_index = &CachedCenters();
+    }
+    auto result = RunCensus(graph_, *item.pattern, focal, census);
+    if (!result.ok()) return result.status();
+    last_stats_.push_back(result->stats);
+    count_columns.push_back(std::move(result->counts));
+  }
+
+  ResultTable table(ColumnNames(query));
+  for (NodeId n : focal) {
+    std::vector<AttributeValue> row;
+    std::size_t count_idx = 0;
+    for (const auto& item : query.select) {
+      if (item.kind == SelectItem::Kind::kId) {
+        row.emplace_back(static_cast<std::int64_t>(n));
+      } else {
+        row.emplace_back(
+            static_cast<std::int64_t>(count_columns[count_idx][n]));
+        ++count_idx;
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Result<ResultTable> QueryEngine::ExecutePairwise(const AnalyzedQuery& analyzed,
+                                                 const Options& options) {
+  const Query& query = *analyzed.query;
+
+  std::vector<PairCounts> pair_columns;
+  for (const auto& item : analyzed.counts) {
+    PairwiseCensusOptions pairwise = options.pairwise;
+    pairwise.k = item.spec->neighborhood.k;
+    pairwise.subpattern =
+        item.spec->count_subpattern ? item.spec->subpattern : "";
+    pairwise.neighborhood =
+        item.spec->neighborhood.kind == NeighborhoodSpec::Kind::kIntersection
+            ? PairNeighborhood::kIntersection
+            : PairNeighborhood::kUnion;
+    if (pairwise.center_index == nullptr) {
+      pairwise.center_index = &CachedCenters();
+    }
+    auto counts = RunPairwisePtOpt(graph_, *item.pattern, pairwise);
+    if (!counts.ok()) return counts.status();
+    pair_columns.push_back(std::move(counts).value());
+  }
+
+  // Union of nonzero pairs across all aggregates.
+  std::vector<std::uint64_t> keys;
+  {
+    std::unordered_map<std::uint64_t, char> seen;
+    for (const auto& column : pair_columns) {
+      for (const auto& [key, count] : column) {
+        if (seen.emplace(key, 1).second) keys.push_back(key);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+
+  Rng rng(options.rnd_seed);
+  RowBinding binding;
+  binding.aliases = &query.from_aliases;
+  ResultTable table(ColumnNames(query));
+  auto emit = [&](NodeId n1, NodeId n2, std::uint64_t key) {
+    binding.n1 = n1;
+    binding.n2 = n2;
+    if (!EvalWhere(graph_, query.where.get(), binding, &rng)) return;
+    std::vector<AttributeValue> row;
+    std::size_t count_idx = 0;
+    for (const auto& item : query.select) {
+      if (item.kind == SelectItem::Kind::kId) {
+        NodeId n = item.alias == query.from_aliases[0] ? n1 : n2;
+        row.emplace_back(static_cast<std::int64_t>(n));
+      } else {
+        auto it = pair_columns[count_idx].find(key);
+        row.emplace_back(static_cast<std::int64_t>(
+            it == pair_columns[count_idx].end() ? 0 : it->second));
+        ++count_idx;
+      }
+    }
+    table.AddRow(std::move(row));
+  };
+  for (std::uint64_t key : keys) {
+    auto [a, b] = UnpackPair(key);
+    emit(a, b, key);
+    emit(b, a, key);
+  }
+  return table;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,86 @@
+#ifndef EGOCENSUS_LANG_ENGINE_H_
+#define EGOCENSUS_LANG_ENGINE_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "census/census.h"
+#include "census/pairwise.h"
+#include "graph/graph.h"
+#include "lang/analyzer.h"
+#include "lang/ast.h"
+#include "lang/result_table.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Executes pattern census queries against a graph: parse -> analyze ->
+/// plan (algorithm selection) -> evaluate.
+///
+/// Planning: with `auto_algorithm` (default) single-node censuses use
+/// PT-OPT when the pattern carries label constraints or predicates (the
+/// selective case where pattern-driven wins in Fig. 4(d)) and ND-PVOT
+/// otherwise (the non-selective case of Fig. 4(c)); pairwise censuses
+/// always use the pattern-driven evaluator. Setting auto_algorithm=false
+/// uses census_options.algorithm verbatim.
+///
+/// Pairwise result contract: rows are emitted only for ordered pairs
+/// (n1, n2), n1 != n2, with a nonzero count for at least one aggregate that
+/// satisfy the WHERE clause; zero-count pairs and the diagonal are omitted
+/// (the cross product is quadratic, and censuses are consumed top-K).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Graph& graph) : graph_(graph) {}
+
+  /// Registers a library pattern usable by name in queries (inline PATTERN
+  /// blocks shadow registered ones). The pattern must be prepared.
+  void RegisterPattern(Pattern pattern) {
+    registered_.push_back(std::move(pattern));
+  }
+
+  struct Options {
+    CensusOptions census;
+    PairwiseCensusOptions pairwise;
+    bool auto_algorithm = true;
+    /// Seed for WHERE RND() draws (deterministic per node scan order).
+    std::uint64_t rnd_seed = 99;
+  };
+
+  Result<ResultTable> Execute(std::string_view query_text,
+                              const Options& options);
+  Result<ResultTable> Execute(std::string_view query_text) {
+    return Execute(query_text, Options());
+  }
+  Result<ResultTable> ExecuteParsed(const Query& query,
+                                    const Options& options);
+  Result<ResultTable> ExecuteParsed(const Query& query) {
+    return ExecuteParsed(query, Options());
+  }
+
+  /// Census statistics of the aggregates of the last single-table query, in
+  /// SELECT order.
+  const std::vector<CensusStats>& last_stats() const { return last_stats_; }
+
+ private:
+  Result<ResultTable> ExecuteSingle(const AnalyzedQuery& analyzed,
+                                    const Options& options);
+  Result<ResultTable> ExecutePairwise(const AnalyzedQuery& analyzed,
+                                      const Options& options);
+
+  /// Lazily built per-graph indexes, shared across queries on this engine:
+  /// the node profile index (matcher candidate filtering) and a
+  /// 24-degree-center distance index (PT-OPT seeding/clustering).
+  const ProfileIndex& CachedProfiles();
+  const CenterDistanceIndex& CachedCenters();
+
+  const Graph& graph_;
+  std::vector<Pattern> registered_;
+  std::vector<CensusStats> last_stats_;
+  std::optional<ProfileIndex> profiles_cache_;
+  std::optional<CenterDistanceIndex> centers_cache_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_ENGINE_H_

@@ -1,0 +1,157 @@
+#include "lang/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace egocensus {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == Type::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+// Multi-character lexemes, longest first.
+constexpr std::array<std::string_view, 8> kMultiPunct = {
+    "!->", "!<-", "<=", ">=", "!=", "<>", "->", "<-"};
+
+constexpr std::string_view kSinglePunct = "-=<>{}[](),;.*!+/%";
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '?') {
+      ++i;
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      if (i == start) {
+        return Status::ParseError("'?' must be followed by a variable name (offset " +
+                                  std::to_string(tok.offset) + ")");
+      }
+      tok.type = Token::Type::kVariable;
+      tok.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      // Identifiers may contain '-' (pattern names like clq3-unlb), but a
+      // '-' followed by '?'/'>' is an edge operator, not part of the name.
+      while (i < n && IsIdentChar(source[i])) {
+        if (source[i] == '-') {
+          char next = i + 1 < n ? source[i + 1] : '\0';
+          if (!(std::isalnum(static_cast<unsigned char>(next)) ||
+                next == '_')) {
+            break;
+          }
+          // "--" comment start also terminates the identifier.
+          if (next == '-') break;
+        }
+        ++i;
+      }
+      tok.type = Token::Type::kIdentifier;
+      tok.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < n && source[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      std::string text(source.substr(start, i - start));
+      if (is_double) {
+        tok.type = Token::Type::kDouble;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = Token::Type::kInteger;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        tok.double_value = static_cast<double>(tok.int_value);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::size_t start = i;
+      while (i < n && source[i] != quote) ++i;
+      if (i == n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = Token::Type::kString;
+      tok.text = std::string(source.substr(start, i - start));
+      ++i;  // closing quote
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (std::string_view mp : kMultiPunct) {
+      if (source.substr(i, mp.size()) == mp) {
+        tok.type = Token::Type::kPunct;
+        tok.text = std::string(mp);
+        i += mp.size();
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (kSinglePunct.find(c) != std::string_view::npos) {
+      tok.type = Token::Type::kPunct;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = Token::Type::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,47 @@
+#ifndef EGOCENSUS_LANG_LEXER_H_
+#define EGOCENSUS_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egocensus {
+
+/// A lexical token of the pattern / query surface language.
+struct Token {
+  enum class Type {
+    kIdentifier,  // SELECT, nodes, n1, LABEL, ...
+    kVariable,    // ?A (text holds "A")
+    kInteger,     // 42, also produced for the "42" in "-42" (parser handles
+                  // unary minus)
+    kDouble,      // 3.14
+    kString,      // 'abc' or "abc" (text holds the unquoted content)
+    kPunct,       // one of the operator/punctuation lexemes below
+    kEnd,
+  };
+
+  Type type = Type::kEnd;
+  std::string text;          // identifier/variable/string/punct lexeme
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;  // byte offset in the source, for error messages
+
+  bool IsPunct(std::string_view p) const {
+    return type == Type::kPunct && text == p;
+  }
+  /// Case-insensitive keyword test.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes pattern / query text. Recognized punctuation includes the
+/// pattern edge operators (-, ->, <-, !-, !->, !<-), comparison operators
+/// (=, !=, <>, <, <=, >, >=), and structural characters ({}[](),;.*).
+/// Comments: "--" to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_LEXER_H_

@@ -1,0 +1,346 @@
+#include "lang/query_parser.h"
+
+#include <optional>
+
+#include "lang/lexer.h"
+#include "pattern/pattern_parser.h"
+#include "util/strings.h"
+
+namespace egocensus {
+namespace {
+
+class QueryParser {
+ public:
+  explicit QueryParser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<Query> Parse() {
+    Query query;
+    while (tokens_[pos_].IsKeyword("PATTERN")) {
+      auto pattern = ParsePatternAt(tokens_, &pos_);
+      if (!pattern.ok()) return pattern.status();
+      query.patterns.push_back(std::move(pattern).value());
+    }
+    if (!ConsumeKeyword("SELECT")) return Error("expected SELECT");
+    for (;;) {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      query.select.push_back(std::move(item).value());
+      if (!ConsumePunct(",")) break;
+    }
+    if (!ConsumeKeyword("FROM")) return Error("expected FROM");
+    for (;;) {
+      if (!ConsumeKeyword("nodes")) return Error("expected 'nodes' in FROM");
+      std::string alias;
+      if (ConsumeKeyword("AS")) {
+        if (Peek().type != Token::Type::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        alias = Next().text;
+      }
+      query.from_aliases.push_back(alias);
+      if (!ConsumePunct(",")) break;
+    }
+    if (query.from_aliases.size() > 2) {
+      return Error("at most two FROM tables are supported");
+    }
+    if (ConsumeKeyword("WHERE")) {
+      auto where = ParseOr();
+      if (!where.ok()) return where.status();
+      query.where = std::move(where).value();
+    }
+    if (ConsumeKeyword("ORDER")) {
+      if (!ConsumeKeyword("BY")) return Error("expected BY after ORDER");
+      for (;;) {
+        if (Peek().type != Token::Type::kInteger || Peek().int_value < 1) {
+          return Error("ORDER BY expects a 1-based column index");
+        }
+        OrderBy order;
+        order.column = static_cast<std::size_t>(Next().int_value);
+        if (ConsumeKeyword("DESC")) {
+          order.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        query.order_by.push_back(order);
+        if (!ConsumePunct(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != Token::Type::kInteger || Peek().int_value < 0) {
+        return Error("LIMIT expects a non-negative integer");
+      }
+      query.limit = static_cast<std::size_t>(Next().int_value);
+    }
+    ConsumePunct(";");
+    if (Peek().type != Token::Type::kEnd) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumePunct(std::string_view p) {
+    if (Peek().IsPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+  Status Expect(std::string_view p) {
+    if (!ConsumePunct(p)) return Error("expected '" + std::string(p) + "'");
+    return Status::Ok();
+  }
+
+  /// Parses `ID` or `alias.ID`; returns the alias ("" for bare ID).
+  Result<std::string> ParseNodeRef() {
+    if (Peek().IsKeyword("ID")) {
+      Next();
+      return std::string();
+    }
+    if (Peek().type != Token::Type::kIdentifier) {
+      return Error("expected ID or alias.ID");
+    }
+    std::string alias = Next().text;
+    Status s = Expect(".");
+    if (!s.ok()) return s;
+    if (!ConsumeKeyword("ID")) return Error("expected ID after alias.");
+    return alias;
+  }
+
+  Result<NeighborhoodSpec> ParseNeighborhood() {
+    NeighborhoodSpec spec;
+    if (ConsumeKeyword("SUBGRAPH")) {
+      spec.kind = NeighborhoodSpec::Kind::kSubgraph;
+    } else if (ConsumeKeyword("SUBGRAPH-INTERSECTION")) {
+      spec.kind = NeighborhoodSpec::Kind::kIntersection;
+    } else if (ConsumeKeyword("SUBGRAPH-UNION")) {
+      spec.kind = NeighborhoodSpec::Kind::kUnion;
+    } else {
+      return Error("expected a SUBGRAPH function");
+    }
+    Status s = Expect("(");
+    if (!s.ok()) return s;
+    auto ref1 = ParseNodeRef();
+    if (!ref1.ok()) return ref1.status();
+    spec.ref1 = std::move(ref1).value();
+    s = Expect(",");
+    if (!s.ok()) return s;
+    if (spec.kind != NeighborhoodSpec::Kind::kSubgraph) {
+      auto ref2 = ParseNodeRef();
+      if (!ref2.ok()) return ref2.status();
+      spec.ref2 = std::move(ref2).value();
+      s = Expect(",");
+      if (!s.ok()) return s;
+    }
+    if (Peek().type != Token::Type::kInteger || Peek().int_value < 0) {
+      return Error("expected non-negative radius k");
+    }
+    spec.k = static_cast<std::uint32_t>(Next().int_value);
+    s = Expect(")");
+    if (!s.ok()) return s;
+    return spec;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().IsKeyword("COUNTP") || Peek().IsKeyword("COUNTSP")) {
+      bool subpattern = Peek().IsKeyword("COUNTSP");
+      Next();
+      item.kind = SelectItem::Kind::kCount;
+      item.count.count_subpattern = subpattern;
+      Status s = Expect("(");
+      if (!s.ok()) return s;
+      if (subpattern) {
+        if (Peek().type != Token::Type::kIdentifier) {
+          return Error("expected subpattern name");
+        }
+        item.count.subpattern = Next().text;
+        s = Expect(",");
+        if (!s.ok()) return s;
+      }
+      if (Peek().type != Token::Type::kIdentifier) {
+        return Error("expected pattern name");
+      }
+      item.count.pattern = Next().text;
+      s = Expect(",");
+      if (!s.ok()) return s;
+      auto spec = ParseNeighborhood();
+      if (!spec.ok()) return spec.status();
+      item.count.neighborhood = std::move(spec).value();
+      s = Expect(")");
+      if (!s.ok()) return s;
+      return item;
+    }
+    auto ref = ParseNodeRef();
+    if (!ref.ok()) return ref.status();
+    item.kind = SelectItem::Kind::kId;
+    item.alias = std::move(ref).value();
+    return item;
+  }
+
+  // ---- WHERE expression, precedence OR < AND < NOT < comparison ----
+
+  Result<WhereExprPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left.status();
+    WhereExprPtr node = std::move(left).value();
+    while (ConsumeKeyword("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right.status();
+      auto parent = std::make_unique<WhereExpr>();
+      parent->kind = WhereExpr::Kind::kOr;
+      parent->left = std::move(node);
+      parent->right = std::move(right).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<WhereExprPtr> ParseAnd() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left.status();
+    WhereExprPtr node = std::move(left).value();
+    while (ConsumeKeyword("AND")) {
+      auto right = ParseUnary();
+      if (!right.ok()) return right.status();
+      auto parent = std::make_unique<WhereExpr>();
+      parent->kind = WhereExpr::Kind::kAnd;
+      parent->left = std::move(node);
+      parent->right = std::move(right).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Result<WhereExprPtr> ParseUnary() {
+    if (ConsumeKeyword("NOT")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      auto node = std::make_unique<WhereExpr>();
+      node->kind = WhereExpr::Kind::kNot;
+      node->left = std::move(inner).value();
+      return node;
+    }
+    if (ConsumePunct("(")) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner.status();
+      Status s = Expect(")");
+      if (!s.ok()) return s;
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<WhereExprPtr> ParseComparison() {
+    auto lhs = ParseWhereOperand();
+    if (!lhs.ok()) return lhs.status();
+    std::optional<PredicateOp> op = ParseComparisonOp();
+    if (!op.has_value()) return Error("expected comparison operator");
+    auto rhs = ParseWhereOperand();
+    if (!rhs.ok()) return rhs.status();
+    auto node = std::make_unique<WhereExpr>();
+    node->kind = WhereExpr::Kind::kCompare;
+    node->lhs = std::move(lhs).value();
+    node->op = *op;
+    node->rhs = std::move(rhs).value();
+    return node;
+  }
+
+  std::optional<PredicateOp> ParseComparisonOp() {
+    const Token& tok = Peek();
+    if (tok.type != Token::Type::kPunct) return std::nullopt;
+    PredicateOp op;
+    if (tok.text == "=") {
+      op = PredicateOp::kEq;
+    } else if (tok.text == "!=" || tok.text == "<>") {
+      op = PredicateOp::kNe;
+    } else if (tok.text == "<") {
+      op = PredicateOp::kLt;
+    } else if (tok.text == "<=") {
+      op = PredicateOp::kLe;
+    } else if (tok.text == ">") {
+      op = PredicateOp::kGt;
+    } else if (tok.text == ">=") {
+      op = PredicateOp::kGe;
+    } else {
+      return std::nullopt;
+    }
+    ++pos_;
+    return op;
+  }
+
+  Result<WhereOperand> ParseWhereOperand() {
+    WhereOperand operand;
+    const Token& tok = Peek();
+    if (tok.IsKeyword("RND")) {
+      Next();
+      Status s = Expect("(");
+      if (!s.ok()) return s;
+      s = Expect(")");
+      if (!s.ok()) return s;
+      operand.kind = WhereOperand::Kind::kRand;
+      return operand;
+    }
+    if (tok.type == Token::Type::kIdentifier) {
+      std::string first = Next().text;
+      operand.kind = WhereOperand::Kind::kAttr;
+      if (ConsumePunct(".")) {
+        if (Peek().type != Token::Type::kIdentifier) {
+          return Error("expected attribute after '.'");
+        }
+        operand.alias = first;
+        operand.attr = ToUpper(Next().text);
+      } else {
+        operand.attr = ToUpper(first);
+      }
+      return operand;
+    }
+    bool negative = ConsumePunct("-");
+    if (Peek().type == Token::Type::kInteger) {
+      std::int64_t v = Next().int_value;
+      operand.kind = WhereOperand::Kind::kConst;
+      operand.value = negative ? -v : v;
+      return operand;
+    }
+    if (Peek().type == Token::Type::kDouble) {
+      double v = Next().double_value;
+      operand.kind = WhereOperand::Kind::kConst;
+      operand.value = negative ? -v : v;
+      return operand;
+    }
+    if (Peek().type == Token::Type::kString && !negative) {
+      operand.kind = WhereOperand::Kind::kConst;
+      operand.value = Next().text;
+      return operand;
+    }
+    return Error("expected WHERE operand");
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  QueryParser parser(*tokens);
+  return parser.Parse();
+}
+
+}  // namespace egocensus

@@ -1,0 +1,29 @@
+#ifndef EGOCENSUS_LANG_QUERY_PARSER_H_
+#define EGOCENSUS_LANG_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Parses a full pattern census query: zero or more PATTERN blocks followed
+/// by one SELECT statement, e.g.
+///
+///   PATTERN square { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }
+///   SELECT ID, COUNTP(square, SUBGRAPH(ID, 2)) FROM nodes
+///
+///   SELECT n1.ID, n2.ID,
+///          COUNTP(single_edge, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+///   FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID
+///
+/// Supported WHERE syntax: comparisons between node attribute references
+/// (alias.ATTR or bare ATTR), constants and RND() (a per-evaluation uniform
+/// draw in [0,1), the paper's focal-node selectivity construct), combined
+/// with AND / OR / NOT and parentheses.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_QUERY_PARSER_H_

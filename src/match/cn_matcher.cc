@@ -1,0 +1,219 @@
+#include "match/cn_matcher.h"
+
+#include <algorithm>
+
+namespace egocensus {
+namespace {
+
+/// Per-pattern-node candidate state for the CN algorithm.
+struct CandidateState {
+  std::vector<NodeId> cands;
+  std::vector<char> alive;  // parallel to cands
+  // cn[ci][slot]: sorted candidate-neighbor list of candidate ci w.r.t. the
+  // slot-th pattern neighbor of this pattern node.
+  std::vector<std::vector<std::vector<NodeId>>> cn;
+  // Dense reverse maps over database nodes.
+  std::vector<char> is_cand;        // node -> is a live candidate
+  std::vector<std::uint32_t> pos;   // node -> index into cands
+};
+
+bool SortedContains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
+  stats_ = MatcherStats();
+  const int arity = pattern.NumNodes();
+  MatchSet matches(arity);
+
+  ProfileIndex local_profiles;
+  const ProfileIndex* profiles = profiles_;
+  if (profiles == nullptr) {
+    local_profiles = ProfileIndex::Build(graph);
+    profiles = &local_profiles;
+  }
+
+  // Step 1: candidate enumeration via profiles.
+  std::vector<std::vector<NodeId>> initial =
+      EnumerateCandidates(graph, *profiles, pattern);
+  std::vector<CandidateState> state(arity);
+  for (int v = 0; v < arity; ++v) {
+    state[v].cands = std::move(initial[v]);
+    stats_.initial_candidates += state[v].cands.size();
+    if (state[v].cands.empty()) return matches;  // no match possible
+    state[v].alive.assign(state[v].cands.size(), 1);
+    state[v].is_cand.assign(graph.NumNodes(), 0);
+    state[v].pos.assign(graph.NumNodes(), 0);
+    for (std::uint32_t i = 0; i < state[v].cands.size(); ++i) {
+      state[v].is_cand[state[v].cands[i]] = 1;
+      state[v].pos[state[v].cands[i]] = i;
+    }
+  }
+
+  const bool directed = graph.directed();
+
+  // Step 2: initialize candidate neighbor sets.
+  for (int v = 0; v < arity; ++v) {
+    const auto& adjacency = pattern.Neighbors(v);
+    state[v].cn.resize(state[v].cands.size());
+    for (std::uint32_t ci = 0; ci < state[v].cands.size(); ++ci) {
+      NodeId n = state[v].cands[ci];
+      auto& slots = state[v].cn[ci];
+      slots.resize(adjacency.size());
+      for (std::size_t slot = 0; slot < adjacency.size(); ++slot) {
+        const auto& adj = adjacency[slot];
+        const auto& target = state[adj.node];
+        for (NodeId x : graph.Neighbors(n)) {
+          if (!target.is_cand[x]) continue;
+          if (directed) {
+            if (adj.via_out && !graph.HasEdge(n, x)) continue;
+            if (adj.via_in && !graph.HasEdge(x, n)) continue;
+            // `undirected` pattern edges accept either direction, which
+            // Graph::Neighbors already guarantees.
+          }
+          slots[slot].push_back(x);  // Neighbors(n) is sorted
+        }
+      }
+    }
+  }
+
+  // Step 3: simultaneous pruning to a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats_.prune_passes;
+    // Remove candidates with an empty CN slot.
+    for (int v = 0; v < arity; ++v) {
+      for (std::uint32_t ci = 0; ci < state[v].cands.size(); ++ci) {
+        if (!state[v].alive[ci]) continue;
+        for (const auto& slot : state[v].cn[ci]) {
+          if (slot.empty()) {
+            state[v].alive[ci] = 0;
+            state[v].is_cand[state[v].cands[ci]] = 0;
+            state[v].cn[ci].clear();
+            ++stats_.pruned_candidates;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    // Drop CN entries that are no longer candidates of the neighbor node.
+    for (int v = 0; v < arity; ++v) {
+      const auto& adjacency = pattern.Neighbors(v);
+      for (std::uint32_t ci = 0; ci < state[v].cands.size(); ++ci) {
+        if (!state[v].alive[ci]) continue;
+        for (std::size_t slot = 0; slot < adjacency.size(); ++slot) {
+          auto& list = state[v].cn[ci][slot];
+          const auto& target = state[adjacency[slot].node];
+          std::size_t before = list.size();
+          list.erase(std::remove_if(list.begin(), list.end(),
+                                    [&](NodeId x) {
+                                      return !target.is_cand[x];
+                                    }),
+                     list.end());
+          if (list.size() != before) changed = true;
+        }
+      }
+    }
+  }
+
+  // Step 4: extraction. The search order has connected prefixes; node v at
+  // position i is matched by intersecting the CN lists of the
+  // already-matched pattern neighbors of v.
+  const auto& order = pattern.SearchOrder();
+  std::vector<int> position(arity);
+  for (int i = 0; i < arity; ++i) position[order[i]] = i;
+
+  // Earlier-matched pattern neighbors of order[i], as (pattern node u,
+  // slot index of order[i] within u's adjacency).
+  std::vector<std::vector<std::pair<int, std::size_t>>> backward(arity);
+  for (int i = 0; i < arity; ++i) {
+    int v = order[i];
+    for (const auto& adj : pattern.Neighbors(v)) {
+      if (position[adj.node] < i) {
+        int u = adj.node;
+        const auto& u_adj = pattern.Neighbors(u);
+        for (std::size_t slot = 0; slot < u_adj.size(); ++slot) {
+          if (u_adj[slot].node == v) {
+            backward[i].emplace_back(u, slot);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Symmetry conditions checked as soon as both endpoints are assigned.
+  std::vector<std::vector<Pattern::SymmetryCondition>> conditions_at(arity);
+  for (const auto& cond : pattern.SymmetryConditions()) {
+    int at = std::max(position[cond.smaller], position[cond.larger]);
+    conditions_at[at].push_back(cond);
+  }
+
+  std::vector<NodeId> assignment(arity, kInvalidNode);
+  std::vector<std::uint32_t> cand_index(arity, 0);
+
+  // Recursive lambda over search positions.
+  auto extend = [&](auto&& self, int i) -> void {
+    if (i == arity) {
+      if (MatchSatisfiesConstraints(graph, pattern, assignment)) {
+        matches.Add(assignment);
+      }
+      return;
+    }
+    ++stats_.partial_matches;
+    int v = order[i];
+    auto try_candidate = [&](NodeId x, std::uint32_t ci) {
+      ++stats_.extension_checks;
+      for (int j = 0; j < i; ++j) {
+        if (assignment[order[j]] == x) return;  // injectivity
+      }
+      assignment[v] = x;
+      cand_index[v] = ci;
+      for (const auto& cond : conditions_at[i]) {
+        if (assignment[cond.smaller] >= assignment[cond.larger]) {
+          assignment[v] = kInvalidNode;
+          return;
+        }
+      }
+      self(self, i + 1);
+      assignment[v] = kInvalidNode;
+    };
+
+    if (backward[i].empty()) {
+      // Only the first position can be neighbor-free (connected prefixes).
+      for (std::uint32_t ci = 0; ci < state[v].cands.size(); ++ci) {
+        if (state[v].alive[ci]) try_candidate(state[v].cands[ci], ci);
+      }
+      return;
+    }
+    // Intersect the candidate-neighbor lists of the matched neighbors:
+    // iterate the shortest and probe the rest.
+    const std::vector<NodeId>* shortest = nullptr;
+    for (const auto& [u, slot] : backward[i]) {
+      const auto& list = state[u].cn[cand_index[u]][slot];
+      if (shortest == nullptr || list.size() < shortest->size()) {
+        shortest = &list;
+      }
+    }
+    for (NodeId x : *shortest) {
+      if (!state[v].is_cand[x]) continue;
+      bool in_all = true;
+      for (const auto& [u, slot] : backward[i]) {
+        const auto& list = state[u].cn[cand_index[u]][slot];
+        if (&list != shortest && !SortedContains(list, x)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) try_candidate(x, state[v].pos[x]);
+    }
+  };
+  extend(extend, 0);
+  return matches;
+}
+
+}  // namespace egocensus

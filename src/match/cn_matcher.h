@@ -1,0 +1,33 @@
+#ifndef EGOCENSUS_MATCH_CN_MATCHER_H_
+#define EGOCENSUS_MATCH_CN_MATCHER_H_
+
+#include "match/matcher.h"
+
+namespace egocensus {
+
+/// The paper's subgraph pattern matching algorithm (Section III /
+/// Algorithm 1), built around explicitly maintained *candidate neighbor
+/// sets*: (1) enumerate candidates per pattern node via profile containment,
+/// (2) initialize CN(n, v, v') = C(v') intersect N(n) for every candidate n
+/// of v and pattern neighbor v', (3) simultaneously prune candidates whose
+/// CN set empties and CN entries that left the candidate sets, until a fixed
+/// point, and (4) extract matches in a connected-prefix order, extending
+/// each partial match by intersecting the (small) candidate neighbor sets of
+/// the already-matched neighbors.
+///
+/// An optional externally built ProfileIndex can be supplied to amortize
+/// profile computation across multiple calls on the same graph.
+class CnMatcher : public Matcher {
+ public:
+  CnMatcher() = default;
+  explicit CnMatcher(const ProfileIndex* profiles) : profiles_(profiles) {}
+
+  MatchSet FindMatches(const Graph& graph, const Pattern& pattern) override;
+
+ private:
+  const ProfileIndex* profiles_ = nullptr;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_MATCH_CN_MATCHER_H_

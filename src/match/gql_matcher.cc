@@ -1,0 +1,186 @@
+#include "match/gql_matcher.h"
+
+#include <algorithm>
+
+namespace egocensus {
+namespace {
+
+/// Kuhn's augmenting-path bipartite matching. Left vertices are the pattern
+/// neighbors of v (at most 8), right vertices are indices into a local
+/// neighbor array. Returns true if every left vertex can be matched.
+class BipartiteMatcher {
+ public:
+  void Reset(std::size_t left, std::size_t right) {
+    adjacency_.assign(left, {});
+    match_right_.assign(right, -1);
+  }
+
+  void AddEdge(std::size_t l, std::size_t r) {
+    adjacency_[l].push_back(static_cast<int>(r));
+  }
+
+  bool SaturatesLeft() {
+    for (std::size_t l = 0; l < adjacency_.size(); ++l) {
+      visited_.assign(match_right_.size(), 0);
+      if (!TryAugment(static_cast<int>(l))) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool TryAugment(int l) {
+    for (int r : adjacency_[l]) {
+      if (visited_[r]) continue;
+      visited_[r] = 1;
+      if (match_right_[r] < 0 || TryAugment(match_right_[r])) {
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> match_right_;
+  std::vector<char> visited_;
+};
+
+}  // namespace
+
+MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
+  stats_ = MatcherStats();
+  const int arity = pattern.NumNodes();
+  MatchSet matches(arity);
+
+  ProfileIndex local_profiles;
+  const ProfileIndex* profiles = profiles_;
+  if (profiles == nullptr) {
+    local_profiles = ProfileIndex::Build(graph);
+    profiles = &local_profiles;
+  }
+
+  std::vector<std::vector<NodeId>> cands =
+      EnumerateCandidates(graph, *profiles, pattern);
+  std::vector<std::vector<char>> is_cand(arity);
+  for (int v = 0; v < arity; ++v) {
+    stats_.initial_candidates += cands[v].size();
+    if (cands[v].empty()) return matches;
+    is_cand[v].assign(graph.NumNodes(), 0);
+    for (NodeId n : cands[v]) is_cand[v][n] = 1;
+  }
+
+  const bool directed = graph.directed();
+
+  // Pseudo subgraph isomorphism refinement: repeat passes of the
+  // semi-perfect matching test until no candidate is removed.
+  BipartiteMatcher bipartite;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats_.prune_passes;
+    for (int v = 0; v < arity; ++v) {
+      const auto& adjacency = pattern.Neighbors(v);
+      if (adjacency.empty()) continue;
+      auto& list = cands[v];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        NodeId n = list[i];
+        auto neighbors = graph.Neighbors(n);
+        bipartite.Reset(adjacency.size(), neighbors.size());
+        for (std::size_t l = 0; l < adjacency.size(); ++l) {
+          const auto& adj = adjacency[l];
+          for (std::size_t r = 0; r < neighbors.size(); ++r) {
+            NodeId x = neighbors[r];
+            if (!is_cand[adj.node][x]) continue;
+            if (directed) {
+              if (adj.via_out && !graph.HasEdge(n, x)) continue;
+              if (adj.via_in && !graph.HasEdge(x, n)) continue;
+            }
+            bipartite.AddEdge(l, r);
+          }
+        }
+        if (bipartite.SaturatesLeft()) {
+          list[kept++] = n;
+        } else {
+          is_cand[v][n] = 0;
+          ++stats_.pruned_candidates;
+          changed = true;
+        }
+      }
+      list.resize(kept);
+    }
+  }
+
+  // Extraction by scanning full candidate sets (no candidate neighbors).
+  const auto& order = pattern.SearchOrder();
+  std::vector<int> position(arity);
+  for (int i = 0; i < arity; ++i) position[order[i]] = i;
+
+  // Pattern neighbors of order[i] that are matched earlier.
+  std::vector<std::vector<Pattern::Adjacent>> backward(arity);
+  for (int i = 0; i < arity; ++i) {
+    for (const auto& adj : pattern.Neighbors(order[i])) {
+      if (position[adj.node] < i) backward[i].push_back(adj);
+    }
+  }
+  std::vector<std::vector<Pattern::SymmetryCondition>> conditions_at(arity);
+  for (const auto& cond : pattern.SymmetryConditions()) {
+    int at = std::max(position[cond.smaller], position[cond.larger]);
+    conditions_at[at].push_back(cond);
+  }
+
+  std::vector<NodeId> assignment(arity, kInvalidNode);
+  auto extend = [&](auto&& self, int i) -> void {
+    if (i == arity) {
+      if (MatchSatisfiesConstraints(graph, pattern, assignment)) {
+        matches.Add(assignment);
+      }
+      return;
+    }
+    ++stats_.partial_matches;
+    int v = order[i];
+    for (NodeId x : cands[v]) {
+      ++stats_.extension_checks;
+      bool ok = true;
+      for (const auto& adj : backward[i]) {
+        NodeId matched = assignment[adj.node];
+        if (directed) {
+          if (adj.via_out && !graph.HasEdge(x, matched)) {
+            // pattern edge v -> adj.node
+            ok = false;
+            break;
+          }
+          if (adj.via_in && !graph.HasEdge(matched, x)) {
+            ok = false;
+            break;
+          }
+          if (adj.undirected && !graph.HasUndirectedEdge(x, matched)) {
+            ok = false;
+            break;
+          }
+        } else if (!graph.HasUndirectedEdge(x, matched)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (int j = 0; j < i && ok; ++j) {
+        if (assignment[order[j]] == x) ok = false;
+      }
+      if (!ok) continue;
+      assignment[v] = x;
+      for (const auto& cond : conditions_at[i]) {
+        if (assignment[cond.smaller] >= assignment[cond.larger]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) self(self, i + 1);
+      assignment[v] = kInvalidNode;
+    }
+  };
+  extend(extend, 0);
+  return matches;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,69 @@
+#include "match/match_set.h"
+
+#include <optional>
+
+namespace egocensus {
+namespace {
+
+std::optional<AttributeValue> ResolveOperand(
+    const Graph& graph, const PredicateOperand& operand,
+    std::span<const NodeId> assignment) {
+  if (const auto* nref = std::get_if<NodeAttrRef>(&operand)) {
+    return graph.GetNodeAttribute(assignment[nref->node], nref->attr);
+  }
+  if (const auto* eref = std::get_if<EdgeAttrRef>(&operand)) {
+    NodeId a = assignment[eref->src];
+    NodeId b = assignment[eref->dst];
+    std::optional<EdgeId> edge = graph.FindEdge(a, b);
+    if (!edge.has_value() && graph.directed()) {
+      edge = graph.FindEdge(b, a);
+    }
+    if (!edge.has_value()) return std::nullopt;
+    return graph.edge_attributes().Get(*edge, eref->attr);
+  }
+  return std::get<AttributeValue>(operand);
+}
+
+}  // namespace
+
+bool EvaluatePredicate(const Graph& graph, const PatternPredicate& predicate,
+                       std::span<const NodeId> assignment) {
+  auto lhs = ResolveOperand(graph, predicate.lhs, assignment);
+  auto rhs = ResolveOperand(graph, predicate.rhs, assignment);
+  if (!lhs.has_value() || !rhs.has_value()) return false;
+  auto cmp = CompareAttributeValues(*lhs, *rhs);
+  if (!cmp.has_value()) return false;
+  switch (predicate.op) {
+    case PredicateOp::kEq:
+      return *cmp == 0;
+    case PredicateOp::kNe:
+      return *cmp != 0;
+    case PredicateOp::kLt:
+      return *cmp < 0;
+    case PredicateOp::kLe:
+      return *cmp <= 0;
+    case PredicateOp::kGt:
+      return *cmp > 0;
+    case PredicateOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+bool MatchSatisfiesConstraints(const Graph& graph, const Pattern& pattern,
+                               std::span<const NodeId> assignment) {
+  for (const auto& edge : pattern.NegativeEdges()) {
+    NodeId a = assignment[edge.src];
+    NodeId b = assignment[edge.dst];
+    bool present = edge.directed && graph.directed()
+                       ? graph.HasEdge(a, b)
+                       : graph.HasUndirectedEdge(a, b);
+    if (present) return false;
+  }
+  for (const auto& predicate : pattern.Predicates()) {
+    if (!EvaluatePredicate(graph, predicate, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace egocensus

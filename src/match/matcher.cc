@@ -1,0 +1,52 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+namespace egocensus {
+
+std::vector<std::vector<NodeId>> EnumerateCandidates(
+    const Graph& graph, const ProfileIndex& profiles, const Pattern& pattern) {
+  const int arity = pattern.NumNodes();
+  std::vector<std::vector<NodeId>> candidates(arity);
+
+  // Pattern profile of v: required neighbor count per constrained label,
+  // plus the total structural degree.
+  for (int v = 0; v < arity; ++v) {
+    std::vector<std::pair<Label, std::uint32_t>> required;
+    std::uint32_t degree = 0;
+    for (const auto& adj : pattern.Neighbors(v)) {
+      ++degree;
+      auto label = pattern.LabelConstraint(adj.node);
+      if (label.has_value() && *label < graph.NumLabels()) {
+        bool found = false;
+        for (auto& [l, c] : required) {
+          if (l == *label) {
+            ++c;
+            found = true;
+            break;
+          }
+        }
+        if (!found) required.emplace_back(*label, 1);
+      }
+    }
+    auto own_label = pattern.LabelConstraint(v);
+    if (own_label.has_value() && *own_label >= graph.NumLabels()) {
+      continue;  // label not present in the graph: no candidates
+    }
+    for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+      if (own_label.has_value() && graph.label(n) != *own_label) continue;
+      if (graph.Degree(n) < degree) continue;
+      bool ok = true;
+      for (const auto& [l, c] : required) {
+        if (profiles.Count(n, l) < c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) candidates[v].push_back(n);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace egocensus

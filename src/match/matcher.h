@@ -1,0 +1,49 @@
+#ifndef EGOCENSUS_MATCH_MATCHER_H_
+#define EGOCENSUS_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/profile_index.h"
+#include "match/match_set.h"
+#include "pattern/pattern.h"
+
+namespace egocensus {
+
+/// Counters exposed by the matchers; used by tests and by the CN-vs-GQL
+/// benchmarks to attribute the performance gap (candidate-set scans vs
+/// candidate-neighbor intersections).
+struct MatcherStats {
+  std::uint64_t initial_candidates = 0;   // after profile filtering
+  std::uint64_t pruned_candidates = 0;    // removed by refinement
+  std::uint64_t prune_passes = 0;         // refinement iterations
+  std::uint64_t extension_checks = 0;     // candidate nodes examined during
+                                          // extraction
+  std::uint64_t partial_matches = 0;      // partial assignments expanded
+};
+
+/// Interface of a subgraph pattern matcher: returns all matches of
+/// `pattern` in `graph` (distinct subgraphs; symmetry-broken).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Finds all matches. `pattern` must be prepared.
+  virtual MatchSet FindMatches(const Graph& graph, const Pattern& pattern) = 0;
+
+  const MatcherStats& stats() const { return stats_; }
+
+ protected:
+  MatcherStats stats_;
+};
+
+/// Step III-A shared by both matchers: enumerates candidate database nodes
+/// C(v) for every pattern node using label constraints and profile
+/// containment. Returned lists are sorted.
+std::vector<std::vector<NodeId>> EnumerateCandidates(
+    const Graph& graph, const ProfileIndex& profiles, const Pattern& pattern);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_MATCH_MATCHER_H_

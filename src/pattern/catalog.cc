@@ -1,0 +1,111 @@
+#include "pattern/catalog.h"
+
+#include <cassert>
+#include <string>
+
+namespace egocensus {
+namespace {
+
+std::string Var(int i) { return std::string(1, static_cast<char>('A' + i)); }
+
+void MustPrepare(Pattern* p) {
+  Status s = p->Prepare();
+  assert(s.ok());
+  (void)s;
+}
+
+Pattern MakeClique(const std::string& name, int size, bool labeled) {
+  Pattern p(name);
+  for (int i = 0; i < size; ++i) p.AddNode(Var(i));
+  for (int i = 0; i < size; ++i) {
+    for (int j = i + 1; j < size; ++j) {
+      p.AddEdge(Var(i), Var(j), /*directed=*/false);
+    }
+  }
+  if (labeled) {
+    for (int i = 0; i < size; ++i) {
+      p.SetLabelConstraint(Var(i), static_cast<Label>(i));
+    }
+  }
+  MustPrepare(&p);
+  return p;
+}
+
+}  // namespace
+
+Pattern MakeSingleNode() {
+  Pattern p("single_node");
+  p.AddNode("A");
+  MustPrepare(&p);
+  return p;
+}
+
+Pattern MakeSingleEdge() {
+  Pattern p("single_edge");
+  p.AddEdge("A", "B", /*directed=*/false);
+  MustPrepare(&p);
+  return p;
+}
+
+Pattern MakeTriangle(bool labeled) {
+  return MakeClique(labeled ? "clq3" : "clq3-unlb", 3, labeled);
+}
+
+Pattern MakeClique4(bool labeled) {
+  return MakeClique(labeled ? "clq4" : "clq4-unlb", 4, labeled);
+}
+
+Pattern MakeSquare(bool labeled) {
+  Pattern p(labeled ? "sqr" : "sqr-unlb");
+  p.AddEdge("A", "B", false);
+  p.AddEdge("B", "C", false);
+  p.AddEdge("C", "D", false);
+  p.AddEdge("D", "A", false);
+  if (labeled) {
+    for (int i = 0; i < 4; ++i) {
+      p.SetLabelConstraint(Var(i), static_cast<Label>(i));
+    }
+  }
+  MustPrepare(&p);
+  return p;
+}
+
+Pattern MakePath(int num_nodes, bool labeled) {
+  assert(num_nodes >= 2);
+  Pattern p(labeled ? "path" + std::to_string(num_nodes)
+                    : "path" + std::to_string(num_nodes) + "-unlb");
+  for (int i = 0; i + 1 < num_nodes; ++i) {
+    p.AddEdge(Var(i), Var(i + 1), false);
+  }
+  if (labeled) {
+    for (int i = 0; i < num_nodes; ++i) {
+      p.SetLabelConstraint(Var(i), static_cast<Label>(i % 4));
+    }
+  }
+  MustPrepare(&p);
+  return p;
+}
+
+Pattern MakeCoordinatorTriad() {
+  Pattern p("triad");
+  p.AddEdge("A", "B", /*directed=*/true);
+  p.AddEdge("B", "C", /*directed=*/true);
+  p.AddEdge("A", "C", /*directed=*/true, /*negated=*/true);
+  PatternPredicate eq_ab;
+  eq_ab.lhs = NodeAttrRef{p.FindNode("A"), "LABEL"};
+  eq_ab.op = PredicateOp::kEq;
+  eq_ab.rhs = NodeAttrRef{p.FindNode("B"), "LABEL"};
+  p.AddPredicate(eq_ab);
+  PatternPredicate eq_bc;
+  eq_bc.lhs = NodeAttrRef{p.FindNode("B"), "LABEL"};
+  eq_bc.op = PredicateOp::kEq;
+  eq_bc.rhs = NodeAttrRef{p.FindNode("C"), "LABEL"};
+  p.AddPredicate(eq_bc);
+  Status s = p.AddSubpattern("coordinator", {"B"});
+  assert(s.ok());
+  (void)s;
+  MustPrepare(&p);
+  return p;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,39 @@
+#ifndef EGOCENSUS_PATTERN_CATALOG_H_
+#define EGOCENSUS_PATTERN_CATALOG_H_
+
+#include "pattern/pattern.h"
+
+namespace egocensus {
+
+/// The query patterns of Figure 3 (and Table I), provided as prepared
+/// Pattern objects. Labeled variants constrain node i to label i (the
+/// figure draws distinct letters inside the circles); the synthetic labeled
+/// workloads use 4 labels, so all constraints are within range.
+
+/// Table I row 1: a single node ({?A;}).
+Pattern MakeSingleNode();
+
+/// Table I row 2: a single undirected edge ({?A-?B;}).
+Pattern MakeSingleEdge();
+
+/// clq3-unlb / clq3: a triangle; labeled variant fixes labels (0, 1, 2).
+Pattern MakeTriangle(bool labeled);
+
+/// clq4: a 4-clique; labeled variant fixes labels (0, 1, 2, 3).
+Pattern MakeClique4(bool labeled);
+
+/// sqr: a 4-cycle; labeled variant fixes labels (0, 1, 2, 3).
+Pattern MakeSquare(bool labeled);
+
+/// A simple path with `num_nodes` nodes; labeled variant fixes label i on
+/// node i (mod 4).
+Pattern MakePath(int num_nodes, bool labeled);
+
+/// Table I row 4: the directed coordinator triad
+/// ?A->?B; ?B->?C; ?A!->?C with all labels equal and subpattern
+/// "coordinator" = {?B}.
+Pattern MakeCoordinatorTriad();
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_PATTERN_CATALOG_H_

@@ -1,0 +1,425 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace egocensus {
+
+int Pattern::AddNode(const std::string& var) {
+  auto it = var_index_.find(var);
+  if (it != var_index_.end()) return it->second;
+  int idx = static_cast<int>(vars_.size());
+  vars_.push_back(var);
+  var_index_[var] = idx;
+  label_constraints_.emplace_back(std::nullopt);
+  return idx;
+}
+
+int Pattern::FindNode(const std::string& var) const {
+  auto it = var_index_.find(var);
+  return it == var_index_.end() ? -1 : it->second;
+}
+
+void Pattern::AddEdge(const std::string& src, const std::string& dst,
+                      bool directed, bool negated) {
+  PatternEdge edge;
+  edge.src = AddNode(src);
+  edge.dst = AddNode(dst);
+  edge.directed = directed;
+  edge.negated = negated;
+  (negated ? negative_edges_ : positive_edges_).push_back(edge);
+}
+
+void Pattern::SetLabelConstraint(const std::string& var, Label label) {
+  label_constraints_[AddNode(var)] = label;
+}
+
+void Pattern::AddPredicate(PatternPredicate predicate) {
+  predicates_.push_back(std::move(predicate));
+}
+
+Status Pattern::AddSubpattern(const std::string& name,
+                              const std::vector<std::string>& vars) {
+  std::vector<int> indices;
+  for (const auto& v : vars) {
+    int idx = FindNode(v);
+    if (idx < 0) {
+      return Status::InvalidArgument("subpattern " + name +
+                                     " references unknown variable " + v);
+    }
+    indices.push_back(idx);
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  if (indices.empty()) {
+    return Status::InvalidArgument("subpattern " + name + " is empty");
+  }
+  subpatterns_[name] = std::move(indices);
+  return Status::Ok();
+}
+
+bool Pattern::HasGeneralPredicates() const {
+  for (const auto& p : predicates_) {
+    for (const PredicateOperand* op : {&p.lhs, &p.rhs}) {
+      if (const auto* nref = std::get_if<NodeAttrRef>(op)) {
+        if (!EqualsIgnoreCase(nref->attr, "LABEL") &&
+            !EqualsIgnoreCase(nref->attr, "ID")) {
+          return true;
+        }
+      } else if (std::get_if<EdgeAttrRef>(op) != nullptr) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status Pattern::ValidateStructure() const {
+  if (vars_.empty()) return Status::InvalidArgument("pattern has no nodes");
+  if (vars_.size() > 9) {
+    return Status::InvalidArgument(
+        "pattern too large (max 9 nodes supported)");
+  }
+  for (const auto& e : positive_edges_) {
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self-loop in pattern " + name_);
+    }
+  }
+  // Positive skeleton must be connected (the search order requires
+  // connected prefixes, and disconnected patterns make neighborhood census
+  // ill-defined).
+  std::vector<char> seen(vars_.size(), 0);
+  std::vector<int> stack = {0};
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (const auto& e : positive_edges_) {
+      int other = -1;
+      if (e.src == v) other = e.dst;
+      if (e.dst == v) other = e.src;
+      if (other >= 0 && !seen[other]) {
+        seen[other] = 1;
+        ++count;
+        stack.push_back(other);
+      }
+    }
+  }
+  if (count != vars_.size()) {
+    return Status::InvalidArgument("pattern " + name_ +
+                                   " is not connected via structural edges");
+  }
+  // Predicate references must be in range (construction guarantees node
+  // refs; edge refs built by parser are checked there too).
+  return Status::Ok();
+}
+
+void Pattern::ComputeDistances() {
+  const std::size_t n = vars_.size();
+  adjacency_.assign(n, {});
+  for (const auto& e : positive_edges_) {
+    auto add = [&](int from, int to, bool out, bool in, bool undir) {
+      for (auto& adj : adjacency_[from]) {
+        if (adj.node == to) {
+          adj.via_out |= out;
+          adj.via_in |= in;
+          adj.undirected |= undir;
+          return;
+        }
+      }
+      Adjacent adj;
+      adj.node = to;
+      adj.via_out = out;
+      adj.via_in = in;
+      adj.undirected = undir;
+      adjacency_[from].push_back(adj);
+    };
+    if (e.directed) {
+      add(e.src, e.dst, /*out=*/true, /*in=*/false, /*undir=*/false);
+      add(e.dst, e.src, /*out=*/false, /*in=*/true, /*undir=*/false);
+    } else {
+      add(e.src, e.dst, false, false, true);
+      add(e.dst, e.src, false, false, true);
+    }
+  }
+
+  distances_.assign(n * n, kUnreachable);
+  eccentricity_.assign(n, 0);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<int> queue = {static_cast<int>(src)};
+    distances_[src * n + src] = 0;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      int u = queue[head++];
+      std::uint32_t du = distances_[src * n + u];
+      for (const auto& adj : adjacency_[u]) {
+        if (distances_[src * n + adj.node] == kUnreachable) {
+          distances_[src * n + adj.node] = du + 1;
+          queue.push_back(adj.node);
+        }
+      }
+    }
+    std::uint32_t ecc = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      ecc = std::max(ecc, distances_[src * n + t]);
+    }
+    eccentricity_[src] = ecc;
+  }
+  pivot_ = 0;
+  for (std::size_t v = 1; v < n; ++v) {
+    if (eccentricity_[v] < eccentricity_[pivot_]) {
+      pivot_ = static_cast<int>(v);
+    }
+  }
+}
+
+void Pattern::ComputeSearchOrder() {
+  const int n = NumNodes();
+  search_order_.clear();
+  std::vector<char> added(n, 0);
+  auto score = [&](int v, int prefix_links) {
+    // More selective nodes first: connections to the matched prefix, then
+    // label-constrained nodes, then higher pattern degree.
+    return std::tuple<int, int, int, int>(
+        prefix_links, label_constraints_[v].has_value() ? 1 : 0,
+        static_cast<int>(adjacency_[v].size()), -v);
+  };
+  int start = 0;
+  for (int v = 1; v < n; ++v) {
+    if (score(v, 0) > score(start, 0)) start = v;
+  }
+  search_order_.push_back(start);
+  added[start] = 1;
+  while (static_cast<int>(search_order_.size()) < n) {
+    int best = -1;
+    std::tuple<int, int, int, int> best_score;
+    for (int v = 0; v < n; ++v) {
+      if (added[v]) continue;
+      int links = 0;
+      for (const auto& adj : adjacency_[v]) {
+        if (added[adj.node]) ++links;
+      }
+      if (links == 0) continue;  // keep prefixes connected
+      auto s = score(v, links);
+      if (best < 0 || s > best_score) {
+        best = v;
+        best_score = s;
+      }
+    }
+    // Connectivity was validated, so best >= 0 always holds here.
+    search_order_.push_back(best);
+    added[best] = 1;
+  }
+}
+
+namespace {
+
+std::string EncodeOperand(const PredicateOperand& op,
+                          const std::vector<int>& perm) {
+  std::ostringstream out;
+  if (const auto* nref = std::get_if<NodeAttrRef>(&op)) {
+    out << 'N' << perm[nref->node] << '.' << ToUpper(nref->attr);
+  } else if (const auto* eref = std::get_if<EdgeAttrRef>(&op)) {
+    // EDGE(?A, ?B) references resolve in either orientation, so the
+    // endpoint order is not significant: encode sorted.
+    int a = perm[eref->src];
+    int b = perm[eref->dst];
+    if (a > b) std::swap(a, b);
+    out << 'E' << a << ',' << b << '.' << ToUpper(eref->attr);
+  } else {
+    out << 'C' << AttributeValueToString(std::get<AttributeValue>(op));
+  }
+  return out.str();
+}
+
+std::string EncodePredicate(const PatternPredicate& p,
+                            const std::vector<int>& perm) {
+  std::string lhs = EncodeOperand(p.lhs, perm);
+  std::string rhs = EncodeOperand(p.rhs, perm);
+  // = and != are symmetric; normalize operand order so that automorphisms
+  // over symmetric predicates are recognized.
+  if ((p.op == PredicateOp::kEq || p.op == PredicateOp::kNe) && rhs < lhs) {
+    std::swap(lhs, rhs);
+  }
+  return lhs + '|' + std::to_string(static_cast<int>(p.op)) + '|' + rhs;
+}
+
+std::uint64_t EncodeEdge(const PatternEdge& e, const std::vector<int>& perm) {
+  int a = perm[e.src];
+  int b = perm[e.dst];
+  if (!e.directed && a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(e.directed) << 62) |
+         (static_cast<std::uint64_t>(a) << 16) | static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+bool Pattern::IsAutomorphism(const std::vector<int>& perm) const {
+  const int n = NumNodes();
+  for (int v = 0; v < n; ++v) {
+    if (label_constraints_[v] != label_constraints_[perm[v]]) return false;
+  }
+  std::vector<int> identity(n);
+  std::iota(identity.begin(), identity.end(), 0);
+
+  auto edges_preserved = [&](const std::vector<PatternEdge>& edges) {
+    std::multiset<std::uint64_t> base, mapped;
+    for (const auto& e : edges) {
+      base.insert(EncodeEdge(e, identity));
+      mapped.insert(EncodeEdge(e, perm));
+    }
+    return base == mapped;
+  };
+  if (!edges_preserved(positive_edges_)) return false;
+  if (!edges_preserved(negative_edges_)) return false;
+
+  {
+    std::multiset<std::string> base, mapped;
+    for (const auto& p : predicates_) {
+      base.insert(EncodePredicate(p, identity));
+      mapped.insert(EncodePredicate(p, perm));
+    }
+    if (base != mapped) return false;
+  }
+
+  for (const auto& [name, members] : subpatterns_) {
+    std::vector<int> image;
+    image.reserve(members.size());
+    for (int v : members) image.push_back(perm[v]);
+    std::sort(image.begin(), image.end());
+    if (image != members) return false;
+  }
+  return true;
+}
+
+void Pattern::ComputeSymmetryConditions() {
+  const int n = NumNodes();
+  std::vector<std::vector<int>> autos;
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    if (IsAutomorphism(perm)) autos.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  num_automorphisms_ = autos.size();
+
+  symmetry_conditions_.clear();
+  // Grochow-Kellis style: repeatedly fix the smallest node moved by some
+  // remaining automorphism, emitting "fixed < everything in its orbit"
+  // conditions, then restrict to the stabilizer.
+  while (autos.size() > 1) {
+    int v = -1;
+    for (int cand = 0; cand < n && v < 0; ++cand) {
+      for (const auto& a : autos) {
+        if (a[cand] != cand) {
+          v = cand;
+          break;
+        }
+      }
+    }
+    std::set<int> orbit;
+    for (const auto& a : autos) orbit.insert(a[v]);
+    for (int u : orbit) {
+      if (u != v) symmetry_conditions_.push_back({v, u});
+    }
+    std::vector<std::vector<int>> stabilizer;
+    for (auto& a : autos) {
+      if (a[v] == v) stabilizer.push_back(std::move(a));
+    }
+    autos = std::move(stabilizer);
+  }
+}
+
+Status Pattern::Prepare() {
+  if (prepared_) return Status::Internal("Prepare() called twice");
+  Status s = ValidateStructure();
+  if (!s.ok()) return s;
+  ComputeDistances();
+  ComputeSearchOrder();
+  ComputeSymmetryConditions();
+  prepared_ = true;
+  return Status::Ok();
+}
+
+const std::vector<int>* Pattern::FindSubpattern(const std::string& name) const {
+  auto it = subpatterns_.find(name);
+  return it == subpatterns_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string OperandToText(const PredicateOperand& op,
+                          const std::vector<std::string>& vars) {
+  if (const auto* nref = std::get_if<NodeAttrRef>(&op)) {
+    return "?" + vars[nref->node] + "." + nref->attr;
+  }
+  if (const auto* eref = std::get_if<EdgeAttrRef>(&op)) {
+    return "EDGE(?" + vars[eref->src] + ",?" + vars[eref->dst] + ")." +
+           eref->attr;
+  }
+  const auto& value = std::get<AttributeValue>(op);
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return "'" + *s + "'";
+  }
+  return AttributeValueToString(value);
+}
+
+const char* OpSymbol(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return "=";
+    case PredicateOp::kNe:
+      return "!=";
+    case PredicateOp::kLt:
+      return "<";
+    case PredicateOp::kLe:
+      return "<=";
+    case PredicateOp::kGt:
+      return ">";
+    case PredicateOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Pattern::ToString() const {
+  std::ostringstream out;
+  out << "PATTERN " << name_ << " {\n";
+  std::vector<char> in_edge(vars_.size(), 0);
+  auto emit_edge = [&](const PatternEdge& e) {
+    in_edge[e.src] = 1;
+    in_edge[e.dst] = 1;
+    out << "  ?" << vars_[e.src] << (e.negated ? "!" : "")
+        << (e.directed ? "->" : "-") << "?" << vars_[e.dst] << ";\n";
+  };
+  for (const auto& e : positive_edges_) emit_edge(e);
+  for (const auto& e : negative_edges_) emit_edge(e);
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    if (!in_edge[v]) out << "  ?" << vars_[v] << ";\n";
+  }
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    if (label_constraints_[v].has_value()) {
+      out << "  [?" << vars_[v] << ".LABEL = " << *label_constraints_[v]
+          << "];\n";
+    }
+  }
+  for (const auto& p : predicates_) {
+    out << "  [" << OperandToText(p.lhs, vars_) << " " << OpSymbol(p.op)
+        << " " << OperandToText(p.rhs, vars_) << "];\n";
+  }
+  for (const auto& [name, members] : subpatterns_) {
+    out << "  SUBPATTERN " << name << " {";
+    for (int v : members) out << "?" << vars_[v] << "; ";
+    out << "}\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace egocensus

@@ -1,0 +1,209 @@
+#ifndef EGOCENSUS_PATTERN_PATTERN_H_
+#define EGOCENSUS_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// A positive or negative structural edge of a pattern. `directed` edges are
+/// oriented src -> dst; `negated` edges assert absence (the `?A!->?C`
+/// construct of Table I row 4).
+struct PatternEdge {
+  int src = 0;
+  int dst = 0;
+  bool directed = false;
+  bool negated = false;
+};
+
+/// Comparison operator of an attribute predicate.
+enum class PredicateOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Reference to a node attribute, e.g. ?A.LABEL.
+struct NodeAttrRef {
+  int node = 0;
+  std::string attr;
+};
+
+/// Reference to an attribute of the edge between two pattern nodes, written
+/// EDGE(?A, ?B).SIGN in the surface language.
+struct EdgeAttrRef {
+  int src = 0;
+  int dst = 0;
+  std::string attr;
+};
+
+using PredicateOperand = std::variant<NodeAttrRef, EdgeAttrRef, AttributeValue>;
+
+/// An attribute predicate `[lhs op rhs]` attached to the pattern, e.g.
+/// [?A.LABEL = ?B.LABEL] or [EDGE(?A,?B).SIGN = -1].
+struct PatternPredicate {
+  PredicateOperand lhs;
+  PredicateOp op = PredicateOp::kEq;
+  PredicateOperand rhs;
+};
+
+/// A pattern graph P (Section II): variables, structural edges (directed or
+/// undirected, possibly negated), per-node label constraints, attribute
+/// predicates, and optional named subpatterns (subsets of the nodes).
+///
+/// After construction call Prepare(), which validates the pattern and
+/// precomputes everything the matchers and census engines need:
+///  - all-pairs hop distances over the positive undirected skeleton,
+///  - the pivot node (minimum eccentricity, Section IV-A1) and max_v,
+///  - a search order whose every prefix is connected (Section III-D),
+///  - symmetry-breaking conditions derived from the automorphism group so
+///    that each match (= subgraph) is produced exactly once rather than once
+///    per automorphic re-mapping.
+class Pattern {
+ public:
+  /// Distance value for disconnected pattern node pairs.
+  static constexpr std::uint32_t kUnreachable = 0xFFFFFFFF;
+
+  explicit Pattern(std::string name = "pattern") : name_(std::move(name)) {}
+
+  // --- Construction ----------------------------------------------------
+
+  /// Adds (or finds) a variable and returns its index.
+  int AddNode(const std::string& var);
+
+  /// Index of `var`, or -1.
+  int FindNode(const std::string& var) const;
+
+  /// Adds a structural edge between two variables (created on demand).
+  void AddEdge(const std::string& src, const std::string& dst, bool directed,
+               bool negated = false);
+
+  /// Constrains a variable to a fixed label (the ?A.LABEL = const fast path
+  /// the paper's prototype optimizes).
+  void SetLabelConstraint(const std::string& var, Label label);
+
+  void AddPredicate(PatternPredicate predicate);
+
+  /// Declares a named subpattern over a subset of the variables.
+  Status AddSubpattern(const std::string& name,
+                       const std::vector<std::string>& vars);
+
+  /// Validates and precomputes. Must be called exactly once, before use.
+  Status Prepare();
+
+  // --- Accessors (require Prepare()) -------------------------------------
+
+  const std::string& name() const { return name_; }
+  bool prepared() const { return prepared_; }
+  int NumNodes() const { return static_cast<int>(vars_.size()); }
+  const std::string& VarName(int v) const { return vars_[v]; }
+  std::optional<Label> LabelConstraint(int v) const {
+    return label_constraints_[v];
+  }
+
+  /// Positive (structural, non-negated) edges.
+  const std::vector<PatternEdge>& PositiveEdges() const {
+    return positive_edges_;
+  }
+  const std::vector<PatternEdge>& NegativeEdges() const {
+    return negative_edges_;
+  }
+  const std::vector<PatternPredicate>& Predicates() const {
+    return predicates_;
+  }
+
+  /// True if some predicate references non-LABEL/non-ID attributes (callers
+  /// then need attribute data when matching in extracted subgraphs).
+  bool HasGeneralPredicates() const;
+
+  /// Adjacency over positive edges, seen from node v.
+  struct Adjacent {
+    int node = 0;
+    bool via_out = false;    // pattern edge v -> node
+    bool via_in = false;     // pattern edge node -> v
+    bool undirected = false; // undirected pattern edge v - node
+  };
+  const std::vector<Adjacent>& Neighbors(int v) const {
+    return adjacency_[v];
+  }
+
+  /// Hop distance between two pattern nodes over the positive skeleton.
+  std::uint32_t Distance(int a, int b) const {
+    return distances_[static_cast<std::size_t>(a) * vars_.size() + b];
+  }
+
+  /// max_x d(v, x).
+  std::uint32_t Eccentricity(int v) const { return eccentricity_[v]; }
+
+  /// Pivot node: argmin eccentricity (Section IV-A1, "Pivot Selection").
+  int Pivot() const { return pivot_; }
+
+  /// Eccentricity of the pivot (the paper's max_v).
+  std::uint32_t PivotRadius() const { return eccentricity_[pivot_]; }
+
+  /// Search order with connected prefixes (Section III-D).
+  const std::vector<int>& SearchOrder() const { return search_order_; }
+
+  /// Symmetry-breaking: a match must satisfy image(smaller) < image(larger)
+  /// (database node ids) for every condition. Derived from the pattern
+  /// automorphism group restricted to automorphisms preserving labels, edge
+  /// directions, negated edges, predicates, and subpattern membership.
+  struct SymmetryCondition {
+    int smaller = 0;
+    int larger = 0;
+  };
+  const std::vector<SymmetryCondition>& SymmetryConditions() const {
+    return symmetry_conditions_;
+  }
+
+  /// Number of automorphisms found (1 = asymmetric pattern). Exposed for
+  /// tests and for converting mapping counts to subgraph counts.
+  std::size_t NumAutomorphisms() const { return num_automorphisms_; }
+
+  /// Named subpatterns: name -> sorted node indices.
+  const std::map<std::string, std::vector<int>>& Subpatterns() const {
+    return subpatterns_;
+  }
+
+  /// Finds a subpattern by name.
+  const std::vector<int>* FindSubpattern(const std::string& name) const;
+
+  /// Serializes the pattern back to the PATTERN surface language; the
+  /// output re-parses to a structurally identical pattern (round-trip
+  /// tested). Label constraints are emitted as [?X.LABEL = c] predicates.
+  std::string ToString() const;
+
+ private:
+  Status ValidateStructure() const;
+  void ComputeDistances();
+  void ComputeSearchOrder();
+  void ComputeSymmetryConditions();
+  bool IsAutomorphism(const std::vector<int>& perm) const;
+
+  std::string name_;
+  bool prepared_ = false;
+
+  std::vector<std::string> vars_;
+  std::map<std::string, int> var_index_;
+  std::vector<std::optional<Label>> label_constraints_;
+  std::vector<PatternEdge> positive_edges_;
+  std::vector<PatternEdge> negative_edges_;
+  std::vector<PatternPredicate> predicates_;
+  std::map<std::string, std::vector<int>> subpatterns_;
+
+  std::vector<std::vector<Adjacent>> adjacency_;
+  std::vector<std::uint32_t> distances_;
+  std::vector<std::uint32_t> eccentricity_;
+  int pivot_ = 0;
+  std::vector<int> search_order_;
+  std::vector<SymmetryCondition> symmetry_conditions_;
+  std::size_t num_automorphisms_ = 1;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_PATTERN_PATTERN_H_

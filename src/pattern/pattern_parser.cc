@@ -1,0 +1,300 @@
+#include "pattern/pattern_parser.h"
+
+#include <optional>
+
+#include "util/strings.h"
+
+namespace egocensus {
+namespace {
+
+/// Cursor over the token stream with SQL-ish helpers.
+class Cursor {
+ public:
+  Cursor(const std::vector<Token>& tokens, std::size_t pos)
+      : tokens_(tokens), pos_(pos) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  std::size_t pos() const { return pos_; }
+  bool AtEnd() const { return Peek().type == Token::Type::kEnd; }
+
+  bool ConsumePunct(std::string_view p) {
+    if (Peek().IsPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view punct) {
+    if (!ConsumePunct(punct)) {
+      return Error("expected '" + std::string(punct) + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+ private:
+  const std::vector<Token>& tokens_;
+  std::size_t pos_;
+};
+
+struct EdgeOp {
+  bool directed;
+  bool reversed;  // true for <- variants
+  bool negated;
+};
+
+std::optional<EdgeOp> ParseEdgeOp(const Token& tok) {
+  if (tok.type != Token::Type::kPunct) return std::nullopt;
+  if (tok.text == "-") return EdgeOp{false, false, false};
+  if (tok.text == "->") return EdgeOp{true, false, false};
+  if (tok.text == "<-") return EdgeOp{true, true, false};
+  if (tok.text == "!->") return EdgeOp{true, false, true};
+  if (tok.text == "!<-") return EdgeOp{true, true, true};
+  return std::nullopt;
+}
+
+std::optional<PredicateOp> ParsePredicateOp(Cursor* cur) {
+  const Token& tok = cur->Peek();
+  if (tok.type != Token::Type::kPunct) return std::nullopt;
+  PredicateOp op;
+  if (tok.text == "=") {
+    op = PredicateOp::kEq;
+  } else if (tok.text == "!=" || tok.text == "<>") {
+    op = PredicateOp::kNe;
+  } else if (tok.text == "<") {
+    op = PredicateOp::kLt;
+  } else if (tok.text == "<=") {
+    op = PredicateOp::kLe;
+  } else if (tok.text == ">") {
+    op = PredicateOp::kGt;
+  } else if (tok.text == ">=") {
+    op = PredicateOp::kGe;
+  } else {
+    return std::nullopt;
+  }
+  cur->Next();
+  return op;
+}
+
+Result<PredicateOperand> ParseOperand(Cursor* cur, Pattern* pattern) {
+  const Token& tok = cur->Peek();
+  if (tok.type == Token::Type::kVariable) {
+    std::string var = cur->Next().text;
+    Status s = cur->Expect(".");
+    if (!s.ok()) return s;
+    if (cur->Peek().type != Token::Type::kIdentifier) {
+      return cur->Error("expected attribute name after '.'");
+    }
+    NodeAttrRef ref;
+    ref.node = pattern->AddNode(var);
+    ref.attr = ToUpper(cur->Next().text);
+    return PredicateOperand(ref);
+  }
+  if (tok.IsKeyword("EDGE")) {
+    cur->Next();
+    Status s = cur->Expect("(");
+    if (!s.ok()) return s;
+    if (cur->Peek().type != Token::Type::kVariable) {
+      return cur->Error("expected variable in EDGE()");
+    }
+    std::string a = cur->Next().text;
+    s = cur->Expect(",");
+    if (!s.ok()) return s;
+    if (cur->Peek().type != Token::Type::kVariable) {
+      return cur->Error("expected variable in EDGE()");
+    }
+    std::string b = cur->Next().text;
+    s = cur->Expect(")");
+    if (!s.ok()) return s;
+    s = cur->Expect(".");
+    if (!s.ok()) return s;
+    if (cur->Peek().type != Token::Type::kIdentifier) {
+      return cur->Error("expected attribute name after EDGE().");
+    }
+    EdgeAttrRef ref;
+    ref.src = pattern->AddNode(a);
+    ref.dst = pattern->AddNode(b);
+    ref.attr = ToUpper(cur->Next().text);
+    return PredicateOperand(ref);
+  }
+  bool negative = cur->ConsumePunct("-");
+  const Token& val = cur->Peek();
+  if (val.type == Token::Type::kInteger) {
+    cur->Next();
+    return PredicateOperand(
+        AttributeValue(negative ? -val.int_value : val.int_value));
+  }
+  if (val.type == Token::Type::kDouble) {
+    cur->Next();
+    return PredicateOperand(
+        AttributeValue(negative ? -val.double_value : val.double_value));
+  }
+  if (val.type == Token::Type::kString && !negative) {
+    cur->Next();
+    return PredicateOperand(AttributeValue(val.text));
+  }
+  return cur->Error("expected attribute reference or constant");
+}
+
+/// True when the predicate is the optimizable `?X.LABEL = <int>` form.
+bool TryCompileLabelConstraint(const PatternPredicate& pred,
+                               Pattern* pattern) {
+  if (pred.op != PredicateOp::kEq) return false;
+  const auto* lref = std::get_if<NodeAttrRef>(&pred.lhs);
+  const auto* rref = std::get_if<NodeAttrRef>(&pred.rhs);
+  const auto* lval = std::get_if<AttributeValue>(&pred.lhs);
+  const auto* rval = std::get_if<AttributeValue>(&pred.rhs);
+  const NodeAttrRef* ref = lref != nullptr ? lref : rref;
+  const AttributeValue* val = lval != nullptr ? lval : rval;
+  if (ref == nullptr || val == nullptr) return false;
+  if (!EqualsIgnoreCase(ref->attr, "LABEL")) return false;
+  const auto* ival = std::get_if<std::int64_t>(val);
+  if (ival == nullptr || *ival < 0) return false;
+  pattern->SetLabelConstraint(pattern->VarName(ref->node),
+                              static_cast<Label>(*ival));
+  return true;
+}
+
+Status ParsePatternBody(Cursor* cur, Pattern* pattern) {
+  Status s = cur->Expect("{");
+  if (!s.ok()) return s;
+  while (!cur->ConsumePunct("}")) {
+    if (cur->AtEnd()) return cur->Error("unterminated pattern body");
+    const Token& tok = cur->Peek();
+    if (tok.type == Token::Type::kVariable) {
+      std::string src = cur->Next().text;
+      auto op = ParseEdgeOp(cur->Peek());
+      if (op.has_value()) {
+        cur->Next();
+        if (cur->Peek().type != Token::Type::kVariable) {
+          return cur->Error("expected variable after edge operator");
+        }
+        std::string dst = cur->Next().text;
+        if (op->reversed) std::swap(src, dst);
+        if (src == dst) return cur->Error("pattern self-loop");
+        pattern->AddEdge(src, dst, op->directed, op->negated);
+      } else if (cur->Peek().IsPunct("!")) {
+        // "?A!-?B": the lexer may split '!' and '-'.
+        cur->Next();
+        if (!cur->ConsumePunct("-")) {
+          return cur->Error("expected '-' after '!'");
+        }
+        if (cur->Peek().type != Token::Type::kVariable) {
+          return cur->Error("expected variable after edge operator");
+        }
+        std::string dst = cur->Next().text;
+        pattern->AddEdge(src, dst, /*directed=*/false, /*negated=*/true);
+      } else {
+        pattern->AddNode(src);  // bare node declaration
+      }
+      s = cur->Expect(";");
+      if (!s.ok()) return s;
+      continue;
+    }
+    if (tok.IsPunct("[")) {
+      cur->Next();
+      auto lhs = ParseOperand(cur, pattern);
+      if (!lhs.ok()) return lhs.status();
+      auto op = ParsePredicateOp(cur);
+      if (!op.has_value()) return cur->Error("expected comparison operator");
+      auto rhs = ParseOperand(cur, pattern);
+      if (!rhs.ok()) return rhs.status();
+      s = cur->Expect("]");
+      if (!s.ok()) return s;
+      cur->ConsumePunct(";");  // optional trailing semicolon
+      PatternPredicate pred;
+      pred.lhs = std::move(lhs).value();
+      pred.op = *op;
+      pred.rhs = std::move(rhs).value();
+      if (!TryCompileLabelConstraint(pred, pattern)) {
+        pattern->AddPredicate(std::move(pred));
+      }
+      continue;
+    }
+    if (tok.IsKeyword("SUBPATTERN")) {
+      cur->Next();
+      if (cur->Peek().type != Token::Type::kIdentifier) {
+        return cur->Error("expected subpattern name");
+      }
+      std::string name = cur->Next().text;
+      s = cur->Expect("{");
+      if (!s.ok()) return s;
+      std::vector<std::string> members;
+      while (!cur->ConsumePunct("}")) {
+        if (cur->AtEnd()) return cur->Error("unterminated subpattern");
+        if (cur->Peek().type != Token::Type::kVariable) {
+          return cur->Error("expected variable in subpattern");
+        }
+        members.push_back(cur->Next().text);
+        cur->ConsumePunct(";");
+      }
+      s = pattern->AddSubpattern(name, members);
+      if (!s.ok()) return s;
+      cur->ConsumePunct(";");
+      continue;
+    }
+    return cur->Error("unexpected token '" + tok.text + "' in pattern body");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
+                               std::size_t* cursor) {
+  Cursor cur(tokens, *cursor);
+  if (!cur.ConsumeKeyword("PATTERN")) {
+    return cur.Error("expected PATTERN keyword");
+  }
+  if (cur.Peek().type != Token::Type::kIdentifier) {
+    return cur.Error("expected pattern name");
+  }
+  Pattern pattern(cur.Next().text);
+  Status s = ParsePatternBody(&cur, &pattern);
+  if (!s.ok()) return s;
+  s = pattern.Prepare();
+  if (!s.ok()) return s;
+  *cursor = cur.pos();
+  return pattern;
+}
+
+Result<Pattern> ParsePattern(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  std::size_t cursor = 0;
+  auto pattern = ParsePatternAt(*tokens, &cursor);
+  if (!pattern.ok()) return pattern.status();
+  if ((*tokens)[cursor].type != Token::Type::kEnd) {
+    return Status::ParseError("trailing input after pattern");
+  }
+  return pattern;
+}
+
+Result<std::vector<Pattern>> ParsePatterns(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  std::vector<Pattern> patterns;
+  std::size_t cursor = 0;
+  while ((*tokens)[cursor].type != Token::Type::kEnd) {
+    auto pattern = ParsePatternAt(*tokens, &cursor);
+    if (!pattern.ok()) return pattern.status();
+    patterns.push_back(std::move(pattern).value());
+  }
+  return patterns;
+}
+
+}  // namespace egocensus

@@ -1,0 +1,44 @@
+#ifndef EGOCENSUS_PATTERN_PATTERN_PARSER_H_
+#define EGOCENSUS_PATTERN_PATTERN_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/lexer.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Parses one PATTERN block, e.g.
+///
+///   PATTERN triad {
+///     ?A->?B; ?B->?C; ?A!->?C;
+///     [?A.LABEL=?B.LABEL];
+///     [?B.LABEL=?C.LABEL];
+///     SUBPATTERN coordinator {?B;}
+///   }
+///
+/// Supported statements: node declarations (?A;), undirected edges (?A-?B;),
+/// directed edges (?A->?B; / ?A<-?B;), negated edges (!-, !->, !<-),
+/// attribute predicates in brackets ([?A.LABEL = ?B.LABEL],
+/// [EDGE(?A,?B).SIGN = -1], comparison ops = != <> < <= > >=), and
+/// SUBPATTERN name { ?X; ?Y; }.
+///
+/// Predicates of the form [?X.LABEL = <integer>] are compiled into label
+/// constraints (the selection-predicate optimization of footnote 1).
+/// The returned pattern is validated and Prepare()d.
+Result<Pattern> ParsePattern(std::string_view text);
+
+/// Parses a sequence of PATTERN blocks.
+Result<std::vector<Pattern>> ParsePatterns(std::string_view text);
+
+/// Internal entry point shared with the query parser: parses one PATTERN
+/// block starting at token index *cursor (which must point at the PATTERN
+/// keyword); advances *cursor past the closing brace.
+Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
+                               std::size_t* cursor);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_PATTERN_PATTERN_PARSER_H_

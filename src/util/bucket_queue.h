@@ -1,0 +1,65 @@
+#ifndef EGOCENSUS_UTIL_BUCKET_QUEUE_H_
+#define EGOCENSUS_UTIL_BUCKET_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace egocensus {
+
+/// Array-based monotone priority queue over a small integer score range,
+/// as described in Section IV-B3 of the paper: because
+/// score(n) <= (k+1)*|V_P| the full score range is known up front, so nodes
+/// with score s are kept in bucket s and both insertion and extract-min are
+/// O(1) amortized.
+///
+/// The queue supports DecreaseKey-style usage by lazy deletion: callers push
+/// a (value, score) entry again with the smaller score and, on Pop, validate
+/// the returned score against their authoritative score table, discarding
+/// stale entries. PopMin() here returns entries in nondecreasing score order
+/// among entries whose score is >= the current cursor; entries pushed below
+/// the cursor are still returned correctly because the cursor rewinds.
+template <typename T>
+class BucketQueue {
+ public:
+  /// Creates a queue accepting scores in [0, max_score].
+  explicit BucketQueue(std::size_t max_score)
+      : buckets_(max_score + 1), cursor_(0), size_(0) {}
+
+  bool Empty() const { return size_ == 0; }
+  std::size_t Size() const { return size_; }
+
+  /// Inserts value with the given score. Precondition: score <= max_score.
+  void Push(const T& value, std::size_t score) {
+    buckets_[score].push_back(value);
+    if (score < cursor_) cursor_ = score;
+    ++size_;
+  }
+
+  /// Removes and returns an entry with the minimum score. Preconditions:
+  /// !Empty(). The score is written to *score_out when non-null.
+  T PopMin(std::size_t* score_out = nullptr) {
+    while (buckets_[cursor_].empty()) ++cursor_;
+    T value = buckets_[cursor_].back();
+    buckets_[cursor_].pop_back();
+    --size_;
+    if (score_out != nullptr) *score_out = cursor_;
+    return value;
+  }
+
+  /// Removes all entries.
+  void Clear() {
+    for (auto& b : buckets_) b.clear();
+    cursor_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<T>> buckets_;
+  std::size_t cursor_;
+  std::size_t size_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,52 @@
+#ifndef EGOCENSUS_UTIL_RNG_H_
+#define EGOCENSUS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace egocensus {
+
+/// Deterministic, seedable pseudo-random number generator (xoshiro256**,
+/// seeded via splitmix64). Used everywhere randomness is needed so that
+/// tests, generators and benchmarks are reproducible across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, universe). If count >= universe
+  /// returns all of [0, universe) shuffled.
+  std::vector<std::uint32_t> SampleWithoutReplacement(std::uint32_t universe,
+                                                      std::uint32_t count);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef EGOCENSUS_UTIL_STRINGS_H_
+#define EGOCENSUS_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egocensus {
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`, optionally trimming each piece. Empty pieces are
+/// kept (consistent with SQL-ish value lists).
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool trim = true);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_STRINGS_H_

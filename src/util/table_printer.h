@@ -1,0 +1,39 @@
+#ifndef EGOCENSUS_UTIL_TABLE_PRINTER_H_
+#define EGOCENSUS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace egocensus {
+
+/// Collects rows of string cells and prints them as an aligned text table
+/// (the format used by the bench harnesses to mirror the paper's figures)
+/// or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string FormatDouble(double v, int precision = 3);
+
+  /// Writes an aligned, human-readable table.
+  void PrintText(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// numeric tables).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+#ifndef EGOCENSUS_UTIL_TIMER_H_
+#define EGOCENSUS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace egocensus {
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_TIMER_H_

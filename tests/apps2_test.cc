@@ -1,0 +1,244 @@
+// Tests for the brokerage and node-signature application libraries, plus a
+// fidelity check for Section II's claim that the Jaccard coefficient is
+// expressible as node-pattern censuses over intersection and union
+// neighborhoods.
+
+#include <gtest/gtest.h>
+
+#include "apps/brokerage.h"
+#include "apps/link_prediction.h"
+#include "apps/signatures.h"
+#include "census/pairwise.h"
+#include "graph/generators.h"
+#include "match/cn_matcher.h"
+#include "pattern/catalog.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+// ---- Brokerage ----
+
+TEST(BrokerageTest, RolesClassifiedCorrectly) {
+  // Orgs: 0 -> org0, 1 -> org0, 2 -> org0, 3 -> org1, 4 -> org2.
+  Graph g(true);
+  g.AddNodes(5);
+  g.SetLabel(0, 0);
+  g.SetLabel(1, 0);
+  g.SetLabel(2, 0);
+  g.SetLabel(3, 1);
+  g.SetLabel(4, 2);
+  g.AddEdge(0, 1);  // org0 -> org0
+  g.AddEdge(1, 2);  // 0->1->2: coordinator at 1 (all org0)
+  g.AddEdge(3, 1);  // org1 -> org0; 3->1->2: gatekeeper at 1
+  g.AddEdge(1, 3);  // 0->1->3: representative at 1 (A,B org0; C org1)
+  g.AddEdge(3, 4);  // 1->3->4: liaison at 3 (org0, org1, org2)
+  g.Finalize();
+
+  auto result = ComputeBrokerage(g, CensusOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto at = [&](NodeId n, BrokerageRole role) {
+    return result->counts[n][static_cast<int>(role)];
+  };
+  EXPECT_EQ(at(1, BrokerageRole::kCoordinator), 1u);  // 0->1->2
+  EXPECT_EQ(at(1, BrokerageRole::kGatekeeper), 1u);   // 3->1->2
+  EXPECT_EQ(at(1, BrokerageRole::kRepresentative), 1u);  // 0->1->3
+  EXPECT_EQ(at(3, BrokerageRole::kLiaison), 1u);      // 1->3->4
+  EXPECT_EQ(at(0, BrokerageRole::kCoordinator), 0u);
+}
+
+TEST(BrokerageTest, ConsultantRole) {
+  // A and C in org 0, broker B in org 1: consultant.
+  Graph g(true);
+  g.AddNodes(3);
+  g.SetLabel(0, 0);
+  g.SetLabel(1, 1);
+  g.SetLabel(2, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  auto result = ComputeBrokerage(g, CensusOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts[1][static_cast<int>(BrokerageRole::kConsultant)],
+            1u);
+  EXPECT_EQ(result->counts[1][static_cast<int>(BrokerageRole::kLiaison)], 0u);
+}
+
+TEST(BrokerageTest, ClosedTriadNotBrokered) {
+  // A -> C shortcut closes the triad: no brokerage.
+  Graph g(true);
+  g.AddNodes(3);
+  for (NodeId n = 0; n < 3; ++n) g.SetLabel(n, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.Finalize();
+  auto result = ComputeBrokerage(g, CensusOptions());
+  ASSERT_TRUE(result.ok());
+  for (int r = 0; r < kNumBrokerageRoles; ++r) {
+    EXPECT_EQ(result->counts[1][r], 0u);
+  }
+}
+
+TEST(BrokerageTest, RolesPartitionOpenTriads) {
+  // On a random directed labeled graph, summing the five roles over a
+  // broker equals its total open-triad count.
+  Graph g = GenerateErdosRenyi(60, 240, 3, 55, /*directed=*/true);
+  auto result = ComputeBrokerage(g, CensusOptions());
+  ASSERT_TRUE(result.ok());
+
+  // Independent count of open triads per middle node.
+  std::vector<std::uint64_t> open_triads(g.NumNodes(), 0);
+  for (NodeId b = 0; b < g.NumNodes(); ++b) {
+    for (NodeId a : g.InNeighbors(b)) {
+      for (NodeId c : g.OutNeighbors(b)) {
+        if (a == c || a == b || c == b) continue;
+        if (!g.HasEdge(a, c)) ++open_triads[b];
+      }
+    }
+  }
+  for (NodeId b = 0; b < g.NumNodes(); ++b) {
+    std::uint64_t total = 0;
+    for (int r = 0; r < kNumBrokerageRoles; ++r) total += result->counts[b][r];
+    EXPECT_EQ(total, open_triads[b]) << "node " << b;
+  }
+}
+
+TEST(BrokerageTest, UndirectedGraphRejected) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(ComputeBrokerage(g, CensusOptions()).ok());
+}
+
+// ---- Node signatures ----
+
+TEST(SignaturesTest, SignatureValuesMatchDirectCensus) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  std::vector<Pattern> patterns;
+  patterns.push_back(MakeSingleEdge());
+  patterns.push_back(MakeTriangle(false));
+  auto signatures = BuildNodeSignatures(g, patterns, SignatureOptions());
+  ASSERT_TRUE(signatures.ok());
+  // Node 2's 1-hop ego net = whole graph: 4 edges, 1 triangle.
+  EXPECT_EQ((*signatures)[2][0], 4u);
+  EXPECT_EQ((*signatures)[2][1], 1u);
+  // Node 3's ego net = {2, 3}: one edge, no triangle.
+  EXPECT_EQ((*signatures)[3][0], 1u);
+  EXPECT_EQ((*signatures)[3][1], 0u);
+}
+
+TEST(SignaturesTest, PatternToGraphSkeleton) {
+  Pattern tri = MakeTriangle(true);
+  Graph skeleton = PatternToGraph(tri);
+  EXPECT_EQ(skeleton.NumNodes(), 3u);
+  EXPECT_EQ(skeleton.NumEdges(), 3u);
+  EXPECT_EQ(skeleton.label(0), 0u);
+  EXPECT_EQ(skeleton.label(2), 2u);
+}
+
+TEST(SignaturesTest, FilterIsSoundForCliqueQuery) {
+  GeneratorOptions gen;
+  gen.num_nodes = 400;
+  gen.edges_per_node = 5;
+  gen.seed = 17;
+  Graph g = GeneratePreferentialAttachment(gen);
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(MakeSingleEdge());
+  patterns.push_back(MakeTriangle(false));
+  SignatureOptions options;
+  auto signatures = BuildNodeSignatures(g, patterns, options);
+  ASSERT_TRUE(signatures.ok());
+
+  Pattern clq4 = MakeClique4(false);
+  auto role_sig = RoleSignature(clq4, 0, patterns, options);
+  ASSERT_TRUE(role_sig.ok());
+  // A clq4 node's 1-hop ego network is the whole K4: 6 edges, 4 triangles.
+  EXPECT_EQ((*role_sig)[0], 6u);
+  EXPECT_EQ((*role_sig)[1], 4u);
+
+  auto candidates = FilterCandidatesBySignature(*signatures, *role_sig);
+  std::vector<char> is_candidate(g.NumNodes(), 0);
+  for (NodeId n : candidates) is_candidate[n] = 1;
+
+  // Soundness: every node participating in a real 4-clique must survive.
+  CnMatcher matcher;
+  MatchSet matches = matcher.FindMatches(g, clq4);
+  for (std::size_t m = 0; m < matches.size(); ++m) {
+    for (NodeId n : matches.Match(m)) {
+      EXPECT_TRUE(is_candidate[n]) << "node " << n << " wrongly pruned";
+    }
+  }
+  // And the filter should actually prune something.
+  EXPECT_LT(candidates.size(), g.NumNodes());
+}
+
+TEST(SignaturesTest, RoleOutOfRange) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(MakeSingleEdge());
+  EXPECT_FALSE(
+      RoleSignature(MakeTriangle(false), 7, patterns, SignatureOptions())
+          .ok());
+}
+
+// ---- Jaccard via census (Section II claim) ----
+
+TEST(JaccardViaCensusTest, MatchesDirectJaccard) {
+  // J(u, v) = |N(u) cap N(v)| / |N(u) cup N(v)| computed from single-node
+  // censuses over SUBGRAPH-INTERSECTION and SUBGRAPH-UNION at k = 1, after
+  // removing u and v themselves from both sets (the classic definition uses
+  // open neighborhoods; the census counts closed ones).
+  GeneratorOptions gen;
+  gen.num_nodes = 60;
+  gen.edges_per_node = 3;
+  gen.seed = 23;
+  Graph g = GeneratePreferentialAttachment(gen);
+
+  Pattern node = MakeSingleNode();
+  PairwiseCensusOptions inter;
+  inter.k = 1;
+  inter.neighborhood = PairNeighborhood::kIntersection;
+  auto inter_counts = RunPairwisePtOpt(g, node, inter);
+  ASSERT_TRUE(inter_counts.ok());
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& [key, count] : *inter_counts) {
+    pairs.push_back(UnpackPair(key));
+    if (pairs.size() >= 60) break;
+  }
+  PairwiseCensusOptions uni = inter;
+  uni.neighborhood = PairNeighborhood::kUnion;
+  auto union_counts = RunPairwiseNdBas(g, node, pairs, uni);
+  ASSERT_TRUE(union_counts.ok());
+
+  auto jaccard = ComputeJaccardScores(g);
+  std::unordered_map<std::uint64_t, double> jaccard_map(jaccard.begin(),
+                                                        jaccard.end());
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    auto [u, v] = pairs[i];
+    double closed_inter =
+        static_cast<double>(inter_counts->at(PackPair(u, v)));
+    double closed_union = static_cast<double>((*union_counts)[i]);
+    // Open-neighborhood correction: the census counts closed
+    // neighborhoods. If u, v are adjacent, each belongs to the other's open
+    // neighborhood, so the closed intersection gains {u, v} and the closed
+    // union gains nothing; if not adjacent, the intersection is unchanged
+    // and the union gains {u, v}.
+    bool adjacent = g.HasUndirectedEdge(u, v);
+    double open_inter = closed_inter - (adjacent ? 2 : 0);
+    double open_union = closed_union - (adjacent ? 0 : 2);
+    double expected = 0;
+    auto it = jaccard_map.find(PackPair(u, v));
+    if (it != jaccard_map.end()) expected = it->second;
+    if (open_union > 0) {
+      EXPECT_NEAR(open_inter / open_union, expected, 1e-9)
+          << "pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egocensus

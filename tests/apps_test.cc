@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "apps/dblp_gen.h"
+#include "apps/link_prediction.h"
+#include "graph/bfs.h"
+
+namespace egocensus {
+namespace {
+
+DblpOptions SmallDblp() {
+  DblpOptions opts;
+  opts.num_authors = 400;
+  opts.num_communities = 8;
+  opts.papers_per_year = 80;
+  opts.seed = 71;
+  return opts;
+}
+
+TEST(DblpGenTest, Deterministic) {
+  DblpData a = GenerateDblp(SmallDblp());
+  DblpData b = GenerateDblp(SmallDblp());
+  EXPECT_EQ(a.train.NumEdges(), b.train.NumEdges());
+  EXPECT_EQ(a.test_edges, b.test_edges);
+}
+
+TEST(DblpGenTest, TrainGraphShape) {
+  DblpData data = GenerateDblp(SmallDblp());
+  EXPECT_EQ(data.train.NumNodes(), 400u);
+  EXPECT_GT(data.train.NumEdges(), 100u);
+  EXPECT_EQ(data.train_edge_keys.size(), data.train.NumEdges());
+}
+
+TEST(DblpGenTest, TestEdgesDisjointFromTrain) {
+  DblpData data = GenerateDblp(SmallDblp());
+  EXPECT_FALSE(data.test_edges.empty());
+  for (const auto& [a, b] : data.test_edges) {
+    EXPECT_EQ(data.train_edge_keys.count(PackPair(a, b)), 0u);
+    EXPECT_FALSE(data.train.HasUndirectedEdge(a, b));
+  }
+}
+
+TEST(DblpGenTest, CommunityAttributeSet) {
+  DblpData data = GenerateDblp(SmallDblp());
+  auto c = data.train.GetNodeAttribute(0, "COMMUNITY");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GE(std::get<std::int64_t>(*c), 0);
+  EXPECT_LT(std::get<std::int64_t>(*c), 8);
+}
+
+TEST(DblpGenTest, TriadicClosureYieldsTriangles) {
+  DblpData data = GenerateDblp(SmallDblp());
+  // Co-authorship graphs are triangle-heavy (papers are cliques).
+  std::uint64_t triangles = 0;
+  const Graph& g = data.train;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      for (NodeId w : g.Neighbors(v)) {
+        if (w <= v) continue;
+        if (g.HasUndirectedEdge(u, w)) ++triangles;
+      }
+    }
+  }
+  EXPECT_GT(triangles, 50u);
+}
+
+TEST(RankPairsTest, OrdersByCountThenKey) {
+  PairCounts counts;
+  counts[PackPair(1, 2)] = 5;
+  counts[PackPair(3, 4)] = 9;
+  counts[PackPair(5, 6)] = 5;
+  counts[PackPair(7, 8)] = 0;  // dropped
+  std::unordered_set<std::uint64_t> exclude = {PackPair(9, 10)};
+  auto ranked = RankPairs(counts, exclude);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], PackPair(3, 4));
+  EXPECT_EQ(ranked[1], PackPair(1, 2));  // tie broken by key
+  EXPECT_EQ(ranked[2], PackPair(5, 6));
+}
+
+TEST(RankPairsTest, ExcludesGivenPairs) {
+  PairCounts counts;
+  counts[PackPair(1, 2)] = 5;
+  std::unordered_set<std::uint64_t> exclude = {PackPair(1, 2)};
+  EXPECT_TRUE(RankPairs(counts, exclude).empty());
+}
+
+TEST(PrecisionAtKTest, Basics) {
+  std::vector<std::uint64_t> ranked = {10, 20, 30, 40};
+  std::unordered_set<std::uint64_t> truth = {20, 40};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, truth, 4), 0.5);
+  // K beyond the ranking: misses count against precision.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, truth, 8), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, truth, 0), 0.0);
+}
+
+TEST(JaccardTest, SimpleWedge) {
+  // 0-1, 1-2: nodes 0 and 2 share neighbor 1. J = 1 / (1 + 1 - 1) = 1.
+  Graph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  auto scores = ComputeJaccardScores(g);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].first, PackPair(0, 2));
+  EXPECT_DOUBLE_EQ(scores[0].second, 1.0);
+}
+
+TEST(LinkPredictionTest, EndToEndSmall) {
+  DblpOptions opts = SmallDblp();
+  DblpData data = GenerateDblp(opts);
+  LinkPredictionOptions lp;
+  lp.radii = {1, 2};
+  lp.precision_ks = {20, 100};
+  auto report = RunLinkPrediction(data, lp);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // 3 structures x 2 radii + jaccard + random.
+  ASSERT_EQ(report->measures.size(), 8u);
+  double best_census = 0;
+  double random_precision = 0;
+  for (const auto& m : report->measures) {
+    ASSERT_EQ(m.precision.size(), 2u);
+    for (double p : m.precision) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    if (m.name == "random") {
+      random_precision = m.precision[0];
+    } else if (m.name != "jaccard") {
+      best_census = std::max(best_census, m.precision[0]);
+    }
+  }
+  // The census measures must carry real signal: far above random.
+  EXPECT_GT(best_census, random_precision + 0.05);
+}
+
+TEST(LinkPredictionTest, MeasureNamesAndTimings) {
+  DblpOptions opts = SmallDblp();
+  opts.num_authors = 200;
+  opts.papers_per_year = 40;
+  DblpData data = GenerateDblp(opts);
+  LinkPredictionOptions lp;
+  lp.radii = {1};
+  lp.precision_ks = {10};
+  auto report = RunLinkPrediction(data, lp);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->measures.size(), 5u);
+  EXPECT_EQ(report->measures[0].name, "node@1");
+  EXPECT_EQ(report->measures[1].name, "edge@1");
+  EXPECT_EQ(report->measures[2].name, "triangle@1");
+  EXPECT_EQ(report->measures[3].name, "jaccard");
+  EXPECT_EQ(report->measures[4].name, "random");
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+// Path 0-1-2-3-4 with a chord 0-2.
+Graph PathWithChord() {
+  return MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}});
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = PathWithChord();
+  BfsWorkspace bfs;
+  bfs.Run(g, 0, 10);
+  EXPECT_EQ(bfs.DistanceTo(0), 0u);
+  EXPECT_EQ(bfs.DistanceTo(1), 1u);
+  EXPECT_EQ(bfs.DistanceTo(2), 1u);  // via chord
+  EXPECT_EQ(bfs.DistanceTo(3), 2u);
+  EXPECT_EQ(bfs.DistanceTo(4), 3u);
+}
+
+TEST(BfsTest, DepthBound) {
+  Graph g = PathWithChord();
+  BfsWorkspace bfs;
+  const auto& visited = bfs.Run(g, 4, 1);
+  EXPECT_EQ(visited.size(), 2u);  // {4, 3}
+  EXPECT_TRUE(bfs.Reached(3));
+  EXPECT_FALSE(bfs.Reached(2));
+}
+
+TEST(BfsTest, DepthZeroIsJustSource) {
+  Graph g = PathWithChord();
+  BfsWorkspace bfs;
+  EXPECT_EQ(bfs.Run(g, 2, 0).size(), 1u);
+  EXPECT_EQ(bfs.DistanceTo(2), 0u);
+  EXPECT_FALSE(bfs.Reached(1));
+}
+
+TEST(BfsTest, WorkspaceResetBetweenRuns) {
+  Graph g = PathWithChord();
+  BfsWorkspace bfs;
+  bfs.Run(g, 0, 10);
+  bfs.Run(g, 4, 1);
+  EXPECT_FALSE(bfs.Reached(0));  // stale distances must be cleared
+  EXPECT_TRUE(bfs.Reached(3));
+}
+
+TEST(BfsTest, VisitOrderNondecreasingDistance) {
+  GeneratorOptions opts;
+  opts.num_nodes = 200;
+  opts.seed = 5;
+  Graph g = GeneratePreferentialAttachment(opts);
+  BfsWorkspace bfs;
+  const auto& visited = bfs.Run(g, 0, 3);
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LE(bfs.DistanceTo(visited[i - 1]), bfs.DistanceTo(visited[i]));
+  }
+}
+
+TEST(BfsTest, DisconnectedComponentUnreached) {
+  Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  BfsWorkspace bfs;
+  bfs.Run(g, 0, 10);
+  EXPECT_TRUE(bfs.Reached(1));
+  EXPECT_FALSE(bfs.Reached(2));
+  EXPECT_EQ(bfs.DistanceTo(3), BfsWorkspace::kUnreached);
+}
+
+TEST(FullBfsTest, MatchesBoundedBfs) {
+  GeneratorOptions opts;
+  opts.num_nodes = 300;
+  opts.seed = 6;
+  Graph g = GeneratePreferentialAttachment(opts);
+  std::vector<std::uint16_t> dist;
+  FullBfsDistances(g, 7, &dist, 0xFFFF);
+  BfsWorkspace bfs;
+  bfs.Run(g, 7, 1000);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (bfs.Reached(n)) {
+      EXPECT_EQ(dist[n], bfs.DistanceTo(n));
+    } else {
+      EXPECT_EQ(dist[n], 0xFFFF);
+    }
+  }
+}
+
+TEST(SubgraphTest, KHopInduced) {
+  Graph g = PathWithChord();
+  SubgraphExtractor extractor(g);
+  EgoSubgraph sub = extractor.ExtractKHop(0, 1);
+  // N_1(0) = {0, 1, 2}; induced edges: 0-1, 1-2, 0-2.
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  EXPECT_EQ(sub.to_global.size(), 3u);
+}
+
+TEST(SubgraphTest, LabelsCopied) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}}, {5, 6, 7});
+  SubgraphExtractor extractor(g);
+  EgoSubgraph sub = extractor.ExtractKHop(1, 1);
+  ASSERT_EQ(sub.graph.NumNodes(), 3u);
+  for (NodeId local = 0; local < 3; ++local) {
+    EXPECT_EQ(sub.graph.label(local), g.label(sub.to_global[local]));
+  }
+}
+
+TEST(SubgraphTest, AttributesCopiedWhenRequested) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  g.node_attributes().Set(1, "W", std::int64_t{9});
+  SubgraphExtractor extractor(g);
+  EgoSubgraph with = extractor.ExtractKHop(0, 1, /*copy_attributes=*/true);
+  bool found = false;
+  for (NodeId local = 0; local < with.graph.NumNodes(); ++local) {
+    if (with.to_global[local] == 1) {
+      found = with.graph.GetNodeAttribute(local, "W").has_value();
+    }
+  }
+  EXPECT_TRUE(found);
+  EgoSubgraph without = extractor.ExtractKHop(0, 1, /*copy_attributes=*/false);
+  for (NodeId local = 0; local < without.graph.NumNodes(); ++local) {
+    EXPECT_FALSE(without.graph.GetNodeAttribute(local, "W").has_value());
+  }
+}
+
+TEST(SubgraphTest, DirectedEdgesKeptOriented) {
+  Graph g = MakeGraph(3, {{0, 1}, {2, 1}}, {}, /*directed=*/true);
+  SubgraphExtractor extractor(g);
+  EgoSubgraph sub = extractor.ExtractKHop(1, 1);
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  // Find local ids.
+  NodeId l0 = kInvalidNode, l1 = kInvalidNode, l2 = kInvalidNode;
+  for (NodeId l = 0; l < 3; ++l) {
+    if (sub.to_global[l] == 0) l0 = l;
+    if (sub.to_global[l] == 1) l1 = l;
+    if (sub.to_global[l] == 2) l2 = l;
+  }
+  EXPECT_TRUE(sub.graph.HasEdge(l0, l1));
+  EXPECT_FALSE(sub.graph.HasEdge(l1, l0));
+  EXPECT_TRUE(sub.graph.HasEdge(l2, l1));
+}
+
+TEST(SubgraphTest, IntersectionAndUnion) {
+  // Path 0-1-2-3-4.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  SubgraphExtractor extractor(g);
+  EgoSubgraph inter = extractor.ExtractIntersection(0, 2, 1);
+  // N_1(0) = {0,1,2}... actually {0,1}; N_1(2) = {1,2,3}; intersection {1}.
+  EXPECT_EQ(inter.graph.NumNodes(), 1u);
+  EXPECT_EQ(inter.to_global[0], 1u);
+
+  EgoSubgraph uni = extractor.ExtractUnion(0, 2, 1);
+  EXPECT_EQ(uni.graph.NumNodes(), 4u);  // {0,1} U {1,2,3}
+  EXPECT_EQ(uni.graph.NumEdges(), 3u);  // 0-1, 1-2, 2-3
+}
+
+TEST(SubgraphTest, EdgeAttributesCopied) {
+  Graph g;
+  g.AddNodes(3);
+  EdgeId e = g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.edge_attributes().Set(e, "SIGN", std::int64_t{-1});
+  g.Finalize();
+  SubgraphExtractor extractor(g);
+  EgoSubgraph sub = extractor.ExtractKHop(0, 1);
+  ASSERT_EQ(sub.graph.NumEdges(), 1u);
+  auto sign = sub.graph.edge_attributes().Get(0, "SIGN");
+  ASSERT_TRUE(sign.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*sign), -1);
+}
+
+TEST(SubgraphTest, RepeatedExtractionIsConsistent) {
+  GeneratorOptions opts;
+  opts.num_nodes = 100;
+  opts.seed = 8;
+  Graph g = GeneratePreferentialAttachment(opts);
+  SubgraphExtractor extractor(g);
+  EgoSubgraph first = extractor.ExtractKHop(5, 2);
+  for (int i = 0; i < 3; ++i) extractor.ExtractKHop(i, 1);
+  EgoSubgraph again = extractor.ExtractKHop(5, 2);
+  EXPECT_EQ(first.graph.NumNodes(), again.graph.NumNodes());
+  EXPECT_EQ(first.graph.NumEdges(), again.graph.NumEdges());
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,218 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "graph/bfs.h"
+#include "graph/io.h"
+#include "graph/profile_index.h"
+#include "graph/distance_index.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+TEST(PreferentialAttachmentTest, SizesMatchOptions) {
+  GeneratorOptions opts;
+  opts.num_nodes = 1000;
+  opts.edges_per_node = 5;
+  opts.seed = 1;
+  Graph g = GeneratePreferentialAttachment(opts);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  // |E| ~= 5 |V| (seed clique adds a few, boundary nodes may add fewer).
+  EXPECT_GE(g.NumEdges(), 4900u);
+  EXPECT_LE(g.NumEdges(), 5100u);
+}
+
+TEST(PreferentialAttachmentTest, Deterministic) {
+  GeneratorOptions opts;
+  opts.num_nodes = 300;
+  opts.seed = 42;
+  Graph a = GeneratePreferentialAttachment(opts);
+  Graph b = GeneratePreferentialAttachment(opts);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeEndpoints(e), b.EdgeEndpoints(e));
+  }
+}
+
+TEST(PreferentialAttachmentTest, NoDuplicateEdgesOrSelfLoops) {
+  GeneratorOptions opts;
+  opts.num_nodes = 500;
+  opts.seed = 3;
+  Graph g = GeneratePreferentialAttachment(opts);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    auto [u, v] = g.EdgeEndpoints(e);
+    EXPECT_NE(u, v);
+    auto key = std::minmax(u, v);
+    EXPECT_TRUE(seen.emplace(key.first, key.second).second);
+  }
+}
+
+TEST(PreferentialAttachmentTest, Connected) {
+  GeneratorOptions opts;
+  opts.num_nodes = 400;
+  opts.seed = 4;
+  Graph g = GeneratePreferentialAttachment(opts);
+  BfsWorkspace bfs;
+  EXPECT_EQ(bfs.Run(g, 0, 1000000).size(), g.NumNodes());
+}
+
+TEST(PreferentialAttachmentTest, LabelsInRange) {
+  GeneratorOptions opts;
+  opts.num_nodes = 200;
+  opts.num_labels = 4;
+  opts.seed = 5;
+  Graph g = GeneratePreferentialAttachment(opts);
+  EXPECT_LE(g.NumLabels(), 4u);
+  std::set<Label> labels;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) labels.insert(g.label(n));
+  EXPECT_EQ(labels.size(), 4u);  // all labels used with 200 draws
+}
+
+TEST(PreferentialAttachmentTest, SkewedDegreeDistribution) {
+  GeneratorOptions opts;
+  opts.num_nodes = 2000;
+  opts.seed = 6;
+  Graph g = GeneratePreferentialAttachment(opts);
+  std::uint32_t max_degree = 0;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    max_degree = std::max(max_degree, g.Degree(n));
+  }
+  // Preferential attachment produces hubs far above the mean degree (10).
+  EXPECT_GT(max_degree, 60u);
+}
+
+TEST(PreferentialAttachmentTest, TinyGraphs) {
+  GeneratorOptions opts;
+  opts.num_nodes = 0;
+  EXPECT_EQ(GeneratePreferentialAttachment(opts).NumNodes(), 0u);
+  opts.num_nodes = 1;
+  EXPECT_EQ(GeneratePreferentialAttachment(opts).NumEdges(), 0u);
+  opts.num_nodes = 3;
+  opts.edges_per_node = 5;
+  Graph g = GeneratePreferentialAttachment(opts);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_LE(g.NumEdges(), 3u);
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyi(100, 300, 2, 7);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(ErdosRenyiTest, CapsAtCompleteGraph) {
+  Graph g = GenerateErdosRenyi(5, 1000, 1, 8);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(ErdosRenyiTest, DirectedVariant) {
+  Graph g = GenerateErdosRenyi(10, 30, 1, 9, /*directed=*/true);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.NumEdges(), 30u);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  GeneratorOptions opts;
+  opts.num_nodes = 150;
+  opts.num_labels = 3;
+  opts.seed = 10;
+  Graph g = GeneratePreferentialAttachment(opts);
+  std::string path = ::testing::TempDir() + "/egocensus_io_test.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(loaded->label(n), g.label(n));
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(loaded->EdgeEndpoints(e), g.EdgeEndpoints(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFile) {
+  auto r = LoadGraph("/nonexistent/path/x.graph");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProfileIndexTest, CountsPerLabel) {
+  Graph g = egocensus::testing::MakeGraph(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}, {0, 1, 1, 0});
+  ProfileIndex idx = ProfileIndex::Build(g);
+  EXPECT_EQ(idx.num_labels(), 2u);
+  EXPECT_EQ(idx.Count(0, 0), 1u);  // neighbor 3 has label 0
+  EXPECT_EQ(idx.Count(0, 1), 2u);  // neighbors 1, 2
+  EXPECT_EQ(idx.Count(3, 0), 1u);
+  EXPECT_EQ(idx.Count(3, 1), 0u);
+}
+
+TEST(CenterDistanceIndexTest, ExactDistances) {
+  GeneratorOptions opts;
+  opts.num_nodes = 200;
+  opts.seed = 11;
+  Graph g = GeneratePreferentialAttachment(opts);
+  auto centers = PickHighestDegreeCenters(g, 4);
+  CenterDistanceIndex idx = CenterDistanceIndex::Build(g, centers);
+  ASSERT_EQ(idx.NumCenters(), 4u);
+  BfsWorkspace bfs;
+  for (std::size_t c = 0; c < 4; ++c) {
+    bfs.Run(g, centers[c], 1000000);
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      EXPECT_EQ(idx.Distance(c, n), bfs.DistanceTo(n));
+    }
+  }
+}
+
+TEST(CenterDistanceIndexTest, UnreachedMarked) {
+  Graph g = egocensus::testing::MakeGraph(4, {{0, 1}, {2, 3}});
+  CenterDistanceIndex idx = CenterDistanceIndex::Build(g, {0});
+  EXPECT_EQ(idx.Distance(0, 1), 1);
+  EXPECT_EQ(idx.Distance(0, 2), CenterDistanceIndex::kUnreached);
+}
+
+TEST(CenterPickersTest, DegreeCentersAreHighestDegree) {
+  GeneratorOptions opts;
+  opts.num_nodes = 300;
+  opts.seed = 12;
+  Graph g = GeneratePreferentialAttachment(opts);
+  auto centers = PickHighestDegreeCenters(g, 5);
+  ASSERT_EQ(centers.size(), 5u);
+  std::uint32_t min_center_degree = 0xFFFFFFFF;
+  for (NodeId c : centers) {
+    min_center_degree = std::min(min_center_degree, g.Degree(c));
+  }
+  std::set<NodeId> center_set(centers.begin(), centers.end());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (center_set.count(n) == 0) {
+      EXPECT_LE(g.Degree(n), min_center_degree);
+    }
+  }
+}
+
+TEST(CenterPickersTest, RandomCentersDistinct) {
+  GeneratorOptions opts;
+  opts.num_nodes = 100;
+  opts.seed = 13;
+  Graph g = GeneratePreferentialAttachment(opts);
+  Rng rng(1);
+  auto centers = PickRandomCenters(g, 10, &rng);
+  std::set<NodeId> set(centers.begin(), centers.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(CenterPickersTest, CountCappedAtNumNodes) {
+  Graph g = egocensus::testing::MakeGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(PickHighestDegreeCenters(g, 10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,72 @@
+#include "census/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace egocensus {
+namespace {
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  auto assignment = KMeansCluster({}, 0, 3, 2, 10, &rng);
+  EXPECT_TRUE(assignment.empty());
+}
+
+TEST(KMeansTest, SingleClusterAllZero) {
+  Rng rng(1);
+  std::vector<float> f = {1, 2, 3, 4, 5, 6};
+  auto assignment = KMeansCluster(f, 3, 2, 1, 10, &rng);
+  EXPECT_EQ(assignment, (std::vector<std::uint32_t>{0, 0, 0}));
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight blobs far apart in 2D.
+  std::vector<float> features;
+  for (int i = 0; i < 10; ++i) {
+    features.push_back(0.f + i * 0.01f);
+    features.push_back(0.f);
+  }
+  for (int i = 0; i < 10; ++i) {
+    features.push_back(100.f + i * 0.01f);
+    features.push_back(100.f);
+  }
+  Rng rng(7);
+  auto assignment = KMeansCluster(features, 20, 2, 2, 10, &rng);
+  ASSERT_EQ(assignment.size(), 20u);
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(assignment[i], assignment[10]);
+  EXPECT_NE(assignment[0], assignment[10]);
+}
+
+TEST(KMeansTest, KLargerThanPointsClamped) {
+  std::vector<float> f = {0.f, 10.f, 20.f};
+  Rng rng(3);
+  auto assignment = KMeansCluster(f, 3, 1, 10, 5, &rng);
+  ASSERT_EQ(assignment.size(), 3u);
+  for (auto a : assignment) EXPECT_LT(a, 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<float> features;
+  Rng data_rng(5);
+  for (int i = 0; i < 60; ++i) {
+    features.push_back(static_cast<float>(data_rng.NextBounded(100)));
+  }
+  Rng a(9), b(9);
+  auto r1 = KMeansCluster(features, 30, 2, 4, 10, &a);
+  auto r2 = KMeansCluster(features, 30, 2, 4, 10, &b);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  std::vector<float> features;
+  Rng data_rng(6);
+  for (int i = 0; i < 100; ++i) {
+    features.push_back(static_cast<float>(data_rng.NextBounded(50)));
+  }
+  Rng rng(4);
+  auto assignment = KMeansCluster(features, 50, 2, 7, 10, &rng);
+  for (auto a : assignment) EXPECT_LT(a, 7u);
+}
+
+}  // namespace
+}  // namespace egocensus

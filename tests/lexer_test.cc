@@ -1,0 +1,115 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace egocensus {
+namespace {
+
+std::vector<Token> Lex(std::string_view s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, Token::Type::kEnd);
+}
+
+TEST(LexerTest, Variables) {
+  auto tokens = Lex("?A ?node_1");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, Token::Type::kVariable);
+  EXPECT_EQ(tokens[0].text, "A");
+  EXPECT_EQ(tokens[1].text, "node_1");
+}
+
+TEST(LexerTest, EdgeOperators) {
+  auto tokens = Lex("?A-?B ?A->?B ?A<-?B ?A!->?C ?A!<-?C");
+  std::vector<std::string> puncts;
+  for (const auto& t : tokens) {
+    if (t.type == Token::Type::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts,
+            (std::vector<std::string>{"-", "->", "<-", "!->", "!<-"}));
+}
+
+TEST(LexerTest, BangDashSplits) {
+  // "!-" is lexed as '!' then '-'; the pattern parser reassembles it.
+  auto tokens = Lex("?A!-?B");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].IsPunct("!"));
+  EXPECT_TRUE(tokens[2].IsPunct("-"));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("= != <> < <= > >=");
+  std::vector<std::string> puncts;
+  for (const auto& t : tokens) {
+    if (t.type == Token::Type::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"=", "!=", "<>", "<", "<=", ">",
+                                              ">="}));
+}
+
+TEST(LexerTest, IdentifiersWithDash) {
+  auto tokens = Lex("clq3-unlb SUBGRAPH-INTERSECTION(x)");
+  EXPECT_EQ(tokens[0].text, "clq3-unlb");
+  EXPECT_EQ(tokens[1].text, "SUBGRAPH-INTERSECTION");
+  EXPECT_TRUE(tokens[2].IsPunct("("));
+}
+
+TEST(LexerTest, DottedReferenceSplits) {
+  auto tokens = Lex("n1.ID");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "n1");
+  EXPECT_TRUE(tokens[1].IsPunct("."));
+  EXPECT_EQ(tokens[2].text, "ID");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("42 3.14 0");
+  EXPECT_EQ(tokens[0].type, Token::Type::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, Token::Type::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.14);
+  EXPECT_EQ(tokens[2].int_value, 0);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Lex("'abc' \"d e\"");
+  EXPECT_EQ(tokens[0].type, Token::Type::kString);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "d e");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Lex("a -- comment here\nb");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, KeywordCaseInsensitive) {
+  auto tokens = Lex("select SeLeCt");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("select"));
+}
+
+TEST(LexerTest, BareQuestionMarkFails) {
+  EXPECT_FALSE(Tokenize("? ").ok());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace egocensus

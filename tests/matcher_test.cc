@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "match/cn_matcher.h"
+#include "match/gql_matcher.h"
+#include "pattern/catalog.h"
+#include "pattern/pattern_parser.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+using testing::CountEmbeddings;
+using testing::MakeGraph;
+
+std::uint64_t CnCount(const Graph& g, const Pattern& p) {
+  CnMatcher matcher;
+  return matcher.FindMatches(g, p).size();
+}
+
+TEST(CnMatcherTest, TrianglesInK4) {
+  Graph k4 = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(CnCount(k4, MakeTriangle(false)), 4u);
+  EXPECT_EQ(CnCount(k4, MakeClique4(false)), 1u);
+}
+
+TEST(CnMatcherTest, SquaresInCycleAndK4) {
+  Graph c4 = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(CnCount(c4, MakeSquare(false)), 1u);
+  Graph k4 = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(CnCount(k4, MakeSquare(false)), 3u);  // three 4-cycles in K4
+}
+
+TEST(CnMatcherTest, SingleNodeAndEdgeCounts) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(CnCount(g, MakeSingleNode()), 5u);
+  EXPECT_EQ(CnCount(g, MakeSingleEdge()), 3u);
+}
+
+TEST(CnMatcherTest, NoMatchInTree) {
+  Graph path = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(CnCount(path, MakeTriangle(false)), 0u);
+  EXPECT_EQ(CnCount(path, MakeSquare(false)), 0u);
+}
+
+TEST(CnMatcherTest, LabelConstraintsRespected) {
+  Graph tri = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}}, {0, 1, 2});
+  EXPECT_EQ(CnCount(tri, MakeTriangle(true)), 1u);
+  Graph wrong = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}}, {0, 1, 1});
+  EXPECT_EQ(CnCount(wrong, MakeTriangle(true)), 0u);
+}
+
+TEST(CnMatcherTest, LabelAbsentFromGraph) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}}, {0, 1, 0});
+  EXPECT_EQ(CnCount(g, MakeTriangle(true)), 0u);  // label 2 never occurs
+}
+
+TEST(CnMatcherTest, DirectedTriadRespectsDirection) {
+  // 0 -> 1 -> 2, no edge 0 -> 2.
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}}, {}, /*directed=*/true);
+  auto p = ParsePattern("PATTERN t {?A->?B; ?B->?C;}");
+  ASSERT_TRUE(p.ok());
+  CnMatcher matcher;
+  MatchSet matches = matcher.FindMatches(g, *p);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches.Image(0, p->FindNode("A")), 0u);
+  EXPECT_EQ(matches.Image(0, p->FindNode("C")), 2u);
+}
+
+TEST(CnMatcherTest, NegativeEdgeFilters) {
+  // Two wedges: 0-1-2 open, 3-4-5 closed by 3-5.
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {3, 5}});
+  auto open_wedge = ParsePattern("PATTERN w {?A-?B; ?B-?C; ?A!-?C;}");
+  ASSERT_TRUE(open_wedge.ok());
+  // Only the open wedge 0-1-2 qualifies (one match after symmetry breaking).
+  EXPECT_EQ(CnCount(g, *open_wedge), 1u);
+}
+
+TEST(CnMatcherTest, CoordinatorTriad) {
+  // Directed graph with labels: coordinator requires same labels and no
+  // shortcut edge.
+  Graph g(true);
+  g.AddNodes(4);
+  g.SetLabel(0, 1);
+  g.SetLabel(1, 1);
+  g.SetLabel(2, 1);
+  g.SetLabel(3, 2);
+  g.AddEdge(0, 1);  // A -> B
+  g.AddEdge(1, 2);  // B -> C : coordinator triad 0->1->2
+  g.AddEdge(2, 3);  // different label, breaks predicate
+  g.Finalize();
+  EXPECT_EQ(CnCount(g, MakeCoordinatorTriad()), 1u);
+}
+
+TEST(CnMatcherTest, AttributePredicate) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  g.node_attributes().Set(0, "AGE", std::int64_t{20});
+  g.node_attributes().Set(1, "AGE", std::int64_t{30});
+  g.node_attributes().Set(2, "AGE", std::int64_t{15});
+  auto p = ParsePattern("PATTERN adults {?A-?B; [?A.AGE >= 18]; [?B.AGE >= 18];}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CnCount(g, *p), 1u);  // only 0-1
+}
+
+TEST(CnMatcherTest, EdgeAttributePredicate) {
+  Graph g;
+  g.AddNodes(3);
+  EdgeId e0 = g.AddEdge(0, 1);
+  EdgeId e1 = g.AddEdge(1, 2);
+  g.edge_attributes().Set(e0, "SIGN", std::int64_t{1});
+  g.edge_attributes().Set(e1, "SIGN", std::int64_t{-1});
+  g.Finalize();
+  auto p = ParsePattern("PATTERN neg {?A-?B; [EDGE(?A,?B).SIGN = -1];}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CnCount(g, *p), 1u);
+}
+
+TEST(CnMatcherTest, StatsPopulated) {
+  GeneratorOptions opts;
+  opts.num_nodes = 100;
+  opts.seed = 3;
+  Graph g = GeneratePreferentialAttachment(opts);
+  CnMatcher matcher;
+  matcher.FindMatches(g, MakeTriangle(false));
+  EXPECT_GT(matcher.stats().initial_candidates, 0u);
+  EXPECT_GT(matcher.stats().extension_checks, 0u);
+  EXPECT_GE(matcher.stats().prune_passes, 1u);
+}
+
+TEST(CnMatcherTest, PrebuiltProfileIndexGivesSameResult) {
+  GeneratorOptions opts;
+  opts.num_nodes = 150;
+  opts.num_labels = 3;
+  opts.seed = 4;
+  Graph g = GeneratePreferentialAttachment(opts);
+  ProfileIndex profiles = ProfileIndex::Build(g);
+  CnMatcher with_index(&profiles);
+  CnMatcher without;
+  Pattern tri = MakeTriangle(false);
+  EXPECT_EQ(with_index.FindMatches(g, tri).size(),
+            without.FindMatches(g, tri).size());
+}
+
+// ---- Property tests: CN vs brute-force embeddings, CN vs GQL ----
+
+struct MatcherCase {
+  const char* name;
+  const char* pattern_text;  // empty -> catalog pattern via make()
+  Pattern (*make)();
+};
+
+Pattern MakeTriUnlb() { return MakeTriangle(false); }
+Pattern MakeTriLb() { return MakeTriangle(true); }
+Pattern MakeSqrUnlb() { return MakeSquare(false); }
+Pattern MakeClq4Unlb() { return MakeClique4(false); }
+Pattern MakePath4() { return MakePath(4, false); }
+Pattern MakeEdgeP() { return MakeSingleEdge(); }
+
+class MatcherPropertyTest
+    : public ::testing::TestWithParam<std::tuple<MatcherCase, std::uint64_t>> {
+};
+
+TEST_P(MatcherPropertyTest, CnMatchesBruteForceAndGql) {
+  const auto& [test_case, seed] = GetParam();
+  GeneratorOptions opts;
+  opts.num_nodes = 60;
+  opts.edges_per_node = 3;
+  opts.num_labels = 3;
+  opts.seed = seed;
+  Graph g = GeneratePreferentialAttachment(opts);
+
+  Pattern pattern = test_case.make();
+  CnMatcher cn;
+  GqlMatcher gql;
+  std::uint64_t cn_count = cn.FindMatches(g, pattern).size();
+  std::uint64_t gql_count = gql.FindMatches(g, pattern).size();
+  std::uint64_t embeddings = CountEmbeddings(g, pattern);
+
+  EXPECT_EQ(cn_count * pattern.NumAutomorphisms(), embeddings)
+      << test_case.name << " seed=" << seed;
+  EXPECT_EQ(cn_count, gql_count) << test_case.name << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndSeeds, MatcherPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(MatcherCase{"clq3-unlb", "", &MakeTriUnlb},
+                          MatcherCase{"clq3", "", &MakeTriLb},
+                          MatcherCase{"sqr", "", &MakeSqrUnlb},
+                          MatcherCase{"clq4", "", &MakeClq4Unlb},
+                          MatcherCase{"path4", "", &MakePath4},
+                          MatcherCase{"edge", "", &MakeEdgeP}),
+        ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      std::string name = std::string(std::get<0>(info.param).name) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MatcherPropertyTest, DirectedPatternsAgainstBruteForce) {
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    Graph g = GenerateErdosRenyi(40, 160, 2, seed, /*directed=*/true);
+    for (const char* text :
+         {"PATTERN p {?A->?B; ?B->?C;}", "PATTERN p {?A->?B; ?B->?C; ?C->?A;}",
+          "PATTERN p {?A->?B; ?A->?C;}",
+          "PATTERN p {?A->?B; ?B->?C; ?A!->?C;}"}) {
+      auto p = ParsePattern(text);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      CnMatcher cn;
+      GqlMatcher gql;
+      std::uint64_t cn_count = cn.FindMatches(g, *p).size();
+      EXPECT_EQ(cn_count * p->NumAutomorphisms(), CountEmbeddings(g, *p))
+          << text << " seed=" << seed;
+      EXPECT_EQ(cn_count, gql.FindMatches(g, *p).size()) << text;
+    }
+  }
+}
+
+TEST(MatcherPropertyTest, ErdosRenyiUndirected) {
+  for (std::uint64_t seed : {20u, 21u}) {
+    Graph g = GenerateErdosRenyi(50, 150, 4, seed);
+    for (bool labeled : {false, true}) {
+      Pattern tri = MakeTriangle(labeled);
+      CnMatcher cn;
+      GqlMatcher gql;
+      std::uint64_t cn_count = cn.FindMatches(g, tri).size();
+      EXPECT_EQ(cn_count * tri.NumAutomorphisms(), CountEmbeddings(g, tri));
+      EXPECT_EQ(cn_count, gql.FindMatches(g, tri).size());
+    }
+  }
+}
+
+TEST(GqlMatcherTest, ScansMoreCandidatesThanCn) {
+  GeneratorOptions opts;
+  opts.num_nodes = 400;
+  opts.num_labels = 4;
+  opts.seed = 9;
+  Graph g = GeneratePreferentialAttachment(opts);
+  Pattern tri = MakeTriangle(true);
+  CnMatcher cn;
+  GqlMatcher gql;
+  cn.FindMatches(g, tri);
+  gql.FindMatches(g, tri);
+  // The defining difference: GQL extension scans full candidate sets, CN
+  // intersects small candidate-neighbor lists.
+  EXPECT_GT(gql.stats().extension_checks, cn.stats().extension_checks);
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,211 @@
+#include "census/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+#include "pattern/pattern_parser.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(PackPairTest, CanonicalOrder) {
+  EXPECT_EQ(PackPair(3, 7), PackPair(7, 3));
+  auto [a, b] = UnpackPair(PackPair(7, 3));
+  EXPECT_EQ(a, 3u);
+  EXPECT_EQ(b, 7u);
+}
+
+TEST(PairwiseTest, IntersectionOnPath) {
+  // Path 0-1-2; single node pattern, k=1: the intersection of N_1(0) and
+  // N_1(2) is {1} -> count 1 for the pair (0,2).
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  Pattern node = MakeSingleNode();
+  PairwiseCensusOptions opts;
+  opts.k = 1;
+  opts.neighborhood = PairNeighborhood::kIntersection;
+  auto counts = RunPairwisePtOpt(g, node, opts);
+  ASSERT_TRUE(counts.ok());
+  auto it = counts->find(PackPair(0, 2));
+  ASSERT_NE(it, counts->end());
+  EXPECT_EQ(it->second, 1u);
+  // Pair (0,1): intersection {0,1} -> 2 common nodes.
+  EXPECT_EQ(counts->at(PackPair(0, 1)), 2u);
+}
+
+TEST(PairwiseTest, PtOptEqualsPtBas) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 60;
+  gopts.edges_per_node = 2;
+  gopts.seed = 41;
+  Graph g = GeneratePreferentialAttachment(gopts);
+  for (auto neighborhood :
+       {PairNeighborhood::kIntersection, PairNeighborhood::kUnion}) {
+    for (std::uint32_t k : {1u, 2u}) {
+      Pattern edge = MakeSingleEdge();
+      PairwiseCensusOptions opts;
+      opts.k = k;
+      opts.neighborhood = neighborhood;
+      auto opt = RunPairwisePtOpt(g, edge, opts);
+      auto bas = RunPairwisePtBas(g, edge, opts);
+      ASSERT_TRUE(opt.ok());
+      ASSERT_TRUE(bas.ok());
+      EXPECT_EQ(*opt, *bas) << "k=" << k;
+    }
+  }
+}
+
+TEST(PairwiseTest, NdBasAgreesOnIntersection) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 50;
+  gopts.edges_per_node = 2;
+  gopts.seed = 43;
+  Graph g = GeneratePreferentialAttachment(gopts);
+  Pattern tri = MakeTriangle(false);
+  PairwiseCensusOptions opts;
+  opts.k = 1;
+  opts.neighborhood = PairNeighborhood::kIntersection;
+  auto pt = RunPairwisePtOpt(g, tri, opts);
+  ASSERT_TRUE(pt.ok());
+
+  // Validate every nonzero pair, plus some zero pairs.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& [key, count] : *pt) pairs.push_back(UnpackPair(key));
+  pairs.emplace_back(0, 1);
+  pairs.emplace_back(10, 20);
+  auto nd = RunPairwiseNdBas(g, tri, pairs, opts);
+  ASSERT_TRUE(nd.ok());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::uint64_t key = PackPair(pairs[i].first, pairs[i].second);
+    auto it = pt->find(key);
+    std::uint64_t pt_count = it == pt->end() ? 0 : it->second;
+    EXPECT_EQ((*nd)[i], pt_count)
+        << "pair (" << pairs[i].first << "," << pairs[i].second << ")";
+  }
+}
+
+TEST(PairwiseTest, NdPvotAgreesWithNdBas) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 60;
+  gopts.edges_per_node = 2;
+  gopts.seed = 47;
+  Graph g = GeneratePreferentialAttachment(gopts);
+  Pattern edge = MakeSingleEdge();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId a = 0; a < 20; ++a) {
+    pairs.emplace_back(a, (a + 7) % g.NumNodes());
+  }
+  for (auto neighborhood :
+       {PairNeighborhood::kIntersection, PairNeighborhood::kUnion}) {
+    for (std::uint32_t k : {1u, 2u}) {
+      PairwiseCensusOptions opts;
+      opts.k = k;
+      opts.neighborhood = neighborhood;
+      auto bas = RunPairwiseNdBas(g, edge, pairs, opts);
+      auto pvot = RunPairwiseNdPvot(g, edge, pairs, opts);
+      ASSERT_TRUE(bas.ok());
+      ASSERT_TRUE(pvot.ok());
+      EXPECT_EQ(*bas, *pvot) << "k=" << k;
+    }
+  }
+}
+
+TEST(PairwiseTest, UnionCountsAtLeastIntersection) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 40;
+  gopts.edges_per_node = 2;
+  gopts.seed = 51;
+  Graph g = GeneratePreferentialAttachment(gopts);
+  Pattern edge = MakeSingleEdge();
+  PairwiseCensusOptions inter_opts;
+  inter_opts.k = 1;
+  inter_opts.neighborhood = PairNeighborhood::kIntersection;
+  PairwiseCensusOptions union_opts = inter_opts;
+  union_opts.neighborhood = PairNeighborhood::kUnion;
+  auto inter = RunPairwisePtOpt(g, edge, inter_opts);
+  auto uni = RunPairwisePtOpt(g, edge, union_opts);
+  ASSERT_TRUE(inter.ok());
+  ASSERT_TRUE(uni.ok());
+  for (const auto& [key, count] : *inter) {
+    auto it = uni->find(key);
+    ASSERT_NE(it, uni->end());
+    EXPECT_GE(it->second, count);
+  }
+}
+
+TEST(PairwiseTest, UnionSemanticsAgainstBruteForce) {
+  // ND-BAS union counts (subgraph materialization) against hand check on a
+  // small graph: path 0-1-2-3; edge pattern with k=1 and pair (0, 3):
+  // union node set {0,1} U {2,3} = all four nodes, and the union
+  // neighborhood is the *induced* subgraph on that set (the semantics the
+  // pattern-driven algorithm implements), so all three path edges count.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Pattern edge = MakeSingleEdge();
+  std::vector<std::pair<NodeId, NodeId>> pairs = {{0, 3}, {0, 2}};
+  PairwiseCensusOptions opts;
+  opts.k = 1;
+  opts.neighborhood = PairNeighborhood::kUnion;
+  auto counts = RunPairwiseNdBas(g, edge, pairs, opts);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0], 3u);
+  // Pair (0,2): N_1(0)={0,1}, N_1(2)={1,2,3}; union {0,1,2,3}: 3 edges.
+  EXPECT_EQ((*counts)[1], 3u);
+}
+
+TEST(PairwiseTest, SubpatternPairwise) {
+  // Wedge with mid subpattern: a pair's intersection neighborhood contains
+  // the wedge's center.
+  auto wedge =
+      ParsePattern("PATTERN wedge {?A-?B; ?B-?C; SUBPATTERN mid {?B;}}");
+  ASSERT_TRUE(wedge.ok());
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {1, 3}});  // star centered at 1
+  PairwiseCensusOptions opts;
+  opts.k = 1;
+  opts.subpattern = "mid";
+  opts.neighborhood = PairNeighborhood::kIntersection;
+  auto pt = RunPairwisePtOpt(g, *wedge, opts);
+  ASSERT_TRUE(pt.ok());
+  // Wedges centered at 1: pairs {0,2},{0,3},{2,3} -> 3 wedges. Node 1 is in
+  // N_1 of every node, so every pair of {0,1,2,3} has count 3.
+  EXPECT_EQ(pt->at(PackPair(0, 2)), 3u);
+  EXPECT_EQ(pt->at(PackPair(2, 3)), 3u);
+  EXPECT_EQ(pt->at(PackPair(0, 1)), 3u);
+
+  std::vector<std::pair<NodeId, NodeId>> pairs = {{0, 2}, {2, 3}};
+  auto nd = RunPairwiseNdBas(g, *wedge, pairs, opts);
+  ASSERT_TRUE(nd.ok());
+  EXPECT_EQ((*nd)[0], 3u);
+  EXPECT_EQ((*nd)[1], 3u);
+}
+
+TEST(PairwiseTest, EmptyGraphNoPairs) {
+  Graph g = MakeGraph(3, {});
+  Pattern edge = MakeSingleEdge();
+  PairwiseCensusOptions opts;
+  auto counts = RunPairwisePtOpt(g, edge, opts);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_TRUE(counts->empty());
+}
+
+TEST(PairwiseTest, BestFirstAndRandomAgree) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 50;
+  gopts.seed = 53;
+  Graph g = GeneratePreferentialAttachment(gopts);
+  Pattern tri = MakeTriangle(false);
+  PairwiseCensusOptions best;
+  best.k = 2;
+  PairwiseCensusOptions random = best;
+  random.best_first = false;
+  auto a = RunPairwisePtOpt(g, tri, best);
+  auto b = RunPairwisePtOpt(g, tri, random);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace egocensus

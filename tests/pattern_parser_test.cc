@@ -1,0 +1,151 @@
+#include "pattern/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace egocensus {
+namespace {
+
+Pattern MustParse(std::string_view text) {
+  auto r = ParsePattern(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Pattern();
+}
+
+TEST(PatternParserTest, SingleNode) {
+  Pattern p = MustParse("PATTERN single_node {?A;}");
+  EXPECT_EQ(p.name(), "single_node");
+  EXPECT_EQ(p.NumNodes(), 1);
+  EXPECT_TRUE(p.prepared());
+}
+
+TEST(PatternParserTest, SingleEdge) {
+  Pattern p = MustParse("PATTERN single_edge {?A-?B;}");
+  EXPECT_EQ(p.NumNodes(), 2);
+  EXPECT_EQ(p.PositiveEdges().size(), 1u);
+  EXPECT_FALSE(p.PositiveEdges()[0].directed);
+}
+
+TEST(PatternParserTest, SquareFromTableOne) {
+  Pattern p = MustParse(
+      "PATTERN square {\n"
+      "  ?A-?B; ?B-?C;\n"
+      "  ?C-?D; ?D-?A;\n"
+      "}");
+  EXPECT_EQ(p.NumNodes(), 4);
+  EXPECT_EQ(p.PositiveEdges().size(), 4u);
+  EXPECT_EQ(p.NumAutomorphisms(), 8u);
+}
+
+TEST(PatternParserTest, CoordinatorTriadFromTableOne) {
+  Pattern p = MustParse(
+      "PATTERN triad {\n"
+      "  ?A->?B; ?B->?C; ?A!->?C;\n"
+      "  [?A.LABEL=?B.LABEL];\n"
+      "  [?B.LABEL=?C.LABEL];\n"
+      "  SUBPATTERN coordinator {?B;}\n"
+      "}");
+  EXPECT_EQ(p.NumNodes(), 3);
+  EXPECT_EQ(p.PositiveEdges().size(), 2u);
+  ASSERT_EQ(p.NegativeEdges().size(), 1u);
+  EXPECT_TRUE(p.NegativeEdges()[0].directed);
+  EXPECT_EQ(p.Predicates().size(), 2u);
+  const auto* sub = p.FindSubpattern("coordinator");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->size(), 1u);
+  EXPECT_EQ((*sub)[0], p.FindNode("B"));
+}
+
+TEST(PatternParserTest, ReversedEdge) {
+  Pattern p = MustParse("PATTERN rev {?A<-?B;}");
+  ASSERT_EQ(p.PositiveEdges().size(), 1u);
+  const auto& e = p.PositiveEdges()[0];
+  EXPECT_TRUE(e.directed);
+  EXPECT_EQ(e.src, p.FindNode("B"));
+  EXPECT_EQ(e.dst, p.FindNode("A"));
+}
+
+TEST(PatternParserTest, NegatedUndirectedEdge) {
+  Pattern p = MustParse("PATTERN neg {?A-?B; ?B-?C; ?A!-?C;}");
+  ASSERT_EQ(p.NegativeEdges().size(), 1u);
+  EXPECT_FALSE(p.NegativeEdges()[0].directed);
+}
+
+TEST(PatternParserTest, LabelConstantCompiledToConstraint) {
+  Pattern p = MustParse("PATTERN lab {?A-?B; [?A.LABEL=2]; [?B.LABEL=0];}");
+  EXPECT_TRUE(p.Predicates().empty());  // compiled away
+  EXPECT_EQ(p.LabelConstraint(p.FindNode("A")), Label{2});
+  EXPECT_EQ(p.LabelConstraint(p.FindNode("B")), Label{0});
+}
+
+TEST(PatternParserTest, ConstantOnLeftAlsoCompiled) {
+  Pattern p = MustParse("PATTERN lab {?A-?B; [1 = ?A.LABEL];}");
+  EXPECT_TRUE(p.Predicates().empty());
+  EXPECT_EQ(p.LabelConstraint(p.FindNode("A")), Label{1});
+}
+
+TEST(PatternParserTest, GeneralPredicateKept) {
+  Pattern p = MustParse("PATTERN gen {?A-?B; [?A.AGE >= 18];}");
+  ASSERT_EQ(p.Predicates().size(), 1u);
+  EXPECT_EQ(p.Predicates()[0].op, PredicateOp::kGe);
+  EXPECT_TRUE(p.HasGeneralPredicates());
+}
+
+TEST(PatternParserTest, EdgeAttributePredicate) {
+  Pattern p = MustParse("PATTERN sgn {?A-?B; [EDGE(?A,?B).SIGN = -1];}");
+  ASSERT_EQ(p.Predicates().size(), 1u);
+  const auto* eref = std::get_if<EdgeAttrRef>(&p.Predicates()[0].lhs);
+  ASSERT_NE(eref, nullptr);
+  EXPECT_EQ(eref->attr, "SIGN");
+  const auto* val = std::get_if<AttributeValue>(&p.Predicates()[0].rhs);
+  ASSERT_NE(val, nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*val), -1);
+}
+
+TEST(PatternParserTest, StringPredicate) {
+  Pattern p = MustParse("PATTERN s {?A-?B; [?A.CITY = 'nyc'];}");
+  ASSERT_EQ(p.Predicates().size(), 1u);
+  const auto* val = std::get_if<AttributeValue>(&p.Predicates()[0].rhs);
+  ASSERT_NE(val, nullptr);
+  EXPECT_EQ(std::get<std::string>(*val), "nyc");
+}
+
+TEST(PatternParserTest, MultiplePatterns) {
+  auto r = ParsePatterns(
+      "PATTERN a {?X;} PATTERN b {?X-?Y;} PATTERN c {?X-?Y; ?Y-?Z;}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].name(), "a");
+  EXPECT_EQ((*r)[2].NumNodes(), 3);
+}
+
+TEST(PatternParserTest, ErrorMissingBrace) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A-?B;").ok());
+}
+
+TEST(PatternParserTest, ErrorSelfLoop) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A-?A;}").ok());
+}
+
+TEST(PatternParserTest, ErrorMissingSemicolon) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A-?B}").ok());
+}
+
+TEST(PatternParserTest, ErrorDisconnected) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A-?B; ?C-?D;}").ok());
+}
+
+TEST(PatternParserTest, ErrorUnknownSubpatternVar) {
+  EXPECT_FALSE(
+      ParsePattern("PATTERN x {?A-?B; SUBPATTERN s {?Z;}}").ok());
+}
+
+TEST(PatternParserTest, ErrorTrailingInput) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A;} garbage").ok());
+}
+
+TEST(PatternParserTest, ErrorBadPredicate) {
+  EXPECT_FALSE(ParsePattern("PATTERN x {?A-?B; [?A.L ?B.L];}").ok());
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,228 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/catalog.h"
+
+namespace egocensus {
+namespace {
+
+TEST(PatternTest, NodesDeduplicatedByName) {
+  Pattern p;
+  int a1 = p.AddNode("A");
+  int a2 = p.AddNode("A");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(p.NumNodes(), 1);
+  EXPECT_EQ(p.FindNode("A"), a1);
+  EXPECT_EQ(p.FindNode("B"), -1);
+}
+
+TEST(PatternTest, EmptyPatternRejected) {
+  Pattern p;
+  EXPECT_FALSE(p.Prepare().ok());
+}
+
+TEST(PatternTest, DisconnectedPatternRejected) {
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  p.AddEdge("C", "D", false);
+  EXPECT_FALSE(p.Prepare().ok());
+}
+
+TEST(PatternTest, NegativeEdgeOnlyIsDisconnected) {
+  Pattern p;
+  p.AddEdge("A", "B", false, /*negated=*/true);
+  EXPECT_FALSE(p.Prepare().ok());
+}
+
+TEST(PatternTest, SingleNodeIsValid) {
+  Pattern p;
+  p.AddNode("A");
+  EXPECT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.PivotRadius(), 0u);
+  EXPECT_EQ(p.SearchOrder().size(), 1u);
+}
+
+TEST(PatternTest, DistancesOnPath) {
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  p.AddEdge("B", "C", false);
+  p.AddEdge("C", "D", false);
+  ASSERT_TRUE(p.Prepare().ok());
+  int a = p.FindNode("A"), b = p.FindNode("B"), d = p.FindNode("D");
+  EXPECT_EQ(p.Distance(a, d), 3u);
+  EXPECT_EQ(p.Distance(a, b), 1u);
+  EXPECT_EQ(p.Distance(a, a), 0u);
+  EXPECT_EQ(p.Eccentricity(a), 3u);
+  EXPECT_EQ(p.Eccentricity(b), 2u);
+  // Pivot = a middle node, radius 2.
+  EXPECT_EQ(p.PivotRadius(), 2u);
+  int pivot = p.Pivot();
+  EXPECT_TRUE(pivot == b || pivot == p.FindNode("C"));
+}
+
+TEST(PatternTest, SearchOrderPrefixesConnected) {
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  p.AddEdge("B", "C", false);
+  p.AddEdge("C", "D", false);
+  p.AddEdge("D", "A", false);
+  ASSERT_TRUE(p.Prepare().ok());
+  const auto& order = p.SearchOrder();
+  ASSERT_EQ(order.size(), 4u);
+  std::set<int> prefix = {order[0]};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    bool connected = false;
+    for (const auto& adj : p.Neighbors(order[i])) {
+      if (prefix.count(adj.node) != 0) connected = true;
+    }
+    EXPECT_TRUE(connected) << "prefix " << i << " disconnected";
+    prefix.insert(order[i]);
+  }
+}
+
+TEST(PatternTest, TriangleAutomorphisms) {
+  Pattern p = MakeTriangle(/*labeled=*/false);
+  EXPECT_EQ(p.NumAutomorphisms(), 6u);
+  // Symmetry breaking for S3 needs exactly |orbit1|-1 + |orbit2|-1 = 2+1.
+  EXPECT_EQ(p.SymmetryConditions().size(), 3u);
+}
+
+TEST(PatternTest, LabeledTriangleAsymmetric) {
+  Pattern p = MakeTriangle(/*labeled=*/true);
+  EXPECT_EQ(p.NumAutomorphisms(), 1u);
+  EXPECT_TRUE(p.SymmetryConditions().empty());
+}
+
+TEST(PatternTest, EdgeAutomorphisms) {
+  Pattern p = MakeSingleEdge();
+  EXPECT_EQ(p.NumAutomorphisms(), 2u);
+  EXPECT_EQ(p.SymmetryConditions().size(), 1u);
+}
+
+TEST(PatternTest, SquareAutomorphisms) {
+  Pattern p = MakeSquare(/*labeled=*/false);
+  EXPECT_EQ(p.NumAutomorphisms(), 8u);  // dihedral group of the 4-cycle
+}
+
+TEST(PatternTest, Clique4Automorphisms) {
+  Pattern p = MakeClique4(/*labeled=*/false);
+  EXPECT_EQ(p.NumAutomorphisms(), 24u);
+}
+
+TEST(PatternTest, DirectedEdgeBreaksSymmetry) {
+  Pattern p;
+  p.AddEdge("A", "B", /*directed=*/true);
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.NumAutomorphisms(), 1u);
+}
+
+TEST(PatternTest, DirectedCycleHasRotations) {
+  Pattern p;
+  p.AddEdge("A", "B", true);
+  p.AddEdge("B", "C", true);
+  p.AddEdge("C", "A", true);
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.NumAutomorphisms(), 3u);  // rotations only, no reflections
+}
+
+TEST(PatternTest, PredicatePreservingAutomorphisms) {
+  // Symmetric equality predicate keeps the swap automorphism.
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  PatternPredicate pred;
+  pred.lhs = NodeAttrRef{p.FindNode("A"), "W"};
+  pred.op = PredicateOp::kEq;
+  pred.rhs = NodeAttrRef{p.FindNode("B"), "W"};
+  p.AddPredicate(pred);
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.NumAutomorphisms(), 2u);
+}
+
+TEST(PatternTest, AsymmetricPredicateBreaksSymmetry) {
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  PatternPredicate pred;
+  pred.lhs = NodeAttrRef{p.FindNode("A"), "W"};
+  pred.op = PredicateOp::kLt;
+  pred.rhs = NodeAttrRef{p.FindNode("B"), "W"};
+  p.AddPredicate(pred);
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.NumAutomorphisms(), 1u);
+}
+
+TEST(PatternTest, SubpatternConstrainsAutomorphisms) {
+  // Unlabeled triangle with subpattern {B}: automorphisms must fix B.
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  p.AddEdge("B", "C", false);
+  p.AddEdge("C", "A", false);
+  ASSERT_TRUE(p.AddSubpattern("mid", {"B"}).ok());
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_EQ(p.NumAutomorphisms(), 2u);  // only A <-> C swap remains
+}
+
+TEST(PatternTest, SubpatternValidation) {
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  EXPECT_FALSE(p.AddSubpattern("s", {"Z"}).ok());
+  EXPECT_FALSE(p.AddSubpattern("s", {}).ok());
+  ASSERT_TRUE(p.AddSubpattern("s", {"B", "B"}).ok());  // deduplicated
+  EXPECT_EQ(p.FindSubpattern("s")->size(), 1u);
+  EXPECT_EQ(p.FindSubpattern("missing"), nullptr);
+}
+
+TEST(PatternTest, CoordinatorTriadShape) {
+  Pattern p = MakeCoordinatorTriad();
+  EXPECT_EQ(p.NumNodes(), 3);
+  EXPECT_EQ(p.PositiveEdges().size(), 2u);
+  EXPECT_EQ(p.NegativeEdges().size(), 1u);
+  EXPECT_EQ(p.Predicates().size(), 2u);
+  ASSERT_NE(p.FindSubpattern("coordinator"), nullptr);
+  EXPECT_EQ(p.NumAutomorphisms(), 1u);
+}
+
+TEST(PatternTest, HasGeneralPredicates) {
+  Pattern label_only = MakeCoordinatorTriad();
+  EXPECT_FALSE(label_only.HasGeneralPredicates());  // LABEL refs only
+  Pattern p;
+  p.AddEdge("A", "B", false);
+  PatternPredicate pred;
+  pred.lhs = NodeAttrRef{p.FindNode("A"), "AGE"};
+  pred.op = PredicateOp::kGt;
+  pred.rhs = AttributeValue(std::int64_t{10});
+  p.AddPredicate(pred);
+  ASSERT_TRUE(p.Prepare().ok());
+  EXPECT_TRUE(p.HasGeneralPredicates());
+}
+
+TEST(PatternTest, TooLargePatternRejected) {
+  Pattern p;
+  for (int i = 0; i + 1 < 11; ++i) {
+    p.AddEdge("N" + std::to_string(i), "N" + std::to_string(i + 1), false);
+  }
+  EXPECT_FALSE(p.Prepare().ok());
+}
+
+TEST(PatternTest, MixedEdgeAdjacencyFlags) {
+  Pattern p;
+  p.AddEdge("A", "B", /*directed=*/true);
+  p.AddEdge("B", "A", /*directed=*/true);
+  ASSERT_TRUE(p.Prepare().ok());
+  const auto& adj = p.Neighbors(p.FindNode("A"));
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_TRUE(adj[0].via_out);
+  EXPECT_TRUE(adj[0].via_in);
+}
+
+TEST(CatalogTest, PathPattern) {
+  Pattern p = MakePath(5, /*labeled=*/false);
+  EXPECT_EQ(p.NumNodes(), 5);
+  EXPECT_EQ(p.NumAutomorphisms(), 2u);
+  EXPECT_EQ(p.PivotRadius(), 2u);
+}
+
+}  // namespace
+}  // namespace egocensus

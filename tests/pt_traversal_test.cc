@@ -1,0 +1,165 @@
+// Reproduces Figure 2 of the paper: the 6-node example where best-first
+// ordering visits each node exactly once while breadth-first causes
+// reinsertions, plus unit coverage of the simultaneous expander.
+
+#include <gtest/gtest.h>
+
+#include "census/pt_expander.h"
+#include "graph/distance_index.h"
+#include "tests/test_util.h"
+
+namespace egocensus::internal {
+namespace {
+
+using egocensus::testing::MakeGraph;
+
+// Figure 2(a): pattern match nodes m1, m2, m3 (ids 0, 1, 2) and regular
+// nodes n1, n2, n3 (ids 3, 4, 5). Edges reconstructed from the PMD tables
+// in Figures 2(b)/(c): m1-m2, m2-m3, m1-n1, m2-n2, m3-n2, n1-n2, n1-n3.
+Graph Figure2Graph() {
+  return MakeGraph(6, {{0, 1}, {1, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}, {3, 5}});
+}
+
+TEST(SimultaneousExpanderTest, Figure2FinalDistances) {
+  Graph g = Figure2Graph();
+  ExpanderOptions opts;
+  opts.k = 3;
+  opts.best_first = true;
+  SimultaneousExpander expander(g, opts);
+  // One match with anchors m1, m2, m3; pattern distances 0-1-2 chain.
+  std::vector<std::uint32_t> pattern_dist = {0, 1, 2, 1, 0, 1, 2, 1, 0};
+  expander.Expand({{0, 1, 2}}, &pattern_dist);
+
+  ASSERT_EQ(expander.cluster_anchors().size(), 3u);
+  // Expected exact distances from Figure 2(c): n1 = (1,2,2), n2 = (2,1,1),
+  // n3 = (2,3,3).
+  auto pmd_of = [&](NodeId n) {
+    for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+      if (expander.VisitedNode(slot) == n) {
+        return std::vector<int>{expander.Pmd(slot, 0), expander.Pmd(slot, 1),
+                                expander.Pmd(slot, 2)};
+      }
+    }
+    return std::vector<int>{};
+  };
+  EXPECT_EQ(pmd_of(3), (std::vector<int>{1, 2, 2}));
+  EXPECT_EQ(pmd_of(4), (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(pmd_of(5), (std::vector<int>{2, 3, 3}));
+  EXPECT_EQ(pmd_of(0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimultaneousExpanderTest, Figure2BestFirstNoReprocessing) {
+  Graph g = Figure2Graph();
+  ExpanderOptions opts;
+  opts.k = 3;
+  opts.best_first = true;
+  SimultaneousExpander expander(g, opts);
+  std::vector<std::uint32_t> pattern_dist = {0, 1, 2, 1, 0, 1, 2, 1, 0};
+  expander.Expand({{0, 1, 2}}, &pattern_dist);
+  // Figure 2(c): with best-first order every node is processed exactly
+  // once — no reinsertions.
+  EXPECT_EQ(expander.stats().reinsertions, 0u);
+  EXPECT_EQ(expander.NumVisited(), 6u);
+}
+
+TEST(SimultaneousExpanderTest, RandomOrderStillConverges) {
+  Graph g = Figure2Graph();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ExpanderOptions opts;
+    opts.k = 3;
+    opts.best_first = false;
+    opts.seed = seed;
+    SimultaneousExpander expander(g, opts);
+    std::vector<std::uint32_t> pattern_dist = {0, 1, 2, 1, 0, 1, 2, 1, 0};
+    expander.Expand({{0, 1, 2}}, &pattern_dist);
+    for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+      if (expander.VisitedNode(slot) == 4) {
+        EXPECT_EQ(expander.Pmd(slot, 0), 2);
+        EXPECT_EQ(expander.Pmd(slot, 1), 1);
+        EXPECT_EQ(expander.Pmd(slot, 2), 1);
+      }
+    }
+  }
+}
+
+TEST(SimultaneousExpanderTest, DistancesCappedAtKPlusOne) {
+  // Long path; k = 1 means nodes further than 1 never show a value > 2.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ExpanderOptions opts;
+  opts.k = 1;
+  SimultaneousExpander expander(g, opts);
+  expander.Expand({{0}}, nullptr);
+  for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+    EXPECT_LE(expander.Pmd(slot, 0), 2);
+  }
+  // Far nodes are never even discovered: with k=1 the frontier stops at
+  // distance-1 nodes (their neighbors would all be >= k+1 anyway).
+  for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+    EXPECT_LE(expander.VisitedNode(slot), 2u);
+  }
+}
+
+TEST(SimultaneousExpanderTest, CenterSeedingGivesExactCenterDistances) {
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  CenterDistanceIndex index = CenterDistanceIndex::Build(g, {5});
+  ExpanderOptions opts;
+  opts.k = 5;
+  opts.centers = &index;
+  opts.num_centers = 1;
+  SimultaneousExpander expander(g, opts);
+  expander.Expand({{0}}, nullptr);
+  // The center (node 5) is seeded with its exact distance to the anchor.
+  for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+    if (expander.VisitedNode(slot) == 5) {
+      EXPECT_EQ(expander.Pmd(slot, 0), 5);
+    }
+    if (expander.VisitedNode(slot) == 3) {
+      EXPECT_EQ(expander.Pmd(slot, 0), 3);
+    }
+  }
+}
+
+TEST(SimultaneousExpanderTest, SharedAnchorAcrossMatches) {
+  // Two matches sharing anchor node 1.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  ExpanderOptions opts;
+  opts.k = 2;
+  SimultaneousExpander expander(g, opts);
+  expander.Expand({{0, 1}, {1, 2}}, nullptr);
+  EXPECT_EQ(expander.cluster_anchors().size(), 3u);  // 0, 1, 2 deduplicated
+  ASSERT_EQ(expander.match_anchor_indices().size(), 2u);
+  EXPECT_EQ(expander.match_anchor_indices()[0].size(), 2u);
+}
+
+TEST(SimultaneousExpanderTest, ExactDistancesWithinK) {
+  // Property: PMD equals true BFS distance wherever true distance <= k.
+  Graph g = MakeGraph(8, {{0, 1},
+                          {1, 2},
+                          {2, 3},
+                          {3, 0},
+                          {2, 4},
+                          {4, 5},
+                          {5, 6},
+                          {6, 7}});
+  ExpanderOptions opts;
+  opts.k = 3;
+  SimultaneousExpander expander(g, opts);
+  expander.Expand({{0, 4}}, nullptr);
+  // True distances from 0: 1:1 2:2 3:1 4:3; from 4: 2:1 5:1 ...
+  struct Expected {
+    NodeId n;
+    int d0, d4;
+  };
+  for (const auto& e : std::vector<Expected>{{0, 0, 3}, {1, 1, 2}, {2, 2, 1},
+                                             {3, 1, 2}, {4, 3, 0}, {5, 4, 1}}) {
+    for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
+      if (expander.VisitedNode(slot) == e.n) {
+        EXPECT_EQ(expander.Pmd(slot, 0), std::min(e.d0, 4)) << "node " << e.n;
+        EXPECT_EQ(expander.Pmd(slot, 1), std::min(e.d4, 4)) << "node " << e.n;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egocensus::internal

@@ -1,0 +1,125 @@
+#include "lang/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace egocensus {
+namespace {
+
+Query MustParse(std::string_view text) {
+  auto r = ParseQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Query();
+}
+
+TEST(QueryParserTest, TableOneRowOne) {
+  Query q = MustParse(
+      "PATTERN single_node {?A;}\n"
+      "SELECT ID, COUNTP(single_node, SUBGRAPH(ID, 2)) FROM nodes");
+  ASSERT_EQ(q.patterns.size(), 1u);
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kId);
+  ASSERT_EQ(q.select[1].kind, SelectItem::Kind::kCount);
+  EXPECT_EQ(q.select[1].count.pattern, "single_node");
+  EXPECT_EQ(q.select[1].count.neighborhood.k, 2u);
+  EXPECT_EQ(q.select[1].count.neighborhood.kind,
+            NeighborhoodSpec::Kind::kSubgraph);
+  EXPECT_EQ(q.from_aliases.size(), 1u);
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(QueryParserTest, TableOneRowTwoPairwise) {
+  Query q = MustParse(
+      "PATTERN single_edge {?A-?B;}\n"
+      "SELECT n1.ID, n2.ID,\n"
+      "  COUNTP(single_edge, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))\n"
+      "FROM nodes AS n1, nodes AS n2");
+  ASSERT_EQ(q.from_aliases.size(), 2u);
+  EXPECT_EQ(q.from_aliases[0], "n1");
+  EXPECT_EQ(q.from_aliases[1], "n2");
+  ASSERT_EQ(q.select.size(), 3u);
+  EXPECT_EQ(q.select[0].alias, "n1");
+  const auto& spec = q.select[2].count.neighborhood;
+  EXPECT_EQ(spec.kind, NeighborhoodSpec::Kind::kIntersection);
+  EXPECT_EQ(spec.ref1, "n1");
+  EXPECT_EQ(spec.ref2, "n2");
+  EXPECT_EQ(spec.k, 1u);
+}
+
+TEST(QueryParserTest, TableOneRowFourCountSp) {
+  Query q = MustParse(
+      "PATTERN triad {\n"
+      "  ?A->?B; ?B->?C; ?A!->?C;\n"
+      "  [?A.LABEL=?B.LABEL]; [?B.LABEL=?C.LABEL];\n"
+      "  SUBPATTERN coordinator {?B;}\n"
+      "}\n"
+      "SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes");
+  ASSERT_EQ(q.select.size(), 2u);
+  const auto& count = q.select[1].count;
+  EXPECT_TRUE(count.count_subpattern);
+  EXPECT_EQ(count.subpattern, "coordinator");
+  EXPECT_EQ(count.pattern, "triad");
+  EXPECT_EQ(count.neighborhood.k, 0u);
+}
+
+TEST(QueryParserTest, WhereRndSelectivity) {
+  Query q = MustParse(
+      "PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes "
+      "WHERE RND() < 0.2");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, WhereExpr::Kind::kCompare);
+  EXPECT_EQ(q.where->lhs.kind, WhereOperand::Kind::kRand);
+  EXPECT_EQ(q.where->op, PredicateOp::kLt);
+  EXPECT_DOUBLE_EQ(std::get<double>(q.where->rhs.value), 0.2);
+}
+
+TEST(QueryParserTest, WhereBooleanStructure) {
+  Query q = MustParse(
+      "SELECT ID FROM nodes WHERE LABEL = 1 AND (ID < 50 OR NOT DEGREE >= "
+      "3)");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, WhereExpr::Kind::kAnd);
+  EXPECT_EQ(q.where->left->kind, WhereExpr::Kind::kCompare);
+  EXPECT_EQ(q.where->right->kind, WhereExpr::Kind::kOr);
+  EXPECT_EQ(q.where->right->right->kind, WhereExpr::Kind::kNot);
+}
+
+TEST(QueryParserTest, WherePairPredicate) {
+  Query q = MustParse(
+      "PATTERN p {?A;} SELECT n1.ID, n2.ID, "
+      "COUNTP(p, SUBGRAPH-UNION(n1.ID, n2.ID, 2)) "
+      "FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->lhs.alias, "n1");
+  EXPECT_EQ(q.where->lhs.attr, "ID");
+  EXPECT_EQ(q.where->op, PredicateOp::kGt);
+}
+
+TEST(QueryParserTest, NegativeConstant) {
+  Query q = MustParse("SELECT ID FROM nodes WHERE SCORE > -2");
+  EXPECT_EQ(std::get<std::int64_t>(q.where->rhs.value), -2);
+}
+
+TEST(QueryParserTest, StringConstant) {
+  Query q = MustParse("SELECT ID FROM nodes WHERE CITY = 'nyc'");
+  EXPECT_EQ(std::get<std::string>(q.where->rhs.value), "nyc");
+}
+
+TEST(QueryParserTest, TrailingSemicolonAccepted) {
+  MustParse("SELECT ID FROM nodes;");
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT FROM nodes").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ID").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ID FROM edges").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ID FROM nodes WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNTP(p) FROM nodes").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNTP(p, SUBGRAPH(ID, -1)) FROM nodes").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ID FROM nodes garbage").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ID FROM nodes AS a, nodes AS b, nodes AS c").ok());
+}
+
+}  // namespace
+}  // namespace egocensus

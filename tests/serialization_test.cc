@@ -1,0 +1,114 @@
+// Pattern text round-trip (ToString -> parse -> structurally identical) and
+// DOT export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.h"
+#include "pattern/catalog.h"
+#include "pattern/pattern_parser.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+void ExpectStructurallyEqual(const Pattern& a, const Pattern& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.PositiveEdges().size(), b.PositiveEdges().size());
+  EXPECT_EQ(a.NegativeEdges().size(), b.NegativeEdges().size());
+  EXPECT_EQ(a.Predicates().size(), b.Predicates().size());
+  EXPECT_EQ(a.NumAutomorphisms(), b.NumAutomorphisms());
+  EXPECT_EQ(a.Subpatterns().size(), b.Subpatterns().size());
+  for (int v = 0; v < a.NumNodes(); ++v) {
+    int bv = b.FindNode(a.VarName(v));
+    ASSERT_GE(bv, 0) << "variable " << a.VarName(v) << " missing";
+    EXPECT_EQ(a.LabelConstraint(v), b.LabelConstraint(bv));
+  }
+  // Same pairwise distances (captures the structural skeleton).
+  for (int x = 0; x < a.NumNodes(); ++x) {
+    for (int y = 0; y < a.NumNodes(); ++y) {
+      EXPECT_EQ(a.Distance(x, y),
+                b.Distance(b.FindNode(a.VarName(x)), b.FindNode(a.VarName(y))));
+    }
+  }
+}
+
+void ExpectRoundTrip(const Pattern& pattern) {
+  std::string text = pattern.ToString();
+  auto reparsed = ParsePattern(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  ExpectStructurallyEqual(pattern, *reparsed);
+}
+
+TEST(PatternRoundTripTest, CatalogPatterns) {
+  ExpectRoundTrip(MakeSingleNode());
+  ExpectRoundTrip(MakeSingleEdge());
+  ExpectRoundTrip(MakeTriangle(false));
+  ExpectRoundTrip(MakeTriangle(true));
+  ExpectRoundTrip(MakeClique4(true));
+  ExpectRoundTrip(MakeSquare(false));
+  ExpectRoundTrip(MakePath(5, true));
+  ExpectRoundTrip(MakeCoordinatorTriad());
+}
+
+TEST(PatternRoundTripTest, ParsedPatterns) {
+  const char* sources[] = {
+      "PATTERN a {?A-?B; ?B-?C; ?A!-?C;}",
+      "PATTERN b {?X->?Y; ?Y->?Z; ?X!->?Z; [?X.LABEL=?Y.LABEL];}",
+      "PATTERN c {?A-?B; [EDGE(?A,?B).SIGN = -1]; [?A.W >= 2.5];}",
+      "PATTERN d {?A-?B; [?A.CITY = 'nyc']; SUBPATTERN s {?A; ?B;}}",
+  };
+  for (const char* source : sources) {
+    auto p = ParsePattern(source);
+    ASSERT_TRUE(p.ok()) << source;
+    ExpectRoundTrip(*p);
+  }
+}
+
+TEST(PatternToStringTest, MentionsAllPieces) {
+  Pattern p = MakeCoordinatorTriad();
+  std::string text = p.ToString();
+  EXPECT_NE(text.find("PATTERN triad"), std::string::npos);
+  EXPECT_NE(text.find("!->"), std::string::npos);
+  EXPECT_NE(text.find("SUBPATTERN coordinator"), std::string::npos);
+  EXPECT_NE(text.find("?A.LABEL"), std::string::npos);
+}
+
+TEST(DotExportTest, UndirectedGraph) {
+  Graph g = testing::MakeGraph(3, {{0, 1}, {1, 2}}, {0, 1, 0});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(g, out).ok());
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("graph g {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1:1\""), std::string::npos);  // labeled node
+}
+
+TEST(DotExportTest, DirectedGraph) {
+  Graph g = testing::MakeGraph(2, {{0, 1}}, {}, /*directed=*/true);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(g, out).ok());
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotExportTest, MaxNodesTruncates) {
+  Graph g = testing::MakeGraph(10, {{0, 1}, {8, 9}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(g, out, /*max_nodes=*/5).ok());
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_EQ(dot.find("n8"), std::string::npos);  // beyond the cap
+}
+
+TEST(DotExportTest, UnfinalizedRejected) {
+  Graph g;
+  g.AddNodes(2);
+  std::ostringstream out;
+  EXPECT_FALSE(WriteDot(g, out).ok());
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,278 @@
+// Census counts on structured graphs with closed-form answers: complete
+// graphs, stars, cycles, paths, grids and disconnected graphs. These pin
+// the counting semantics (matches = distinct subgraphs) against binomial
+// formulas rather than against another implementation.
+
+#include <gtest/gtest.h>
+
+#include "census/census.h"
+#include "match/cn_matcher.h"
+#include "pattern/catalog.h"
+#include "pattern/pattern_parser.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+std::uint64_t Choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+Graph CompleteGraph(std::uint32_t n) {
+  Graph g;
+  g.AddNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph StarGraph(std::uint32_t leaves) {
+  Graph g;
+  g.AddNodes(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) g.AddEdge(0, leaf);
+  g.Finalize();
+  return g;
+}
+
+Graph CycleGraph(std::uint32_t n) {
+  Graph g;
+  g.AddNodes(n);
+  for (NodeId u = 0; u < n; ++u) g.AddEdge(u, (u + 1) % n);
+  g.Finalize();
+  return g;
+}
+
+Graph PathGraph(std::uint32_t n) {
+  Graph g;
+  g.AddNodes(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
+  g.Finalize();
+  return g;
+}
+
+TEST(CompleteGraphTest, GlobalMatchCounts) {
+  Graph k6 = CompleteGraph(6);
+  CnMatcher matcher;
+  EXPECT_EQ(matcher.FindMatches(k6, MakeTriangle(false)).size(),
+            Choose(6, 3));
+  EXPECT_EQ(matcher.FindMatches(k6, MakeClique4(false)).size(), Choose(6, 4));
+  EXPECT_EQ(matcher.FindMatches(k6, MakeSingleEdge()).size(), Choose(6, 2));
+  // 4-cycles in K_n: choose 4 vertices, 3 distinct cycles each.
+  EXPECT_EQ(matcher.FindMatches(k6, MakeSquare(false)).size(),
+            Choose(6, 4) * 3);
+}
+
+TEST(CompleteGraphTest, EgoCensusIsGlobalAtKOne) {
+  // Diameter 1: every 1-hop ego network is the whole graph.
+  Graph k7 = CompleteGraph(7);
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(k7);
+  for (auto algorithm :
+       {CensusAlgorithm::kNdBas, CensusAlgorithm::kNdPvot,
+        CensusAlgorithm::kPtOpt}) {
+    CensusOptions opts;
+    opts.algorithm = algorithm;
+    opts.k = 1;
+    auto result = RunCensus(k7, tri, focal, opts);
+    ASSERT_TRUE(result.ok());
+    for (NodeId n = 0; n < 7; ++n) {
+      EXPECT_EQ(result->counts[n], Choose(7, 3))
+          << CensusAlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(StarGraphTest, WedgeCounts) {
+  // Star with L leaves: wedges (path3) centered at the hub = C(L, 2); no
+  // triangles anywhere.
+  Graph star = StarGraph(8);
+  CnMatcher matcher;
+  EXPECT_EQ(matcher.FindMatches(star, MakePath(3, false)).size(),
+            Choose(8, 2));
+  EXPECT_EQ(matcher.FindMatches(star, MakeTriangle(false)).size(), 0u);
+
+  // Ego census of the wedge at k=1: the hub sees all of them, a leaf sees
+  // only {leaf, hub} (no wedge fits in 2 nodes).
+  Pattern wedge = MakePath(3, false);
+  auto focal = AllNodes(star);
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 1;
+  auto result = RunCensus(star, wedge, focal, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts[0], Choose(8, 2));
+  EXPECT_EQ(result->counts[1], 0u);
+  // At k=2 a leaf sees the whole star.
+  opts.k = 2;
+  result = RunCensus(star, wedge, focal, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts[1], Choose(8, 2));
+}
+
+TEST(CycleGraphTest, EdgeCensusByRadius) {
+  // In C_12 the k-hop ego network of any node is a path of 2k+1 nodes with
+  // 2k edges (for 2k + 1 <= 12).
+  Graph cycle = CycleGraph(12);
+  Pattern edge = MakeSingleEdge();
+  auto focal = AllNodes(cycle);
+  for (std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
+    CensusOptions opts;
+    opts.algorithm = CensusAlgorithm::kNdPvot;
+    opts.k = k;
+    auto result = RunCensus(cycle, edge, focal, opts);
+    ASSERT_TRUE(result.ok());
+    std::uint64_t expected = 2 * k;
+    for (NodeId n = 0; n < 12; ++n) {
+      EXPECT_EQ(result->counts[n], expected) << "k=" << k;
+    }
+  }
+  // k = 6 closes the cycle: all 12 edges.
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 6;
+  auto result = RunCensus(cycle, edge, focal, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts[0], 12u);
+}
+
+TEST(CycleGraphTest, SquareInSquare) {
+  Graph c4 = CycleGraph(4);
+  CnMatcher matcher;
+  EXPECT_EQ(matcher.FindMatches(c4, MakeSquare(false)).size(), 1u);
+  EXPECT_EQ(matcher.FindMatches(c4, MakeTriangle(false)).size(), 0u);
+}
+
+TEST(PathGraphTest, SubpathCounts) {
+  // Paths with p nodes inside a path with n nodes: n - p + 1.
+  Graph path = PathGraph(10);
+  CnMatcher matcher;
+  for (int p = 2; p <= 6; ++p) {
+    EXPECT_EQ(matcher.FindMatches(path, MakePath(p, false)).size(),
+              static_cast<std::size_t>(10 - p + 1))
+        << "p=" << p;
+  }
+}
+
+TEST(DisconnectedGraphTest, CensusSeesOnlyOwnComponent) {
+  // Two triangles in separate components.
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  for (auto algorithm :
+       {CensusAlgorithm::kNdBas, CensusAlgorithm::kNdPvot,
+        CensusAlgorithm::kNdDiff, CensusAlgorithm::kPtBas,
+        CensusAlgorithm::kPtOpt}) {
+    CensusOptions opts;
+    opts.algorithm = algorithm;
+    opts.k = 5;  // radius larger than the component
+    auto result = RunCensus(g, tri, focal, opts);
+    ASSERT_TRUE(result.ok());
+    for (NodeId n = 0; n < 6; ++n) {
+      EXPECT_EQ(result->counts[n], 1u)
+          << CensusAlgorithmName(algorithm) << " node " << n;
+    }
+  }
+}
+
+TEST(IsolatedNodesTest, ZeroCountsEverywhere) {
+  Graph g = MakeGraph(5, {{0, 1}});  // nodes 2, 3, 4 isolated
+  Pattern edge = MakeSingleEdge();
+  auto focal = AllNodes(g);
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 2;
+  auto result = RunCensus(g, edge, focal, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts[0], 1u);
+  EXPECT_EQ(result->counts[2], 0u);
+  // Single-node pattern still counts the isolated node itself.
+  Pattern node = MakeSingleNode();
+  auto node_result = RunCensus(g, node, focal, opts);
+  ASSERT_TRUE(node_result.ok());
+  EXPECT_EQ(node_result->counts[2], 1u);
+}
+
+TEST(BipartiteTest, OddCyclesAbsent) {
+  // Complete bipartite K_{3,3}: no triangles, squares = C(3,2)*C(3,2) = 9.
+  Graph g;
+  g.AddNodes(6);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 3; v < 6; ++v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  CnMatcher matcher;
+  EXPECT_EQ(matcher.FindMatches(g, MakeTriangle(false)).size(), 0u);
+  EXPECT_EQ(matcher.FindMatches(g, MakeSquare(false)).size(), 9u);
+}
+
+TEST(CliquePlusTailTest, SubpatternOnStructuredGraph) {
+  // K_4 on {0..3} plus tail 3-4-5. Wedges centered at node 3 include tail
+  // combinations.
+  Graph g = MakeGraph(6, {{0, 1},
+                          {0, 2},
+                          {0, 3},
+                          {1, 2},
+                          {1, 3},
+                          {2, 3},
+                          {3, 4},
+                          {4, 5}});
+  auto wedge = ParsePattern("PATTERN w {?A-?B; ?B-?C; SUBPATTERN mid {?B;}}");
+  ASSERT_TRUE(wedge.ok());
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 0;
+  opts.subpattern = "mid";
+  auto focal = AllNodes(g);
+  auto result = RunCensus(g, *wedge, focal, opts);
+  ASSERT_TRUE(result.ok());
+  // Wedges centered at n = C(deg(n), 2).
+  for (NodeId n = 0; n < 6; ++n) {
+    EXPECT_EQ(result->counts[n], Choose(g.Degree(n), 2)) << "node " << n;
+  }
+}
+
+TEST(GridGraphTest, SquaresInGrid) {
+  // 4x4 grid: unit squares = 3*3 = 9; no triangles.
+  const int w = 4;
+  Graph g;
+  g.AddNodes(w * w);
+  for (int y = 0; y < w; ++y) {
+    for (int x = 0; x < w; ++x) {
+      NodeId n = y * w + x;
+      if (x + 1 < w) g.AddEdge(n, n + 1);
+      if (y + 1 < w) g.AddEdge(n, n + w);
+    }
+  }
+  g.Finalize();
+  CnMatcher matcher;
+  EXPECT_EQ(matcher.FindMatches(g, MakeSquare(false)).size(), 9u);
+  EXPECT_EQ(matcher.FindMatches(g, MakeTriangle(false)).size(), 0u);
+  // Each interior unit square is in the 1-hop ego net of... none of its
+  // nodes' 1-hop neighborhoods contain the opposite corner (distance 2),
+  // so counts at k=1 are 0; at k=2 a corner node of the grid sees exactly
+  // one unit square.
+  Pattern sqr = MakeSquare(false);
+  auto focal = AllNodes(g);
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 1;
+  auto r1 = RunCensus(g, sqr, focal, opts);
+  ASSERT_TRUE(r1.ok());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) EXPECT_EQ(r1->counts[n], 0u);
+  opts.k = 2;
+  auto r2 = RunCensus(g, sqr, focal, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->counts[0], 1u);  // grid corner
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,83 @@
+#ifndef EGOCENSUS_TESTS_TEST_UTIL_H_
+#define EGOCENSUS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/match_set.h"
+#include "pattern/pattern.h"
+
+namespace egocensus::testing {
+
+/// Builds a small undirected graph from an edge list. Labels optional.
+inline Graph MakeGraph(std::uint32_t num_nodes,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges,
+                       const std::vector<Label>& labels = {},
+                       bool directed = false) {
+  Graph g(directed);
+  g.AddNodes(num_nodes);
+  for (std::uint32_t i = 0; i < labels.size(); ++i) g.SetLabel(i, labels[i]);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  g.Finalize();
+  return g;
+}
+
+/// Counts pattern *embeddings* (injective assignments satisfying all
+/// structural edges, labels, negated edges and predicates) by brute force.
+/// Matchers count matches (= embeddings / |Aut(P)|), so tests verify
+///   matcher.size() * pattern.NumAutomorphisms() == CountEmbeddings(...).
+inline std::uint64_t CountEmbeddings(const Graph& g, const Pattern& p) {
+  const int arity = p.NumNodes();
+  std::vector<NodeId> assignment(arity, kInvalidNode);
+  std::vector<char> used(g.NumNodes(), 0);
+  std::uint64_t count = 0;
+
+  auto edge_ok = [&](const PatternEdge& e) {
+    NodeId a = assignment[e.src];
+    NodeId b = assignment[e.dst];
+    bool present = e.directed && g.directed() ? g.HasEdge(a, b)
+                                              : g.HasUndirectedEdge(a, b);
+    return e.negated ? !present : present;
+  };
+
+  auto recurse = [&](auto&& self, int i) -> void {
+    if (i == arity) {
+      for (const auto& e : p.NegativeEdges()) {
+        if (!edge_ok(e)) return;
+      }
+      for (const auto& pred : p.Predicates()) {
+        if (!EvaluatePredicate(g, pred, assignment)) return;
+      }
+      ++count;
+      return;
+    }
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (used[n]) continue;
+      auto label = p.LabelConstraint(i);
+      if (label.has_value() && g.label(n) != *label) continue;
+      assignment[i] = n;
+      bool ok = true;
+      for (const auto& e : p.PositiveEdges()) {
+        if (e.src <= i && e.dst <= i && (e.src == i || e.dst == i)) {
+          if (!edge_ok(e)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        used[n] = 1;
+        self(self, i + 1);
+        used[n] = 0;
+      }
+      assignment[i] = kInvalidNode;
+    }
+  };
+  recurse(recurse, 0);
+  return count;
+}
+
+}  // namespace egocensus::testing
+
+#endif  // EGOCENSUS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bucket_queue.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace egocensus {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolRespectsProbabilityRoughly) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::uint32_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleRequestLargerThanUniverse) {
+  Rng rng(21);
+  auto sample = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(BucketQueueTest, PopsInScoreOrder) {
+  BucketQueue<int> q(10);
+  q.Push(1, 5);
+  q.Push(2, 3);
+  q.Push(3, 7);
+  q.Push(4, 3);
+  std::size_t score;
+  std::set<int> first_two;
+  first_two.insert(q.PopMin(&score));
+  EXPECT_EQ(score, 3u);
+  first_two.insert(q.PopMin(&score));
+  EXPECT_EQ(score, 3u);
+  EXPECT_EQ(first_two, (std::set<int>{2, 4}));
+  EXPECT_EQ(q.PopMin(&score), 1);
+  EXPECT_EQ(score, 5u);
+  EXPECT_EQ(q.PopMin(&score), 3);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueueTest, CursorRewindsOnLowerPush) {
+  BucketQueue<int> q(10);
+  q.Push(1, 8);
+  std::size_t score;
+  EXPECT_EQ(q.PopMin(&score), 1);
+  q.Push(2, 2);  // below the cursor position
+  EXPECT_EQ(q.PopMin(&score), 2);
+  EXPECT_EQ(score, 2u);
+}
+
+TEST(BucketQueueTest, SizeAndClear) {
+  BucketQueue<int> q(4);
+  q.Push(1, 0);
+  q.Push(2, 4);
+  EXPECT_EQ(q.Size(), 2u);
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  q.Push(3, 1);
+  EXPECT_EQ(q.PopMin(), 3);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,,b", ',').size(), 3u);
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_EQ(ToLower("aBc"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Select", "SELECTS"));
+  EXPECT_TRUE(StartsWith("SUBGRAPH(", "SUBGRAPH"));
+  EXPECT_FALSE(StartsWith("SUB", "SUBGRAPH"));
+}
+
+TEST(TablePrinterTest, AlignedText) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.PrintText(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, Csv) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3 - 1e3);
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,220 @@
+// ecensus — command-line front end to the ego-centric pattern census
+// library.
+//
+//   ecensus generate --type pa|er|ws|rmat --nodes N [options] --out FILE
+//   ecensus info --graph FILE
+//   ecensus query --graph FILE (--query "SQL" | --query-file FILE)
+//                 [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]
+//                 [--top N] [--csv]
+//
+// Examples:
+//   ecensus generate --type pa --nodes 100000 --labels 4 --out g.graph
+//   ecensus query --graph g.graph \
+//     --query "PATTERN t {?A-?B; ?B-?C; ?C-?A;}
+//              SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes" --top 10
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "lang/engine.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace egocensus;
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (StartsWith(arg, "--")) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "1";  // boolean flag
+        }
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::uint64_t GetInt(const std::string& key, std::uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ecensus generate --type pa|er|ws|rmat --nodes N [--edges-per-node M]\n"
+      "                   [--edges E] [--labels L] [--seed S] --out FILE\n"
+      "  ecensus info --graph FILE\n"
+      "  ecensus query --graph FILE (--query SQL | --query-file FILE)\n"
+      "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
+      "                [--top N] [--csv] [--seed S]\n";
+  return 2;
+}
+
+int RunGenerate(const Args& args) {
+  std::string type = args.Get("type", "pa");
+  std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::cerr << "generate: --out is required\n";
+    return 2;
+  }
+  std::uint32_t nodes = static_cast<std::uint32_t>(args.GetInt("nodes", 10000));
+  std::uint32_t labels = static_cast<std::uint32_t>(args.GetInt("labels", 1));
+  std::uint64_t seed = args.GetInt("seed", 42);
+  Graph graph;
+  if (type == "pa") {
+    GeneratorOptions gen;
+    gen.num_nodes = nodes;
+    gen.edges_per_node =
+        static_cast<std::uint32_t>(args.GetInt("edges-per-node", 5));
+    gen.num_labels = labels;
+    gen.seed = seed;
+    graph = GeneratePreferentialAttachment(gen);
+  } else if (type == "er") {
+    graph = GenerateErdosRenyi(nodes, args.GetInt("edges", nodes * 5ull),
+                               labels, seed);
+  } else if (type == "ws") {
+    graph = GenerateWattsStrogatz(
+        nodes, static_cast<std::uint32_t>(args.GetInt("edges-per-node", 5)),
+        args.GetDouble("rewire", 0.1), labels, seed);
+  } else if (type == "rmat") {
+    std::uint32_t scale = 1;
+    while ((1u << scale) < nodes) ++scale;
+    graph = GenerateRmat(scale, args.GetInt("edges", nodes * 5ull), 0.45,
+                         0.22, 0.22, labels, seed);
+  } else {
+    std::cerr << "generate: unknown --type " << type << "\n";
+    return 2;
+  }
+  Status status = SaveGraph(graph, out);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << graph.NumNodes() << " nodes, " << graph.NumEdges()
+            << " edges to " << out << "\n";
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  auto graph = LoadGraph(args.Get("graph", ""));
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  std::uint64_t degree_sum = 0;
+  std::uint32_t max_degree = 0;
+  for (NodeId n = 0; n < graph->NumNodes(); ++n) {
+    degree_sum += graph->Degree(n);
+    max_degree = std::max(max_degree, graph->Degree(n));
+  }
+  std::cout << "nodes:      " << graph->NumNodes() << "\n"
+            << "edges:      " << graph->NumEdges() << "\n"
+            << "directed:   " << (graph->directed() ? "yes" : "no") << "\n"
+            << "labels:     " << graph->NumLabels() << "\n"
+            << "avg degree: "
+            << (graph->NumNodes() > 0
+                    ? static_cast<double>(degree_sum) / graph->NumNodes()
+                    : 0)
+            << "\n"
+            << "max degree: " << max_degree << "\n";
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  auto graph = LoadGraph(args.Get("graph", ""));
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  std::string query = args.Get("query", "");
+  if (query.empty() && args.Has("query-file")) {
+    std::ifstream in(args.Get("query-file", ""));
+    if (!in) {
+      std::cerr << "cannot open query file\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    query = ss.str();
+  }
+  if (query.empty()) {
+    std::cerr << "query: --query or --query-file is required\n";
+    return 2;
+  }
+
+  QueryEngine engine(*graph);
+  QueryEngine::Options options;
+  options.rnd_seed = args.GetInt("seed", 99);
+  std::string algorithm = args.Get("algorithm", "");
+  if (!algorithm.empty()) {
+    options.auto_algorithm = false;
+    static const std::map<std::string, CensusAlgorithm> kNames = {
+        {"nd-bas", CensusAlgorithm::kNdBas},
+        {"nd-pvot", CensusAlgorithm::kNdPvot},
+        {"nd-diff", CensusAlgorithm::kNdDiff},
+        {"pt-bas", CensusAlgorithm::kPtBas},
+        {"pt-opt", CensusAlgorithm::kPtOpt},
+        {"pt-rnd", CensusAlgorithm::kPtRnd},
+    };
+    auto it = kNames.find(ToLower(algorithm));
+    if (it == kNames.end()) {
+      std::cerr << "unknown --algorithm " << algorithm << "\n";
+      return 2;
+    }
+    options.census.algorithm = it->second;
+  }
+  auto result = engine.Execute(query, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (args.Has("top") && result->NumColumns() >= 2) {
+    result->SortByColumnDesc(result->NumColumns() - 1);
+  }
+  if (args.Has("csv")) {
+    result->WriteCsv(std::cout);
+  } else {
+    std::size_t limit = args.Has("top")
+                            ? static_cast<std::size_t>(args.GetInt("top", 20))
+                            : result->NumRows();
+    std::cout << result->ToString(limit);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "info") return RunInfo(args);
+  if (command == "query") return RunQuery(args);
+  return Usage();
+}
