@@ -1,0 +1,306 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace egocensus {
+namespace {
+
+bool SortedContains(std::span<const NodeId> nodes, NodeId x) {
+  return std::binary_search(nodes.begin(), nodes.end(), x);
+}
+
+bool SortedContains(const std::vector<NodeId>& nodes, NodeId x) {
+  return std::binary_search(nodes.begin(), nodes.end(), x);
+}
+
+/// Inserts x into a sorted vector (no-op if present); returns true if
+/// inserted.
+bool SortedInsert(std::vector<NodeId>* v, NodeId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it != v->end() && *it == x) return false;
+  v->insert(it, x);
+  return true;
+}
+
+/// Erases x from a sorted vector; returns true if it was present.
+bool SortedErase(std::vector<NodeId>* v, NodeId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(Graph base) : base_(std::move(base)) {
+  num_nodes_ = base_.NumNodes();
+  num_edges_ = base_.NumEdges();
+  max_label_ = base_.NumLabels() == 0 ? 0 : base_.NumLabels() - 1;
+  removed_.assign(num_nodes_, 0);
+}
+
+std::span<const NodeId> DynamicGraph::BaseNeighbors(int view, NodeId n) const {
+  if (n >= base_.NumNodes()) return {};
+  switch (view) {
+    case kOutView:
+      return base_.OutNeighbors(n);
+    case kInView:
+      return base_.InNeighbors(n);
+    default:
+      return base_.Neighbors(n);
+  }
+}
+
+std::span<const NodeId> DynamicGraph::ViewNeighbors(int view, NodeId n) const {
+  auto it = delta_[view].find(n);
+  if (it == delta_[view].end()) return BaseNeighbors(view, n);
+  const DeltaAdj& d = it->second;
+  if (!d.merged_valid) {
+    auto bases = BaseNeighbors(view, n);
+    d.merged.clear();
+    d.merged.reserve(bases.size() + d.added.size());
+    // base minus removed, then union with added (all three inputs sorted).
+    std::set_difference(bases.begin(), bases.end(), d.removed.begin(),
+                        d.removed.end(), std::back_inserter(d.merged));
+    if (!d.added.empty()) {
+      std::size_t mid = d.merged.size();
+      d.merged.insert(d.merged.end(), d.added.begin(), d.added.end());
+      std::inplace_merge(d.merged.begin(), d.merged.begin() + mid,
+                         d.merged.end());
+    }
+    d.merged_valid = true;
+  }
+  return d.merged;
+}
+
+bool DynamicGraph::ViewContains(int view, NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  auto it = delta_[view].find(u);
+  if (it != delta_[view].end()) {
+    if (SortedContains(it->second.added, v)) return true;
+    if (SortedContains(it->second.removed, v)) return false;
+  }
+  return SortedContains(BaseNeighbors(view, u), v);
+}
+
+void DynamicGraph::DeltaAddNeighbor(int view, NodeId n, NodeId x) {
+  DeltaAdj& d = delta_[view][n];
+  if (!SortedErase(&d.removed, x)) SortedInsert(&d.added, x);
+  d.merged_valid = false;
+}
+
+void DynamicGraph::DeltaRemoveNeighbor(int view, NodeId n, NodeId x) {
+  DeltaAdj& d = delta_[view][n];
+  if (!SortedErase(&d.added, x)) SortedInsert(&d.removed, x);
+  d.merged_valid = false;
+}
+
+Status DynamicGraph::CheckEndpoints(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not supported");
+  if (NodeRemoved(u) || NodeRemoved(v)) {
+    return Status::InvalidArgument("edge endpoint is a removed node");
+  }
+  return Status::Ok();
+}
+
+Result<NodeId> DynamicGraph::AddNode(Label label) {
+  NodeId id = num_nodes_++;
+  ext_labels_.push_back(label);
+  removed_.push_back(0);
+  max_label_ = std::max(max_label_, label);
+  ++version_;
+  return id;
+}
+
+Result<bool> DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  Status status = CheckEndpoints(u, v);
+  if (!status.ok()) return status;
+  if (HasEdge(u, v)) return false;  // duplicate: reported no-op
+  if (directed()) {
+    // The undirected view gains u~v only when the reverse arc is absent
+    // (the base combined view is deduplicated the same way).
+    if (!HasEdge(v, u)) {
+      DeltaAddNeighbor(kUndView, u, v);
+      DeltaAddNeighbor(kUndView, v, u);
+    }
+    DeltaAddNeighbor(kOutView, u, v);
+    DeltaAddNeighbor(kInView, v, u);
+  } else {
+    DeltaAddNeighbor(kOutView, u, v);
+    DeltaAddNeighbor(kOutView, v, u);
+  }
+  ++num_edges_;
+  ++version_;
+  ++delta_ops_;
+  return true;
+}
+
+Result<bool> DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (!HasEdge(u, v)) return false;  // missing: reported no-op
+  if (directed()) {
+    DeltaRemoveNeighbor(kOutView, u, v);
+    DeltaRemoveNeighbor(kInView, v, u);
+    if (!HasEdge(v, u)) {
+      DeltaRemoveNeighbor(kUndView, u, v);
+      DeltaRemoveNeighbor(kUndView, v, u);
+    }
+  } else {
+    DeltaRemoveNeighbor(kOutView, u, v);
+    DeltaRemoveNeighbor(kOutView, v, u);
+  }
+  --num_edges_;
+  ++version_;
+  ++delta_ops_;
+  return true;
+}
+
+Result<bool> DynamicGraph::RemoveNode(NodeId n) {
+  if (n >= num_nodes_) return Status::OutOfRange("no such node");
+  if (NodeRemoved(n)) return false;
+  // Detach all incident edges, then tombstone the id.
+  std::vector<NodeId> targets(OutNeighbors(n).begin(), OutNeighbors(n).end());
+  for (NodeId x : targets) {
+    auto removed = RemoveEdge(n, x);
+    if (!removed.ok()) return removed.status();
+  }
+  if (directed()) {
+    std::vector<NodeId> sources(InNeighbors(n).begin(),
+                                InNeighbors(n).end());
+    for (NodeId x : sources) {
+      auto removed = RemoveEdge(x, n);
+      if (!removed.ok()) return removed.status();
+    }
+  }
+  removed_[n] = 1;
+  ++version_;
+  return true;
+}
+
+Result<bool> DynamicGraph::Apply(const GraphUpdate& update,
+                                 NodeId* new_node_id) {
+  switch (update.kind) {
+    case GraphUpdate::Kind::kAddEdge:
+      return AddEdge(update.u, update.v);
+    case GraphUpdate::Kind::kRemoveEdge:
+      return RemoveEdge(update.u, update.v);
+    case GraphUpdate::Kind::kAddNode: {
+      auto id = AddNode(update.label);
+      if (!id.ok()) return id.status();
+      if (new_node_id != nullptr) *new_node_id = id.value();
+      return true;
+    }
+    case GraphUpdate::Kind::kRemoveNode:
+      return RemoveNode(update.u);
+  }
+  return Status::Internal("unknown update kind");
+}
+
+Graph DynamicGraph::Materialize() const {
+  Graph out(directed());
+  for (NodeId n = 0; n < num_nodes_; ++n) out.AddNode(label(n));
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (directed()) {
+      for (NodeId x : OutNeighbors(n)) out.AddEdge(n, x);
+    } else {
+      for (NodeId x : OutNeighbors(n)) {
+        if (n < x) out.AddEdge(n, x);
+      }
+    }
+  }
+  if (!base_.node_attributes().AttributeNames().empty()) {
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      out.node_attributes().CopyFrom(base_.node_attributes(), n, n);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+void DynamicGraph::Compact() {
+  Graph fresh = Materialize();
+  base_ = std::move(fresh);
+  for (auto& view : delta_) view.clear();
+  ext_labels_.clear();
+  num_edges_ = base_.NumEdges();
+  delta_ops_ = 0;
+}
+
+std::optional<AttributeValue> DynamicGraph::GetNodeAttribute(
+    NodeId n, const std::string& name) const {
+  if (EqualsIgnoreCase(name, "LABEL")) {
+    return AttributeValue(static_cast<std::int64_t>(label(n)));
+  }
+  if (EqualsIgnoreCase(name, "ID")) {
+    return AttributeValue(static_cast<std::int64_t>(n));
+  }
+  return base_.node_attributes().Get(n, name);
+}
+
+// --- DynamicSubgraphExtractor ------------------------------------------
+
+void DynamicSubgraphExtractor::EnsureCapacity() {
+  if (local_of_.size() < graph_.NumNodes()) {
+    local_of_.resize(graph_.NumNodes(), kInvalidNode);
+    epoch_of_.resize(graph_.NumNodes(), 0);
+  }
+}
+
+EgoSubgraph DynamicSubgraphExtractor::Extract(std::span<const NodeId> nodes,
+                                              bool copy_attributes) {
+  EnsureCapacity();
+  ++epoch_;
+  EgoSubgraph out;
+  out.graph = Graph(graph_.directed());
+  out.to_global.reserve(nodes.size());
+  for (NodeId g : nodes) {
+    if (epoch_of_[g] == epoch_) continue;  // duplicate
+    epoch_of_[g] = epoch_;
+    local_of_[g] = static_cast<NodeId>(out.to_global.size());
+    out.to_global.push_back(g);
+    out.graph.AddNode(graph_.label(g));
+  }
+  for (NodeId g : out.to_global) {
+    NodeId lu = local_of_[g];
+    for (NodeId h : graph_.OutNeighbors(g)) {
+      if (h >= epoch_of_.size() || epoch_of_[h] != epoch_) continue;
+      if (!graph_.directed() && h < g) continue;
+      out.graph.AddEdge(lu, local_of_[h]);
+    }
+  }
+  if (copy_attributes) {
+    for (NodeId g : out.to_global) {
+      out.graph.node_attributes().CopyFrom(graph_.node_attributes(), g,
+                                           local_of_[g]);
+    }
+  }
+  out.graph.Finalize();
+  return out;
+}
+
+EgoSubgraph DynamicSubgraphExtractor::ExtractKHop(NodeId n, std::uint32_t k,
+                                                  bool copy_attributes) {
+  const auto& nodes = bfs1_.Run(graph_, n, k);
+  return Extract(nodes, copy_attributes);
+}
+
+EgoSubgraph DynamicSubgraphExtractor::ExtractAroundPair(
+    NodeId u, NodeId v, std::uint32_t radius, bool copy_attributes) {
+  const auto& nodes1 = bfs1_.Run(graph_, u, radius);
+  scratch_nodes_.assign(nodes1.begin(), nodes1.end());
+  const auto& nodes2 = bfs2_.Run(graph_, v, radius);
+  for (NodeId n : nodes2) {
+    if (!bfs1_.Reached(n)) scratch_nodes_.push_back(n);
+  }
+  return Extract(scratch_nodes_, copy_attributes);
+}
+
+}  // namespace egocensus

@@ -1,0 +1,234 @@
+#ifndef EGOCENSUS_DYNAMIC_DYNAMIC_GRAPH_H_
+#define EGOCENSUS_DYNAMIC_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// One topology update of a dynamic-graph stream.
+struct GraphUpdate {
+  enum class Kind { kAddEdge, kRemoveEdge, kAddNode, kRemoveNode };
+
+  Kind kind = Kind::kAddEdge;
+  NodeId u = kInvalidNode;  // edge source / node to remove
+  NodeId v = kInvalidNode;  // edge target
+  Label label = kDefaultLabel;  // label of an added node
+
+  static GraphUpdate AddEdge(NodeId u, NodeId v) {
+    return {Kind::kAddEdge, u, v, kDefaultLabel};
+  }
+  static GraphUpdate RemoveEdge(NodeId u, NodeId v) {
+    return {Kind::kRemoveEdge, u, v, kDefaultLabel};
+  }
+  static GraphUpdate AddNode(Label label = kDefaultLabel) {
+    return {Kind::kAddNode, kInvalidNode, kInvalidNode, label};
+  }
+  static GraphUpdate RemoveNode(NodeId n) {
+    return {Kind::kRemoveNode, n, kInvalidNode, kDefaultLabel};
+  }
+};
+
+/// Mutable overlay over a finalized CSR Graph (the dynamic-graph substrate
+/// of the EAGr-style continuous workload). The base stays immutable; edge
+/// and node changes accumulate in per-node hash-indexed delta lists
+/// (added/removed neighbors per adjacency view) and are periodically
+/// compacted into a fresh CSR base.
+///
+/// The overlay mirrors the topology accessors the matchers, BFS, and
+/// subgraph extraction already use (NumNodes/Neighbors/OutNeighbors/
+/// InNeighbors/Degree/HasEdge/label), returning spans either directly into
+/// the base CSR (clean nodes) or into a lazily merged per-node cache (dirty
+/// nodes). BfsWorkspace::Run and DynamicSubgraphExtractor therefore operate
+/// on base+delta unmodified, and pattern matching runs unchanged inside
+/// materialized ego subgraphs of the current topology.
+///
+/// Semantics: the graph is kept *simple* — inserting an existing edge or
+/// deleting a missing one is a reported no-op (AddEdge/RemoveEdge return
+/// false). Removed nodes are tombstoned: their id stays allocated, all
+/// incident edges are removed, and further mutation through them is an
+/// error. Node attributes are carried by node id across updates and
+/// compaction; edge attributes are not supported by the dynamic layer (see
+/// docs/DYNAMIC.md).
+class DynamicGraph {
+ public:
+  /// `base` must be finalized and simple (no parallel edges).
+  explicit DynamicGraph(Graph base);
+
+  // --- Topology accessors (mirroring Graph) ----------------------------
+
+  bool directed() const { return base_.directed(); }
+  std::uint32_t NumNodes() const { return num_nodes_; }
+  std::uint64_t NumEdges() const { return num_edges_; }
+  std::uint32_t NumLabels() const { return max_label_ + 1; }
+  Label label(NodeId n) const {
+    return n < base_.NumNodes() ? base_.label(n)
+                                : ext_labels_[n - base_.NumNodes()];
+  }
+  bool NodeRemoved(NodeId n) const {
+    return n < removed_.size() && removed_[n] != 0;
+  }
+
+  /// Out-neighbors (directed) / all neighbors (undirected), sorted.
+  std::span<const NodeId> OutNeighbors(NodeId n) const {
+    return ViewNeighbors(kOutView, n);
+  }
+  /// In-neighbors (directed) / all neighbors (undirected), sorted.
+  std::span<const NodeId> InNeighbors(NodeId n) const {
+    return ViewNeighbors(directed() ? kInView : kOutView, n);
+  }
+  /// Undirected view (the N(x) of k-hop neighborhood expansion), sorted.
+  std::span<const NodeId> Neighbors(NodeId n) const {
+    return ViewNeighbors(directed() ? kUndView : kOutView, n);
+  }
+  std::uint32_t Degree(NodeId n) const {
+    return static_cast<std::uint32_t>(Neighbors(n).size());
+  }
+  /// True if the directed edge u->v exists (undirected: u-v).
+  bool HasEdge(NodeId u, NodeId v) const {
+    return ViewContains(kOutView, u, v);
+  }
+  bool HasUndirectedEdge(NodeId u, NodeId v) const {
+    return ViewContains(directed() ? kUndView : kOutView, u, v);
+  }
+
+  /// Node attribute lookup with the LABEL/ID fast path (as Graph).
+  std::optional<AttributeValue> GetNodeAttribute(
+      NodeId n, const std::string& name) const;
+  AttributeTable& node_attributes() { return base_.node_attributes(); }
+  const AttributeTable& node_attributes() const {
+    return base_.node_attributes();
+  }
+
+  // --- Mutations --------------------------------------------------------
+
+  /// Adds a node and returns its id.
+  Result<NodeId> AddNode(Label label = kDefaultLabel);
+
+  /// Inserts edge u->v (undirected: u-v). Returns false if the edge already
+  /// exists (no-op); errors on self-loops, out-of-range ids, or removed
+  /// endpoints.
+  Result<bool> AddEdge(NodeId u, NodeId v);
+
+  /// Deletes edge u->v (undirected: u-v). Returns false if the edge does
+  /// not exist (no-op).
+  Result<bool> RemoveEdge(NodeId u, NodeId v);
+
+  /// Tombstones node n: removes all incident edges and marks the id dead.
+  /// Returns false if already removed.
+  Result<bool> RemoveNode(NodeId n);
+
+  /// Applies one GraphUpdate. For kAddNode the returned flag is always
+  /// true (the new id is reported via new_node_id).
+  Result<bool> Apply(const GraphUpdate& update,
+                     NodeId* new_node_id = nullptr);
+
+  // --- Compaction -------------------------------------------------------
+
+  /// Number of delta entries applied since the last compaction.
+  std::uint64_t DeltaSize() const { return delta_ops_; }
+
+  /// Delta size relative to the base edge count (compaction trigger).
+  double DeltaFraction() const {
+    return base_.NumEdges() == 0
+               ? (delta_ops_ > 0 ? 1.0 : 0.0)
+               : static_cast<double>(delta_ops_) / base_.NumEdges();
+  }
+
+  /// Rebuilds a fresh CSR base from base+delta and clears the delta
+  /// structures. Invalidates all previously returned spans.
+  void Compact();
+
+  /// Equivalent fully static graph (finalized): same node ids (tombstoned
+  /// nodes become isolated), current edges, labels, and node attributes.
+  Graph Materialize() const;
+
+  /// Monotone counter bumped by every applied (non-no-op) mutation.
+  std::uint64_t version() const { return version_; }
+
+  const Graph& base() const { return base_; }
+
+ private:
+  static constexpr int kOutView = 0;
+  static constexpr int kInView = 1;
+  static constexpr int kUndView = 2;
+
+  struct DeltaAdj {
+    std::vector<NodeId> added;    // sorted; not in the base adjacency
+    std::vector<NodeId> removed;  // sorted; subset of the base adjacency
+    mutable std::vector<NodeId> merged;
+    mutable bool merged_valid = false;
+  };
+
+  std::span<const NodeId> BaseNeighbors(int view, NodeId n) const;
+  std::span<const NodeId> ViewNeighbors(int view, NodeId n) const;
+  bool ViewContains(int view, NodeId u, NodeId v) const;
+  void DeltaAddNeighbor(int view, NodeId n, NodeId x);
+  void DeltaRemoveNeighbor(int view, NodeId n, NodeId x);
+  Status CheckEndpoints(NodeId u, NodeId v) const;
+
+  Graph base_;  // finalized
+  std::uint32_t num_nodes_ = 0;
+  std::uint64_t num_edges_ = 0;
+  Label max_label_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t delta_ops_ = 0;
+
+  std::vector<Label> ext_labels_;  // nodes beyond the base
+  std::vector<char> removed_;
+  // One delta map per adjacency view; undirected graphs use only kOutView
+  // (as Graph, where out == in == undirected).
+  std::unordered_map<NodeId, DeltaAdj> delta_[3];
+};
+
+/// Induced-subgraph materialization over the DynamicGraph overlay: the
+/// dynamic counterpart of SubgraphExtractor. The extracted EgoSubgraph is an
+/// ordinary finalized Graph, so the CN/GQL matchers run inside it
+/// unmodified. Edge attributes are not copied (unsupported by the dynamic
+/// layer); node labels always are, node attributes on request.
+class DynamicSubgraphExtractor {
+ public:
+  explicit DynamicSubgraphExtractor(const DynamicGraph& graph)
+      : graph_(graph) {}
+
+  /// Induced subgraph on `nodes` (duplicates ignored).
+  EgoSubgraph Extract(std::span<const NodeId> nodes,
+                      bool copy_attributes = false);
+
+  /// Induced subgraph on the k-hop neighborhood S(n, k).
+  EgoSubgraph ExtractKHop(NodeId n, std::uint32_t k,
+                          bool copy_attributes = false);
+
+  /// Induced subgraph on B(u, radius) ∪ B(v, radius) — the locality region
+  /// of incremental maintenance around an updated edge.
+  EgoSubgraph ExtractAroundPair(NodeId u, NodeId v, std::uint32_t radius,
+                                bool copy_attributes = false);
+
+  /// BFS workspace of the last ExtractKHop/ExtractAroundPair call (global
+  /// distances from the first seed).
+  const BfsWorkspace& last_bfs() const { return bfs1_; }
+
+ private:
+  void EnsureCapacity();
+
+  const DynamicGraph& graph_;
+  BfsWorkspace bfs1_;
+  BfsWorkspace bfs2_;
+  std::vector<NodeId> local_of_;
+  std::vector<std::uint32_t> epoch_of_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> scratch_nodes_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_DYNAMIC_DYNAMIC_GRAPH_H_

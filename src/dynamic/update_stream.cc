@@ -1,0 +1,85 @@
+#include "dynamic/update_stream.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace egocensus {
+namespace {
+
+Status LineError(std::size_t line_no, const std::string& what) {
+  return Status::ParseError("update stream line " + std::to_string(line_no) +
+                            ": " + what);
+}
+
+bool ParseNodeId(const std::string& token, NodeId* out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFull) return false;
+  }
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
+  std::vector<GraphUpdate> updates;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op[0] == '#' || op[0] == '%') continue;
+
+    auto parse_pair = [&](GraphUpdate (*make)(NodeId, NodeId))
+        -> Result<GraphUpdate> {
+      std::string a, b;
+      NodeId u = 0, v = 0;
+      if (!(tokens >> a >> b) || !ParseNodeId(a, &u) || !ParseNodeId(b, &v)) {
+        return LineError(line_no, "expected two node ids after '" + op + "'");
+      }
+      return make(u, v);
+    };
+
+    if (op == "ae" || op == "+") {
+      auto update = parse_pair(&GraphUpdate::AddEdge);
+      if (!update.ok()) return update.status();
+      updates.push_back(*update);
+    } else if (op == "re" || op == "-") {
+      auto update = parse_pair(&GraphUpdate::RemoveEdge);
+      if (!update.ok()) return update.status();
+      updates.push_back(*update);
+    } else if (op == "an") {
+      std::string token;
+      NodeId label = 0;
+      if (tokens >> token) {
+        if (!ParseNodeId(token, &label)) {
+          return LineError(line_no, "bad label '" + token + "'");
+        }
+      }
+      updates.push_back(GraphUpdate::AddNode(static_cast<Label>(label)));
+    } else if (op == "rn") {
+      std::string token;
+      NodeId n = 0;
+      if (!(tokens >> token) || !ParseNodeId(token, &n)) {
+        return LineError(line_no, "expected a node id after 'rn'");
+      }
+      updates.push_back(GraphUpdate::RemoveNode(n));
+    } else {
+      return LineError(line_no, "unknown op '" + op + "'");
+    }
+  }
+  return updates;
+}
+
+Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open update stream: " + path);
+  return ParseUpdateStream(in);
+}
+
+}  // namespace egocensus

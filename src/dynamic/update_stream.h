@@ -1,0 +1,30 @@
+#ifndef EGOCENSUS_DYNAMIC_UPDATE_STREAM_H_
+#define EGOCENSUS_DYNAMIC_UPDATE_STREAM_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// Parses a textual edge/node update stream, one update per line:
+///
+///   ae U V    (or: + U V)   insert edge U->V (undirected: U-V)
+///   re U V    (or: - U V)   delete edge U->V
+///   an [L]                  add a node with label L (default 0)
+///   rn N                    remove node N
+///
+/// Blank lines and lines starting with '#' or '%' are skipped. Node ids are
+/// non-negative integers (ids beyond the current graph are validated at
+/// apply time, not parse time, so streams may reference nodes they add).
+Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in);
+
+/// Reads and parses an update-stream file.
+Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_DYNAMIC_UPDATE_STREAM_H_

@@ -2,33 +2,6 @@
 
 namespace egocensus {
 
-const std::vector<NodeId>& BfsWorkspace::Run(const Graph& graph, NodeId source,
-                                             std::uint32_t max_depth) {
-  if (dist_.size() < graph.NumNodes()) {
-    dist_.resize(graph.NumNodes(), kUnreached);
-  }
-  // Lazy reset: clear only what the previous run touched.
-  for (NodeId n : visited_) dist_[n] = kUnreached;
-  visited_.clear();
-
-  dist_[source] = 0;
-  visited_.push_back(source);
-  // visited_ doubles as the BFS queue (it is already in frontier order).
-  std::size_t head = 0;
-  while (head < visited_.size()) {
-    NodeId u = visited_[head++];
-    std::uint32_t du = dist_[u];
-    if (du == max_depth) continue;
-    for (NodeId v : graph.Neighbors(u)) {
-      if (dist_[v] == kUnreached) {
-        dist_[v] = du + 1;
-        visited_.push_back(v);
-      }
-    }
-  }
-  return visited_;
-}
-
 void FullBfsDistances(const Graph& graph, NodeId source,
                       std::vector<std::uint16_t>* out_dist,
                       std::uint16_t unreached) {

@@ -16,7 +16,9 @@ namespace egocensus {
 /// visited entries are cleared between runs).
 ///
 /// BFS expands the undirected neighbor view (Graph::Neighbors), matching the
-/// paper's k-hop neighborhood definition.
+/// paper's k-hop neighborhood definition. Run is a template over any
+/// topology exposing NumNodes() and Neighbors(n), so the same workspace
+/// drives both the static CSR Graph and the DynamicGraph overlay.
 class BfsWorkspace {
  public:
   static constexpr std::uint32_t kUnreached =
@@ -28,8 +30,33 @@ class BfsWorkspace {
   /// inclusive. Returns the visited nodes (including the source) in
   /// nondecreasing distance order. The result view is valid until the next
   /// Run call on this workspace.
-  const std::vector<NodeId>& Run(const Graph& graph, NodeId source,
-                                 std::uint32_t max_depth);
+  template <typename GraphT>
+  const std::vector<NodeId>& Run(const GraphT& graph, NodeId source,
+                                 std::uint32_t max_depth) {
+    if (dist_.size() < graph.NumNodes()) {
+      dist_.resize(graph.NumNodes(), kUnreached);
+    }
+    // Lazy reset: clear only what the previous run touched.
+    for (NodeId n : visited_) dist_[n] = kUnreached;
+    visited_.clear();
+
+    dist_[source] = 0;
+    visited_.push_back(source);
+    // visited_ doubles as the BFS queue (it is already in frontier order).
+    std::size_t head = 0;
+    while (head < visited_.size()) {
+      NodeId u = visited_[head++];
+      std::uint32_t du = dist_[u];
+      if (du == max_depth) continue;
+      for (NodeId v : graph.Neighbors(u)) {
+        if (dist_[v] == kUnreached) {
+          dist_[v] = du + 1;
+          visited_.push_back(v);
+        }
+      }
+    }
+    return visited_;
+  }
 
   /// Distance of `n` from the last Run's source, or kUnreached.
   std::uint32_t DistanceTo(NodeId n) const {

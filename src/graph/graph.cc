@@ -7,7 +7,7 @@
 namespace egocensus {
 
 NodeId Graph::AddNode(Label label) {
-  assert(!finalized_);
+  if (finalized_) return kInvalidNode;
   labels_.push_back(label);
   max_label_ = std::max(max_label_, label);
   build_out_.emplace_back();
@@ -16,13 +16,14 @@ NodeId Graph::AddNode(Label label) {
 }
 
 NodeId Graph::AddNodes(std::uint32_t count, Label label) {
+  if (finalized_) return kInvalidNode;
   NodeId first = num_nodes_;
   for (std::uint32_t i = 0; i < count; ++i) AddNode(label);
   return first;
 }
 
 EdgeId Graph::AddEdge(NodeId u, NodeId v) {
-  assert(!finalized_);
+  if (finalized_) return kInvalidEdge;
   if (u == v || u >= num_nodes_ || v >= num_nodes_) return kInvalidEdge;
   EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.emplace_back(u, v);
@@ -35,10 +36,14 @@ EdgeId Graph::AddEdge(NodeId u, NodeId v) {
   return id;
 }
 
-void Graph::SetLabel(NodeId n, Label label) {
-  assert(!finalized_);
+Status Graph::SetLabel(NodeId n, Label label) {
+  if (finalized_) {
+    return Status::InvalidArgument("SetLabel: graph is already finalized");
+  }
+  if (n >= num_nodes_) return Status::OutOfRange("SetLabel: no such node");
   labels_[n] = label;
   max_label_ = std::max(max_label_, label);
+  return Status::Ok();
 }
 
 Graph::Csr Graph::BuildCsr(
@@ -71,8 +76,10 @@ Graph::Csr Graph::BuildCsr(
   return csr;
 }
 
-void Graph::Finalize() {
-  assert(!finalized_);
+Status Graph::Finalize() {
+  if (finalized_) {
+    return Status::InvalidArgument("Finalize: graph is already finalized");
+  }
   out_ = BuildCsr(num_nodes_, &build_out_, /*dedup=*/false);
   if (directed_) {
     in_ = BuildCsr(num_nodes_, &build_in_, /*dedup=*/false);
@@ -90,6 +97,7 @@ void Graph::Finalize() {
   build_in_.clear();
   build_in_.shrink_to_fit();
   finalized_ = true;
+  return Status::Ok();
 }
 
 std::span<const NodeId> Graph::OutNeighbors(NodeId n) const {

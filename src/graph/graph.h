@@ -10,6 +10,7 @@
 
 #include "graph/attributes.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace egocensus {
 
@@ -24,6 +25,12 @@ namespace egocensus {
 /// (the paper expands k-hop neighborhoods ignoring direction while pattern
 /// edges keep their orientation). All read accessors require a finalized
 /// graph.
+///
+/// Lifecycle misuse (mutation after Finalize(), double Finalize()) is
+/// rejected with a reportable error rather than undefined behavior:
+/// AddNode/AddNodes return kInvalidNode, AddEdge returns kInvalidEdge, and
+/// SetLabel/Finalize return a non-OK Status. Service-mode callers (the
+/// dynamic-update subsystem) rely on these guards.
 class Graph {
  public:
   explicit Graph(bool directed = false) : directed_(directed) {}
@@ -35,23 +42,27 @@ class Graph {
 
   // --- Construction ---------------------------------------------------
 
-  /// Adds one node and returns its id.
+  /// Adds one node and returns its id. Returns kInvalidNode if the graph is
+  /// already finalized.
   NodeId AddNode(Label label = kDefaultLabel);
 
-  /// Adds `count` nodes with the given label; returns the first new id.
+  /// Adds `count` nodes with the given label; returns the first new id (or
+  /// kInvalidNode after Finalize()).
   NodeId AddNodes(std::uint32_t count, Label label = kDefaultLabel);
 
   /// Adds an edge u->v (directed) or u-v (undirected) and returns its id.
-  /// Self-loops and out-of-range endpoints are rejected with kInvalidEdge.
-  /// Parallel edges are not deduplicated; callers that must avoid them
-  /// should check HasEdge first (generators do).
+  /// Self-loops, out-of-range endpoints, and mutation after Finalize() are
+  /// rejected with kInvalidEdge. Parallel edges are not deduplicated;
+  /// callers that must avoid them should check HasEdge first (generators
+  /// do).
   EdgeId AddEdge(NodeId u, NodeId v);
 
   /// Overrides the label of a node. Only valid before Finalize().
-  void SetLabel(NodeId n, Label label);
+  Status SetLabel(NodeId n, Label label);
 
   /// Sorts adjacency lists, flattens to CSR, and freezes the topology.
-  void Finalize();
+  /// Calling Finalize() twice returns an error and leaves the graph intact.
+  Status Finalize();
 
   // --- Topology accessors (require Finalize()) ------------------------
 

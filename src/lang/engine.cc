@@ -4,79 +4,11 @@
 #include <optional>
 
 #include "lang/query_parser.h"
+#include "lang/where_eval.h"
 #include "util/rng.h"
 
 namespace egocensus {
 namespace {
-
-/// Binding of table aliases to concrete nodes for WHERE evaluation.
-struct RowBinding {
-  const std::vector<std::string>* aliases = nullptr;
-  NodeId n1 = kInvalidNode;
-  NodeId n2 = kInvalidNode;
-
-  std::optional<NodeId> Resolve(const std::string& alias) const {
-    if (alias.empty() || alias == (*aliases)[0]) return n1;
-    if (aliases->size() > 1 && alias == (*aliases)[1]) return n2;
-    return std::nullopt;
-  }
-};
-
-std::optional<AttributeValue> OperandValue(const Graph& graph,
-                                           const WhereOperand& operand,
-                                           const RowBinding& binding,
-                                           Rng* rng) {
-  switch (operand.kind) {
-    case WhereOperand::Kind::kConst:
-      return operand.value;
-    case WhereOperand::Kind::kRand:
-      return AttributeValue(rng->NextDouble());
-    case WhereOperand::Kind::kAttr: {
-      auto node = binding.Resolve(operand.alias);
-      if (!node.has_value()) return std::nullopt;
-      return graph.GetNodeAttribute(*node, operand.attr);
-    }
-  }
-  return std::nullopt;
-}
-
-bool EvalWhere(const Graph& graph, const WhereExpr* expr,
-               const RowBinding& binding, Rng* rng) {
-  if (expr == nullptr) return true;
-  switch (expr->kind) {
-    case WhereExpr::Kind::kAnd:
-      return EvalWhere(graph, expr->left.get(), binding, rng) &&
-             EvalWhere(graph, expr->right.get(), binding, rng);
-    case WhereExpr::Kind::kOr:
-      return EvalWhere(graph, expr->left.get(), binding, rng) ||
-             EvalWhere(graph, expr->right.get(), binding, rng);
-    case WhereExpr::Kind::kNot:
-      return !EvalWhere(graph, expr->left.get(), binding, rng);
-    case WhereExpr::Kind::kCompare: {
-      auto lhs = OperandValue(graph, expr->lhs, binding, rng);
-      auto rhs = OperandValue(graph, expr->rhs, binding, rng);
-      if (!lhs.has_value() || !rhs.has_value()) return false;
-      auto cmp = CompareAttributeValues(*lhs, *rhs);
-      if (!cmp.has_value()) return false;
-      switch (expr->op) {
-        case PredicateOp::kEq:
-          return *cmp == 0;
-        case PredicateOp::kNe:
-          return *cmp != 0;
-        case PredicateOp::kLt:
-          return *cmp < 0;
-        case PredicateOp::kLe:
-          return *cmp <= 0;
-        case PredicateOp::kGt:
-          return *cmp > 0;
-        case PredicateOp::kGe:
-          return *cmp >= 0;
-      }
-      return false;
-    }
-  }
-  return false;
-}
 
 /// Selective patterns (label constraints or predicates) favor the
 /// pattern-driven evaluator; non-selective patterns favor ND-PVOT.

@@ -1,0 +1,101 @@
+#include "lang/maintain.h"
+
+#include <utility>
+
+#include "lang/analyzer.h"
+#include "lang/query_parser.h"
+#include "lang/where_eval.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+std::string CountColumnName(const CountSpec& spec) {
+  std::string name =
+      spec.count_subpattern
+          ? "COUNTSP(" + spec.subpattern + "," + spec.pattern
+          : "COUNTP(" + spec.pattern;
+  name += "," + std::to_string(spec.neighborhood.k) + ")";
+  return name;
+}
+
+}  // namespace
+
+Result<MaintainSession> MaintainSession::Create(
+    DynamicGraph* graph, std::string_view query_text, const Options& options,
+    std::span<const Pattern> registered) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("MaintainSession: graph is null");
+  }
+  auto query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  auto analyzed = AnalyzeQuery(*query, registered);
+  if (!analyzed.ok()) return analyzed.status();
+  if (analyzed->pairwise) {
+    return Status::Unimplemented(
+        "MAINTAIN mode supports single-table queries only");
+  }
+  if (analyzed->counts.size() != 1) {
+    return Status::Unimplemented(
+        "MAINTAIN mode requires exactly one COUNT aggregate (got " +
+        std::to_string(analyzed->counts.size()) + ")");
+  }
+  const AnalyzedQuery::CountItem& item = analyzed->counts.front();
+
+  // Fix the focal set now, against the current dynamic topology and
+  // attributes (mirrors the static engine's focal scan).
+  Rng rng(options.rnd_seed);
+  RowBinding binding;
+  binding.aliases = &query->from_aliases;
+  std::vector<NodeId> focal;
+  for (NodeId n = 0; n < graph->NumNodes(); ++n) {
+    if (graph->NodeRemoved(n)) continue;
+    binding.n1 = n;
+    if (EvalWhere(*graph, query->where.get(), binding, &rng)) {
+      focal.push_back(n);
+    }
+  }
+
+  IncrementalCensus::Options census_options;
+  census_options.k = item.spec->neighborhood.k;
+  census_options.subpattern =
+      item.spec->count_subpattern ? item.spec->subpattern : "";
+  census_options.auto_compact = options.auto_compact;
+  census_options.compact_threshold = options.compact_threshold;
+  auto census = IncrementalCensus::Create(graph, *item.pattern,
+                                          census_options, std::move(focal));
+  if (!census.ok()) return census.status();
+  return MaintainSession(graph, std::move(census).value(),
+                         CountColumnName(*item.spec));
+}
+
+Result<ResultTable> MaintainSession::ApplyBatch(
+    std::span<const GraphUpdate> updates) {
+  std::vector<CountDelta> deltas;
+  auto stats = census_.ApplyBatch(updates, &deltas);
+  if (!stats.ok()) return stats.status();
+  last_stats_ = stats.value();
+
+  ResultTable table({"ID", "OLD", "NEW", "DELTA"});
+  for (const CountDelta& delta : deltas) {
+    table.AddRow({AttributeValue(static_cast<std::int64_t>(delta.node)),
+                  AttributeValue(static_cast<std::int64_t>(delta.new_count) -
+                                 delta.delta),
+                  AttributeValue(static_cast<std::int64_t>(delta.new_count)),
+                  AttributeValue(delta.delta)});
+  }
+  return table;
+}
+
+ResultTable MaintainSession::CountsTable() const {
+  ResultTable table({"ID", count_name_});
+  const std::vector<std::uint64_t>& counts = census_.counts();
+  for (NodeId n = 0; n < counts.size(); ++n) {
+    if (!census_.IsFocal(n)) continue;
+    table.AddRow({AttributeValue(static_cast<std::int64_t>(n)),
+                  AttributeValue(static_cast<std::int64_t>(counts[n]))});
+  }
+  return table;
+}
+
+}  // namespace egocensus

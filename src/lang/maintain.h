@@ -1,0 +1,88 @@
+#ifndef EGOCENSUS_LANG_MAINTAIN_H_
+#define EGOCENSUS_LANG_MAINTAIN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_census.h"
+#include "lang/result_table.h"
+#include "util/status.h"
+
+namespace egocensus {
+
+/// MAINTAIN execution mode of the query planner: instead of evaluating a
+/// census query once against a static graph, a MaintainSession compiles it
+/// into an IncrementalCensus over a DynamicGraph and keeps the result
+/// up to date under an update stream.
+///
+/// Supported queries: single-table SELECT with exactly one COUNTP/COUNTSP
+/// aggregate over SUBGRAPH(ID, k). The WHERE clause fixes the focal node
+/// set at session creation (as in the static engine, including RND()
+/// draws); nodes added later are not focal. The graph must be mutated only
+/// through ApplyBatch once the session exists.
+class MaintainSession {
+ public:
+  struct Options {
+    /// k and subpattern are taken from the query; the compaction knobs of
+    /// the maintainer are configured here.
+    bool auto_compact = true;
+    double compact_threshold = 0.25;
+    /// Seed for WHERE RND() draws (deterministic per node scan order).
+    std::uint64_t rnd_seed = 99;
+  };
+
+  /// Parses, analyzes, and plans `query_text`, runs the initial census,
+  /// and returns a live session. `registered` supplies library patterns
+  /// usable by name (inline PATTERN blocks shadow them). `graph` must
+  /// outlive the session.
+  static Result<MaintainSession> Create(DynamicGraph* graph,
+                                        std::string_view query_text,
+                                        const Options& options,
+                                        std::span<const Pattern> registered);
+  static Result<MaintainSession> Create(DynamicGraph* graph,
+                                        std::string_view query_text,
+                                        const Options& options) {
+    return Create(graph, query_text, options, {});
+  }
+  static Result<MaintainSession> Create(DynamicGraph* graph,
+                                        std::string_view query_text) {
+    return Create(graph, query_text, Options(), {});
+  }
+
+  /// Applies the updates and returns the count changes as a table with
+  /// columns ID | OLD | NEW | DELTA (one row per focal node whose count
+  /// changed, ascending by id).
+  Result<ResultTable> ApplyBatch(std::span<const GraphUpdate> updates);
+
+  /// Current maintained result: ID | <aggregate> rows for every focal
+  /// node, ascending by id.
+  ResultTable CountsTable() const;
+
+  /// Subscribes to the aggregated count deltas of every applied batch.
+  void AddListener(IncrementalCensus::Listener listener) {
+    census_.AddListener(std::move(listener));
+  }
+
+  /// Stats of the last ApplyBatch.
+  const MaintenanceStats& last_stats() const { return last_stats_; }
+  const IncrementalCensus& census() const { return census_; }
+
+ private:
+  MaintainSession(DynamicGraph* graph, IncrementalCensus census,
+                  std::string count_name)
+      : graph_(graph), census_(std::move(census)),
+        count_name_(std::move(count_name)) {}
+
+  DynamicGraph* graph_ = nullptr;
+  IncrementalCensus census_;
+  std::string count_name_;
+  MaintenanceStats last_stats_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_MAINTAIN_H_

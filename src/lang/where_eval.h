@@ -1,0 +1,91 @@
+#ifndef EGOCENSUS_LANG_WHERE_EVAL_H_
+#define EGOCENSUS_LANG_WHERE_EVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/attributes.h"
+#include "graph/types.h"
+#include "lang/ast.h"
+#include "util/rng.h"
+
+namespace egocensus {
+
+/// Binding of table aliases to concrete nodes for WHERE evaluation.
+struct RowBinding {
+  const std::vector<std::string>* aliases = nullptr;
+  NodeId n1 = kInvalidNode;
+  NodeId n2 = kInvalidNode;
+
+  std::optional<NodeId> Resolve(const std::string& alias) const {
+    if (alias.empty() || alias == (*aliases)[0]) return n1;
+    if (aliases->size() > 1 && alias == (*aliases)[1]) return n2;
+    return std::nullopt;
+  }
+};
+
+/// WHERE evaluation is a template over the graph type so the same
+/// implementation serves the static QueryEngine (Graph) and the MAINTAIN
+/// mode (DynamicGraph); `GraphT` must expose GetNodeAttribute(n, name).
+template <typename GraphT>
+std::optional<AttributeValue> WhereOperandValue(const GraphT& graph,
+                                                const WhereOperand& operand,
+                                                const RowBinding& binding,
+                                                Rng* rng) {
+  switch (operand.kind) {
+    case WhereOperand::Kind::kConst:
+      return operand.value;
+    case WhereOperand::Kind::kRand:
+      return AttributeValue(rng->NextDouble());
+    case WhereOperand::Kind::kAttr: {
+      auto node = binding.Resolve(operand.alias);
+      if (!node.has_value()) return std::nullopt;
+      return graph.GetNodeAttribute(*node, operand.attr);
+    }
+  }
+  return std::nullopt;
+}
+
+template <typename GraphT>
+bool EvalWhere(const GraphT& graph, const WhereExpr* expr,
+               const RowBinding& binding, Rng* rng) {
+  if (expr == nullptr) return true;
+  switch (expr->kind) {
+    case WhereExpr::Kind::kAnd:
+      return EvalWhere(graph, expr->left.get(), binding, rng) &&
+             EvalWhere(graph, expr->right.get(), binding, rng);
+    case WhereExpr::Kind::kOr:
+      return EvalWhere(graph, expr->left.get(), binding, rng) ||
+             EvalWhere(graph, expr->right.get(), binding, rng);
+    case WhereExpr::Kind::kNot:
+      return !EvalWhere(graph, expr->left.get(), binding, rng);
+    case WhereExpr::Kind::kCompare: {
+      auto lhs = WhereOperandValue(graph, expr->lhs, binding, rng);
+      auto rhs = WhereOperandValue(graph, expr->rhs, binding, rng);
+      if (!lhs.has_value() || !rhs.has_value()) return false;
+      auto cmp = CompareAttributeValues(*lhs, *rhs);
+      if (!cmp.has_value()) return false;
+      switch (expr->op) {
+        case PredicateOp::kEq:
+          return *cmp == 0;
+        case PredicateOp::kNe:
+          return *cmp != 0;
+        case PredicateOp::kLt:
+          return *cmp < 0;
+        case PredicateOp::kLe:
+          return *cmp <= 0;
+        case PredicateOp::kGt:
+          return *cmp > 0;
+        case PredicateOp::kGe:
+          return *cmp >= 0;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_LANG_WHERE_EVAL_H_

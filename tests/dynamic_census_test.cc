@@ -1,0 +1,371 @@
+// Property tests of the dynamic-update subsystem: IncrementalCensus counts
+// are checked *exactly* against a from-scratch census on the equivalent
+// static graph after every update batch, across random insert/delete
+// streams (with no-op duplicates and node add/remove), pattern shapes
+// (triangle, square, labeled, negated, COUNTSP), radii, and directedness.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "census/census.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_census.h"
+#include "graph/generators.h"
+#include "lang/maintain.h"
+#include "pattern/pattern_parser.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace egocensus {
+namespace {
+
+Pattern MustParse(const std::string& text) {
+  auto p = ParsePattern(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+/// From-scratch reference: ND-BAS census on the materialized static graph.
+std::vector<std::uint64_t> Reference(const DynamicGraph& dg, const Pattern& p,
+                                     std::uint32_t k,
+                                     const std::string& subpattern) {
+  Graph snapshot = dg.Materialize();
+  std::vector<NodeId> focal;
+  for (NodeId n = 0; n < dg.NumNodes(); ++n) {
+    if (!dg.NodeRemoved(n)) focal.push_back(n);
+  }
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdBas;
+  opts.k = k;
+  opts.subpattern = subpattern;
+  auto r = RunCensus(snapshot, p, focal, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->counts;
+}
+
+void ExpectCountsMatchReference(const DynamicGraph& dg,
+                                const IncrementalCensus& census,
+                                const Pattern& p, std::uint32_t k,
+                                const std::string& subpattern,
+                                const std::string& context) {
+  auto reference = Reference(dg, p, k, subpattern);
+  ASSERT_EQ(census.counts().size(), dg.NumNodes()) << context;
+  for (NodeId n = 0; n < dg.NumNodes(); ++n) {
+    if (dg.NodeRemoved(n)) {
+      EXPECT_EQ(census.counts()[n], 0u) << context << " removed node " << n;
+    } else {
+      ASSERT_EQ(census.counts()[n], reference[n])
+          << context << " node " << n;
+    }
+  }
+}
+
+struct StreamConfig {
+  std::uint32_t k = 1;
+  std::string subpattern;
+  int num_batches = 8;
+  int batch_size = 6;
+  bool node_ops = false;  // also generate add-node / remove-node updates
+  std::uint64_t seed = 1;
+};
+
+/// Drives a random update stream against an IncrementalCensus, checking
+/// exact agreement with the from-scratch recount after every batch. The
+/// stream deliberately includes duplicate inserts and deletes of missing
+/// edges (both must be exact no-ops).
+void RunRandomStream(Graph base, const Pattern& pattern,
+                     const StreamConfig& config) {
+  DynamicGraph dg(std::move(base));
+  IncrementalCensus::Options opts;
+  opts.k = config.k;
+  opts.subpattern = config.subpattern;
+  // Exercise compaction mid-stream.
+  opts.auto_compact = true;
+  opts.compact_threshold = 0.15;
+  auto census = IncrementalCensus::Create(&dg, pattern, opts);
+  ASSERT_TRUE(census.ok()) << census.status().ToString();
+
+  // Shadow state for generating valid updates; the listener-reported
+  // deltas must reconstruct the maintained counts exactly.
+  std::vector<char> alive(dg.NumNodes(), 1);
+  std::unordered_map<NodeId, std::uint64_t> shadow;
+  for (NodeId n = 0; n < dg.NumNodes(); ++n) {
+    shadow[n] = census->counts()[n];
+  }
+  census->AddListener([&shadow](const std::vector<CountDelta>& deltas) {
+    for (const CountDelta& d : deltas) {
+      shadow[d.node] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(shadow[d.node]) + d.delta);
+      EXPECT_EQ(shadow[d.node], d.new_count);
+    }
+  });
+
+  Rng rng(config.seed);
+  auto random_alive = [&]() -> NodeId {
+    while (true) {
+      NodeId n = static_cast<NodeId>(rng.NextBounded(alive.size()));
+      if (alive[n]) return n;
+    }
+  };
+
+  for (int batch = 0; batch < config.num_batches; ++batch) {
+    std::vector<GraphUpdate> updates;
+    for (int i = 0; i < config.batch_size; ++i) {
+      double roll = rng.NextDouble();
+      if (!updates.empty() && roll < 0.15) {
+        // Exact duplicate of the previous update: duplicate inserts and
+        // re-deletes must be reported no-ops.
+        GraphUpdate prev = updates.back();
+        if (prev.kind == GraphUpdate::Kind::kAddEdge ||
+            prev.kind == GraphUpdate::Kind::kRemoveEdge) {
+          updates.push_back(prev);
+          continue;
+        }
+      }
+      if (config.node_ops && roll < 0.25) {
+        updates.push_back(GraphUpdate::AddNode(0));
+        alive.push_back(1);
+        continue;
+      }
+      if (config.node_ops && roll < 0.35) {
+        NodeId victim = random_alive();
+        updates.push_back(GraphUpdate::RemoveNode(victim));
+        alive[victim] = 0;
+        continue;
+      }
+      NodeId u = random_alive();
+      NodeId v = random_alive();
+      if (u == v) {
+        --i;
+        continue;
+      }
+      if (rng.NextDouble() < 0.5) {
+        updates.push_back(GraphUpdate::AddEdge(u, v));
+      } else {
+        updates.push_back(GraphUpdate::RemoveEdge(u, v));
+      }
+    }
+    auto stats = census->ApplyBatch(updates);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->updates_applied + stats->noop_updates, updates.size());
+    ExpectCountsMatchReference(dg, *census, pattern, config.k,
+                               config.subpattern,
+                               "batch " + std::to_string(batch));
+  }
+
+  // The accumulated listener deltas reproduce the final counts.
+  for (NodeId n = 0; n < dg.NumNodes(); ++n) {
+    std::uint64_t expected = n < census->counts().size()
+                                 ? census->counts()[n]
+                                 : 0;
+    auto it = shadow.find(n);
+    EXPECT_EQ(it == shadow.end() ? 0 : it->second, expected)
+        << "listener-reconstructed count for node " << n;
+  }
+}
+
+Graph SmallPa(std::uint32_t nodes, std::uint32_t labels, std::uint64_t seed,
+              bool directed = false) {
+  GeneratorOptions g;
+  g.num_nodes = nodes;
+  g.edges_per_node = 3;
+  g.num_labels = labels;
+  g.seed = seed;
+  g.directed = directed;
+  return GeneratePreferentialAttachment(g);
+}
+
+TEST(DynamicCensusTest, TriangleK1RandomStream) {
+  StreamConfig config;
+  config.k = 1;
+  config.seed = 11;
+  RunRandomStream(SmallPa(60, 1, 5),
+                  MustParse("PATTERN t {?A-?B; ?B-?C; ?C-?A;}"), config);
+}
+
+TEST(DynamicCensusTest, TriangleK2RandomStream) {
+  StreamConfig config;
+  config.k = 2;
+  config.num_batches = 6;
+  config.seed = 12;
+  RunRandomStream(SmallPa(50, 1, 6),
+                  MustParse("PATTERN t {?A-?B; ?B-?C; ?C-?A;}"), config);
+}
+
+TEST(DynamicCensusTest, LabeledSquareK1) {
+  StreamConfig config;
+  config.k = 1;
+  config.seed = 13;
+  RunRandomStream(
+      SmallPa(60, 3, 7),
+      MustParse("PATTERN sq {?A-?B; ?B-?C; ?C-?D; ?D-?A; "
+                "[?A.LABEL=0]; [?C.LABEL=1];}"),
+      config);
+}
+
+TEST(DynamicCensusTest, PathSubpatternCountSp) {
+  StreamConfig config;
+  config.k = 1;
+  config.subpattern = "mid";
+  config.seed = 14;
+  RunRandomStream(
+      SmallPa(60, 1, 8),
+      MustParse("PATTERN wedge {?A-?B; ?B-?C; SUBPATTERN mid {?B;}}"),
+      config);
+}
+
+TEST(DynamicCensusTest, DirectedNegatedCoordinatorSubpattern) {
+  StreamConfig config;
+  config.k = 1;
+  config.subpattern = "ends";
+  config.num_batches = 6;
+  config.seed = 15;
+  RunRandomStream(
+      GenerateErdosRenyi(50, 200, 2, 31, /*directed=*/true),
+      MustParse("PATTERN coord {?A->?B; ?A->?C; ?B!-?C; "
+                "SUBPATTERN ends {?B; ?C;}}"),
+      config);
+}
+
+TEST(DynamicCensusTest, NegatedEdgeUndirectedK2) {
+  StreamConfig config;
+  config.k = 2;
+  config.num_batches = 5;
+  config.seed = 16;
+  RunRandomStream(SmallPa(40, 1, 9),
+                  MustParse("PATTERN open {?A-?B; ?B-?C; ?A!-?C;}"), config);
+}
+
+TEST(DynamicCensusTest, NodeAddRemoveStream) {
+  StreamConfig config;
+  config.k = 1;
+  config.node_ops = true;
+  config.num_batches = 8;
+  config.seed = 17;
+  RunRandomStream(SmallPa(40, 1, 10),
+                  MustParse("PATTERN t {?A-?B; ?B-?C; ?C-?A;}"), config);
+}
+
+TEST(DynamicCensusTest, DirectedTriadK1) {
+  StreamConfig config;
+  config.k = 1;
+  config.seed = 18;
+  RunRandomStream(GenerateErdosRenyi(60, 240, 1, 33, /*directed=*/true),
+                  MustParse("PATTERN c {?A->?B; ?B->?C; ?C->?A;}"), config);
+}
+
+TEST(DynamicCensusTest, ExplicitNoopsAndStats) {
+  Graph g = testing::MakeGraph(4, {{0, 1}, {1, 2}});
+  DynamicGraph dg(std::move(g));
+  IncrementalCensus::Options opts;
+  opts.k = 1;
+  auto census = IncrementalCensus::Create(
+      &dg, MustParse("PATTERN t {?A-?B; ?B-?C; ?C-?A;}"), opts);
+  ASSERT_TRUE(census.ok());
+
+  // Close the triangle, then re-insert the same edge (no-op) and delete a
+  // missing edge (no-op).
+  std::vector<GraphUpdate> updates = {
+      GraphUpdate::AddEdge(0, 2),
+      GraphUpdate::AddEdge(2, 0),
+      GraphUpdate::RemoveEdge(1, 3),
+  };
+  std::vector<CountDelta> deltas;
+  auto stats = census->ApplyBatch(updates, &deltas);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->updates_applied, 1u);
+  EXPECT_EQ(stats->noop_updates, 2u);
+  // Nodes 0,1,2 all see the new triangle in S(n,1).
+  ASSERT_EQ(deltas.size(), 3u);
+  for (const CountDelta& d : deltas) {
+    EXPECT_EQ(d.delta, 1);
+    EXPECT_EQ(d.new_count, 1u);
+  }
+  EXPECT_EQ(census->counts()[3], 0u);
+
+  // Deleting an edge of the triangle reverts all three counts.
+  updates = {GraphUpdate::RemoveEdge(1, 2)};
+  stats = census->ApplyBatch(updates, &deltas);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(deltas.size(), 3u);
+  for (const CountDelta& d : deltas) {
+    EXPECT_EQ(d.delta, -1);
+    EXPECT_EQ(d.new_count, 0u);
+  }
+}
+
+TEST(DynamicCensusTest, RejectsEdgeAttributePatterns) {
+  DynamicGraph dg(testing::MakeGraph(3, {{0, 1}}));
+  Pattern p = MustParse("PATTERN s {?A-?B; [EDGE(?A,?B).SIGN = 1];}");
+  IncrementalCensus::Options opts;
+  auto census = IncrementalCensus::Create(&dg, p, opts);
+  EXPECT_FALSE(census.ok());
+  EXPECT_EQ(census.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DynamicCensusTest, RejectsOutsideMutation) {
+  DynamicGraph dg(testing::MakeGraph(4, {{0, 1}, {1, 2}}));
+  IncrementalCensus::Options opts;
+  auto census = IncrementalCensus::Create(
+      &dg, MustParse("PATTERN e {?A-?B;}"), opts);
+  ASSERT_TRUE(census.ok());
+  ASSERT_TRUE(dg.AddEdge(2, 3).ok());
+  std::vector<GraphUpdate> updates = {GraphUpdate::AddEdge(0, 2)};
+  auto stats = census->ApplyBatch(updates);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(DynamicCensusTest, MaintainSessionEndToEnd) {
+  DynamicGraph dg(SmallPa(50, 2, 21));
+  MaintainSession::Options opts;
+  auto session = MaintainSession::Create(
+      &dg,
+      "PATTERN t {?A-?B; ?B-?C; ?C-?A;}\n"
+      "SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes\n"
+      "WHERE LABEL = 0",
+      opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Focal = label-0 nodes only.
+  for (NodeId n = 0; n < dg.NumNodes(); ++n) {
+    EXPECT_EQ(session->census().IsFocal(n), dg.label(n) == 0) << n;
+  }
+
+  Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<GraphUpdate> updates;
+    for (int i = 0; i < 5; ++i) {
+      NodeId u = static_cast<NodeId>(rng.NextBounded(dg.NumNodes()));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(dg.NumNodes()));
+      if (u == v) continue;
+      updates.push_back(rng.NextDouble() < 0.6
+                            ? GraphUpdate::AddEdge(u, v)
+                            : GraphUpdate::RemoveEdge(u, v));
+    }
+    auto table = session->ApplyBatch(updates);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ASSERT_EQ(table->NumColumns(), 4u);
+
+    // Cross-check the maintained counts against a fresh static engine run.
+    Graph snapshot = dg.Materialize();
+    std::vector<NodeId> focal;
+    for (NodeId n = 0; n < snapshot.NumNodes(); ++n) {
+      if (snapshot.label(n) == 0) focal.push_back(n);
+    }
+    CensusOptions ref;
+    ref.algorithm = CensusAlgorithm::kNdBas;
+    ref.k = 1;
+    Pattern p = MustParse("PATTERN t {?A-?B; ?B-?C; ?C-?A;}");
+    auto expected = RunCensus(snapshot, p, focal, ref);
+    ASSERT_TRUE(expected.ok());
+    for (NodeId n : focal) {
+      ASSERT_EQ(session->census().counts()[n], expected->counts[n])
+          << "round " << round << " node " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egocensus

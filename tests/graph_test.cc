@@ -139,6 +139,42 @@ TEST(GraphTest, CopyIsIndependent) {
   EXPECT_TRUE(copy.HasEdge(0, 1));
 }
 
+TEST(GraphTest, DoubleFinalizeIsStatusError) {
+  Graph g;
+  g.AddNodes(2);
+  EXPECT_TRUE(g.Finalize().ok());
+  Status again = g.Finalize();
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, MutationAfterFinalizeIsGuarded) {
+  Graph g;
+  g.AddNodes(3);
+  g.AddEdge(0, 1);
+  ASSERT_TRUE(g.Finalize().ok());
+
+  // Build-phase mutations after finalize fail without corrupting state.
+  EXPECT_EQ(g.AddNode(1), kInvalidNode);
+  EXPECT_EQ(g.AddNodes(4), kInvalidNode);
+  EXPECT_EQ(g.AddEdge(1, 2), kInvalidEdge);
+  Status set = g.SetLabel(0, 2);
+  EXPECT_FALSE(set.ok());
+  EXPECT_EQ(set.code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.label(0), 0u);
+}
+
+TEST(GraphTest, SetLabelOutOfRangeIsStatusError) {
+  Graph g;
+  g.AddNodes(2);
+  Status set = g.SetLabel(5, 1);
+  EXPECT_FALSE(set.ok());
+  EXPECT_EQ(set.code(), StatusCode::kOutOfRange);
+}
+
 TEST(AttributeValueTest, NumericCoercion) {
   EXPECT_TRUE(AttributeValuesEqual(AttributeValue(std::int64_t{3}),
                                    AttributeValue(3.0)));

@@ -6,22 +6,33 @@
 //   ecensus query --graph FILE (--query "SQL" | --query-file FILE)
 //                 [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]
 //                 [--top N] [--csv]
+//   ecensus update --graph FILE --updates FILE
+//                  (--query "SQL" | --query-file FILE)
+//                  [--batch-size N] [--top N] [--csv]
 //
 // Examples:
 //   ecensus generate --type pa --nodes 100000 --labels 4 --out g.graph
 //   ecensus query --graph g.graph \
 //     --query "PATTERN t {?A-?B; ?B-?C; ?C-?A;}
 //              SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes" --top 10
+//   ecensus update --graph g.graph --updates stream.txt \
+//     --query "PATTERN t {?A-?B; ?B-?C; ?C-?A;}
+//              SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/update_stream.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "lang/engine.h"
+#include "lang/maintain.h"
 #include "util/strings.h"
 
 namespace {
@@ -71,8 +82,30 @@ int Usage() {
       "  ecensus info --graph FILE\n"
       "  ecensus query --graph FILE (--query SQL | --query-file FILE)\n"
       "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
-      "                [--top N] [--csv] [--seed S]\n";
+      "                [--top N] [--csv] [--seed S]\n"
+      "  ecensus update --graph FILE --updates FILE\n"
+      "                 (--query SQL | --query-file FILE)\n"
+      "                 [--batch-size N] [--top N] [--csv] [--seed S]\n";
   return 2;
+}
+
+/// Reads --query inline text or --query-file contents; empty on error.
+std::string ReadQueryArg(const Args& args) {
+  std::string query = args.Get("query", "");
+  if (query.empty() && args.Has("query-file")) {
+    std::ifstream in(args.Get("query-file", ""));
+    if (!in) {
+      std::cerr << "cannot open query file\n";
+      return "";
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    query = ss.str();
+  }
+  if (query.empty()) {
+    std::cerr << "--query or --query-file is required\n";
+  }
+  return query;
 }
 
 int RunGenerate(const Args& args) {
@@ -127,11 +160,19 @@ int RunInfo(const Args& args) {
     return 1;
   }
   std::uint64_t degree_sum = 0;
-  std::uint32_t max_degree = 0;
+  std::vector<std::uint32_t> degrees(graph->NumNodes());
+  std::vector<std::uint64_t> label_counts(graph->NumLabels(), 0);
   for (NodeId n = 0; n < graph->NumNodes(); ++n) {
-    degree_sum += graph->Degree(n);
-    max_degree = std::max(max_degree, graph->Degree(n));
+    degrees[n] = graph->Degree(n);
+    degree_sum += degrees[n];
+    ++label_counts[graph->label(n)];
   }
+  std::sort(degrees.begin(), degrees.end());
+  auto percentile = [&degrees](double p) -> std::uint32_t {
+    if (degrees.empty()) return 0;
+    std::size_t i = static_cast<std::size_t>(p * (degrees.size() - 1));
+    return degrees[i];
+  };
   std::cout << "nodes:      " << graph->NumNodes() << "\n"
             << "edges:      " << graph->NumEdges() << "\n"
             << "directed:   " << (graph->directed() ? "yes" : "no") << "\n"
@@ -140,8 +181,44 @@ int RunInfo(const Args& args) {
             << (graph->NumNodes() > 0
                     ? static_cast<double>(degree_sum) / graph->NumNodes()
                     : 0)
-            << "\n"
-            << "max degree: " << max_degree << "\n";
+            << "\n";
+  std::cout << "degree distribution:\n"
+            << "  min=" << (degrees.empty() ? 0 : degrees.front())
+            << " p50=" << percentile(0.50) << " p90=" << percentile(0.90)
+            << " p99=" << percentile(0.99)
+            << " max=" << (degrees.empty() ? 0 : degrees.back()) << "\n";
+  // Log2 histogram of degrees: bucket b covers [2^b, 2^(b+1)).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t zero_degree = 0;
+  for (std::uint32_t d : degrees) {
+    if (d == 0) {
+      ++zero_degree;
+      continue;
+    }
+    std::size_t b = 0;
+    while ((1u << (b + 1)) <= d) ++b;
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  if (zero_degree > 0) {
+    std::cout << "  deg 0        : " << zero_degree << "\n";
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    std::cout << "  deg [" << (1u << b) << ", " << (1u << (b + 1))
+              << "): " << buckets[b] << "\n";
+  }
+  std::cout << "label histogram:\n";
+  for (Label l = 0; l < graph->NumLabels(); ++l) {
+    std::cout << "  label " << l << ": " << label_counts[l];
+    if (graph->NumNodes() > 0) {
+      std::cout << " ("
+                << 100.0 * static_cast<double>(label_counts[l]) /
+                       graph->NumNodes()
+                << "%)";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -151,21 +228,8 @@ int RunQuery(const Args& args) {
     std::cerr << graph.status().ToString() << "\n";
     return 1;
   }
-  std::string query = args.Get("query", "");
-  if (query.empty() && args.Has("query-file")) {
-    std::ifstream in(args.Get("query-file", ""));
-    if (!in) {
-      std::cerr << "cannot open query file\n";
-      return 1;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    query = ss.str();
-  }
-  if (query.empty()) {
-    std::cerr << "query: --query or --query-file is required\n";
-    return 2;
-  }
+  std::string query = ReadQueryArg(args);
+  if (query.empty()) return 2;
 
   QueryEngine engine(*graph);
   QueryEngine::Options options;
@@ -207,6 +271,89 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+int RunUpdate(const Args& args) {
+  auto graph = LoadGraph(args.Get("graph", ""));
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  std::string query = ReadQueryArg(args);
+  if (query.empty()) return 2;
+  std::string updates_path = args.Get("updates", "");
+  if (updates_path.empty()) {
+    std::cerr << "update: --updates is required\n";
+    return 2;
+  }
+  auto updates = LoadUpdateStream(updates_path);
+  if (!updates.ok()) {
+    std::cerr << updates.status().ToString() << "\n";
+    return 1;
+  }
+
+  DynamicGraph dynamic(std::move(*graph));
+  MaintainSession::Options options;
+  options.rnd_seed = args.GetInt("seed", 99);
+  auto session = MaintainSession::Create(&dynamic, query, options);
+  if (!session.ok()) {
+    std::cerr << session.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::size_t batch_size =
+      static_cast<std::size_t>(args.GetInt("batch-size", updates->size()));
+  if (batch_size == 0) batch_size = 1;
+  bool csv = args.Has("csv");
+  MaintenanceStats total;
+  std::span<const GraphUpdate> remaining(*updates);
+  std::size_t batch_index = 0;
+  while (!remaining.empty()) {
+    std::size_t n = std::min(batch_size, remaining.size());
+    auto deltas = session->ApplyBatch(remaining.first(n));
+    if (!deltas.ok()) {
+      std::cerr << deltas.status().ToString() << "\n";
+      return 1;
+    }
+    remaining = remaining.subspan(n);
+    total.Accumulate(session->last_stats());
+    if (!csv) {
+      std::cout << "batch " << batch_index << " (" << n << " updates, "
+                << deltas->NumRows() << " changed counts):\n";
+      if (deltas->NumRows() > 0) {
+        std::cout << deltas->ToString(deltas->NumRows());
+      }
+    }
+    ++batch_index;
+  }
+
+  ResultTable counts = session->CountsTable();
+  if (args.Has("top") && counts.NumColumns() >= 2) {
+    counts.SortByColumnDesc(counts.NumColumns() - 1);
+  }
+  if (csv) {
+    counts.WriteCsv(std::cout);
+  } else {
+    std::cout << "maintained counts:\n";
+    std::size_t limit = args.Has("top")
+                            ? static_cast<std::size_t>(args.GetInt("top", 20))
+                            : counts.NumRows();
+    std::cout << counts.ToString(limit);
+    std::cout << "stats: applied=" << total.updates_applied
+              << " noop=" << total.noop_updates
+              << " delta_matches=" << total.delta_matches
+              << " recounted=" << total.recounted_nodes
+              << " adjusted=" << total.adjusted_nodes
+              << " changed=" << total.changed_nodes << "\n";
+    if (total.seconds > 0) {
+      std::cout << "throughput: "
+                << static_cast<double>(total.updates_applied +
+                                       total.noop_updates) /
+                       total.seconds
+                << " updates/sec (" << total.seconds << "s total)\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,5 +363,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(args);
   if (command == "info") return RunInfo(args);
   if (command == "query") return RunQuery(args);
+  if (command == "update") return RunUpdate(args);
   return Usage();
 }
