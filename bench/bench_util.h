@@ -57,6 +57,25 @@ inline double TimeCensus(const Graph& graph, const Pattern& pattern,
   return seconds;
 }
 
+/// Runs `reps` censuses, aggregating stats across runs with
+/// CensusStats::Merge (counters sum, peak metrics max). Returns the best
+/// (minimum) wall-clock seconds of the repetitions.
+inline double TimeCensusBestOf(const Graph& graph, const Pattern& pattern,
+                               std::span<const NodeId> focal,
+                               const CensusOptions& options, int reps,
+                               CensusStats* stats_out = nullptr) {
+  double best = 0;
+  CensusStats merged;
+  for (int r = 0; r < reps; ++r) {
+    CensusStats stats;
+    double seconds = TimeCensus(graph, pattern, focal, options, &stats);
+    merged.Merge(stats);
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  if (stats_out != nullptr) *stats_out = merged;
+  return best;
+}
+
 }  // namespace egocensus::bench
 
 #endif  // EGOCENSUS_BENCH_BENCH_UTIL_H_

@@ -7,6 +7,7 @@
 
 #include <queue>
 
+#include "census/census.h"
 #include "census/pt_expander.h"
 #include "graph/bfs.h"
 #include "graph/generators.h"
@@ -17,6 +18,7 @@
 #include "pattern/catalog.h"
 #include "util/bucket_queue.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace egocensus {
 namespace {
@@ -146,6 +148,51 @@ void BM_SimultaneousExpander(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimultaneousExpander)->Arg(1)->Arg(0);
+
+void BM_SubgraphExtractionInto(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  SubgraphExtractor extractor(graph);
+  EgoSubgraph sub;  // buffers reused across iterations (the ND-BAS loop)
+  NodeId source = 0;
+  for (auto _ : state) {
+    extractor.ExtractKHopInto(source, 2, /*copy_attributes=*/true, &sub);
+    benchmark::DoNotOptimize(sub.graph.NumEdges());
+    source = (source + 1) % graph.NumNodes();
+  }
+}
+BENCHMARK(BM_SubgraphExtractionInto);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const std::size_t n = 1 << 16;
+  std::vector<std::uint64_t> out(n, 0);
+  for (auto _ : state) {
+    pool.ParallelFor(0, n, /*grain=*/256,
+                     [&](std::size_t begin, std::size_t end, unsigned) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         out[i] = i * i;
+                       }
+                     });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelCensus(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Pattern pattern = MakeTriangle(true);
+  auto focal = AllNodes(graph);
+  CensusOptions options;
+  options.algorithm = CensusAlgorithm::kNdPvot;
+  options.k = 2;
+  options.num_threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = RunCensus(graph, pattern, focal, options);
+    benchmark::DoNotOptimize(result->stats.num_matches);
+  }
+}
+BENCHMARK(BM_ParallelCensus)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace egocensus

@@ -1,6 +1,7 @@
 #include "census/census.h"
 
 #include <numeric>
+#include <optional>
 
 #include "census/engines.h"
 #include "census/pmi.h"
@@ -74,18 +75,34 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
   ctx.anchor_nodes = std::move(anchors).value();
   ctx.options = &options;
 
+  // The counting phase is embarrassingly parallel across focal nodes /
+  // match clusters; the pool lives for exactly one census so a caller's
+  // requested width (including widths beyond the core count, which tests
+  // use to widen interleavings) is honored exactly.
+  const unsigned num_threads =
+      ThreadPool::ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) {
+    pool.emplace(num_threads);
+    ctx.pool = &*pool;
+  }
+
+  auto finish = [&](CensusResult result) -> Result<CensusResult> {
+    result.stats.threads_used = num_threads;
+    return result;
+  };
   switch (options.algorithm) {
     case CensusAlgorithm::kNdBas:
-      return internal::RunNdBas(ctx);
+      return finish(internal::RunNdBas(ctx));
     case CensusAlgorithm::kNdPvot:
-      return internal::RunNdPvot(ctx);
+      return finish(internal::RunNdPvot(ctx));
     case CensusAlgorithm::kNdDiff:
-      return internal::RunNdDiff(ctx);
+      return finish(internal::RunNdDiff(ctx));
     case CensusAlgorithm::kPtBas:
-      return internal::RunPtBas(ctx);
+      return finish(internal::RunPtBas(ctx));
     case CensusAlgorithm::kPtOpt:
     case CensusAlgorithm::kPtRnd:
-      return internal::RunPtOpt(ctx);
+      return finish(internal::RunPtOpt(ctx));
   }
   return Status::Internal("unknown census algorithm");
 }

@@ -40,6 +40,13 @@ struct CensusOptions {
   /// Neighborhood radius k of SUBGRAPH(ID, k).
   std::uint32_t k = 1;
 
+  /// Worker threads for the counting phase (the matching phase is always
+  /// single-threaded). 1 = serial (default), 0 = hardware concurrency,
+  /// n > 1 = exactly n workers. Per-node counts and num_matches are
+  /// bit-identical for every value; see docs/PARALLEL.md for the reduction
+  /// argument.
+  std::uint32_t num_threads = 1;
+
   /// COUNTSP subpattern name; empty means count the whole pattern (COUNTP).
   std::string subpattern;
 
@@ -95,8 +102,34 @@ struct CensusStats {
                                      // node (the cost best-first minimizes)
   std::uint64_t containment_checks = 0;
 
+  // ---- Peak metrics (max-merged, not summed) ----
+
+  /// Worker threads used by the counting phase.
+  std::uint32_t threads_used = 1;
+  /// Largest per-unit working set seen: the biggest k-hop neighborhood
+  /// (node-driven) or simultaneous-expansion footprint (pattern-driven).
+  std::uint64_t peak_neighborhood = 0;
+
   double TotalSeconds() const {
     return match_seconds + index_seconds + census_seconds;
+  }
+
+  /// Accumulates `other` into this: counters and times are summed, peak
+  /// metrics are max-ed. Used by the parallel per-worker reduction (worker
+  /// stats carry zero match/index time, so the sums stay correct) and by
+  /// benchmark aggregation across repeated runs.
+  void Merge(const CensusStats& other) {
+    num_matches += other.num_matches;
+    match_seconds += other.match_seconds;
+    index_seconds += other.index_seconds;
+    census_seconds += other.census_seconds;
+    nodes_expanded += other.nodes_expanded;
+    reinsertions += other.reinsertions;
+    containment_checks += other.containment_checks;
+    if (other.threads_used > threads_used) threads_used = other.threads_used;
+    if (other.peak_neighborhood > peak_neighborhood) {
+      peak_neighborhood = other.peak_neighborhood;
+    }
   }
 };
 

@@ -12,6 +12,7 @@
 #include "census/pmi.h"
 #include "graph/graph.h"
 #include "match/match_set.h"
+#include "util/thread_pool.h"
 
 namespace egocensus::internal {
 
@@ -22,6 +23,10 @@ struct CensusContext {
   const std::vector<char>* is_focal = nullptr;  // bitmap over NodeId
   std::vector<int> anchor_nodes;                // resolved anchors
   const CensusOptions* options = nullptr;
+  /// Worker pool for the counting phase; null means serial. Engines that
+  /// use it must keep per-worker scratch (sized pool->NumWorkers()) and
+  /// merge order-insensitively so counts are identical to the serial run.
+  ThreadPool* pool = nullptr;
 };
 
 CensusResult RunNdBas(const CensusContext& ctx);

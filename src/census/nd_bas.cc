@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "census/engines.h"
 #include "graph/subgraph.h"
@@ -15,6 +17,14 @@ namespace egocensus::internal {
 // baseline instead matches once globally and brute-force checks, for every
 // (focal node, match) pair, whether all anchor images lie within k hops —
 // the O(|V_sigma| * |M| * |V_P|) cost that Section IV-A1 calls impractical.
+//
+// Both paths are data-parallel across focal nodes: each worker owns a
+// scratch slot (extractor + matcher + subgraph buffers, or a BFS
+// workspace) that is reused across its focal nodes, and writes only
+// counts[n] for the nodes it processed, so results are identical to the
+// serial run for any worker count. The serial path is the one-slot special
+// case — hoisting the scratch out of the loop is what removes the
+// per-focal-node allocation churn the original baseline had.
 CensusResult RunNdBas(const CensusContext& ctx) {
   const Graph& graph = *ctx.graph;
   const Pattern& pattern = *ctx.pattern;
@@ -28,14 +38,37 @@ CensusResult RunNdBas(const CensusContext& ctx) {
 
   Timer timer;
   if (whole_pattern) {
-    SubgraphExtractor extractor(graph);
     const bool need_attrs = pattern.HasGeneralPredicates();
-    for (NodeId n : ctx.focal) {
-      EgoSubgraph sub = extractor.ExtractKHop(n, k, need_attrs);
+    struct Scratch {
+      std::optional<SubgraphExtractor> extractor;
       CnMatcher matcher;
-      MatchSet matches = matcher.FindMatches(sub.graph, pattern);
+      EgoSubgraph sub;
+      CensusStats stats;
+    };
+    auto process = [&](NodeId n, Scratch& s) {
+      s.extractor->ExtractKHopInto(n, k, need_attrs, &s.sub);
+      MatchSet matches = s.matcher.FindMatches(s.sub.graph, pattern);
       result.counts[n] = matches.size();
-      result.stats.nodes_expanded += sub.graph.NumNodes();
+      s.stats.nodes_expanded += s.sub.graph.NumNodes();
+      s.stats.peak_neighborhood = std::max<std::uint64_t>(
+          s.stats.peak_neighborhood, s.sub.graph.NumNodes());
+    };
+    if (ctx.pool == nullptr) {
+      Scratch scratch;
+      scratch.extractor.emplace(graph);
+      for (NodeId n : ctx.focal) process(n, scratch);
+      result.stats.Merge(scratch.stats);
+    } else {
+      std::vector<Scratch> scratch(ctx.pool->NumWorkers());
+      for (auto& s : scratch) s.extractor.emplace(graph);
+      ctx.pool->ParallelFor(
+          0, ctx.focal.size(), /*grain=*/2,
+          [&](std::size_t begin, std::size_t end, unsigned worker) {
+            for (std::size_t i = begin; i < end; ++i) {
+              process(ctx.focal[i], scratch[worker]);
+            }
+          });
+      for (const auto& s : scratch) result.stats.Merge(s.stats);
     }
     result.stats.census_seconds = timer.ElapsedSeconds();
     return result;
@@ -44,15 +77,16 @@ CensusResult RunNdBas(const CensusContext& ctx) {
   MatchSet matches = FindMatchesTimed(ctx, &result.stats);
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
   timer.Reset();
-  BfsWorkspace bfs;
-  for (NodeId n : ctx.focal) {
+  auto process = [&](NodeId n, BfsWorkspace& bfs, CensusStats& stats) {
     bfs.Run(graph, n, k);
-    result.stats.nodes_expanded += bfs.visited().size();
+    stats.nodes_expanded += bfs.visited().size();
+    stats.peak_neighborhood =
+        std::max<std::uint64_t>(stats.peak_neighborhood, bfs.visited().size());
     std::uint64_t count = 0;
     for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
       bool inside = true;
       for (int j = 0; j < anchors.NumAnchors(); ++j) {
-        ++result.stats.containment_checks;
+        ++stats.containment_checks;
         if (!bfs.Reached(anchors.Anchor(m, j))) {
           inside = false;
           break;
@@ -61,6 +95,21 @@ CensusResult RunNdBas(const CensusContext& ctx) {
       if (inside) ++count;
     }
     result.counts[n] = count;
+  };
+  if (ctx.pool == nullptr) {
+    BfsWorkspace bfs;
+    for (NodeId n : ctx.focal) process(n, bfs, result.stats);
+  } else {
+    std::vector<BfsWorkspace> bfs(ctx.pool->NumWorkers());
+    std::vector<CensusStats> stats(ctx.pool->NumWorkers());
+    ctx.pool->ParallelFor(
+        0, ctx.focal.size(), /*grain=*/4,
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          for (std::size_t i = begin; i < end; ++i) {
+            process(ctx.focal[i], bfs[worker], stats[worker]);
+          }
+        });
+    for (const auto& s : stats) result.stats.Merge(s);
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
   return result;

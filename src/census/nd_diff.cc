@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "census/engines.h"
 #include "graph/bfs.h"
@@ -13,6 +15,15 @@ namespace egocensus::internal {
 // matches anchored at nodes in N_k(current) - N_k(prev) that are fully
 // contained in N_k(current), and (2) removing matches with an anchor in
 // N_k(prev) - N_k(current).
+//
+// Chain decomposition only affects how much work is shared, never the
+// per-node result: counts[n] is always |{m : anchors(m) subset of N_k(n)}|.
+// The parallel path therefore shards the focal list into contiguous slices,
+// one chain walk per slice, with per-worker scratch (two BFS workspaces, the
+// running match set, and an epoch-stamped pending mask). Workers write
+// counts[n] only for nodes of their own slice, so results stay identical to
+// the serial run for any worker count; chains just cannot cross slice
+// boundaries, which costs a little sharing but no correctness.
 CensusResult RunNdDiff(const CensusContext& ctx) {
   const Graph& graph = *ctx.graph;
   const std::uint32_t k = ctx.options->k;
@@ -28,16 +39,6 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
   result.stats.index_seconds = timer.ElapsedSeconds();
 
   timer.Reset();
-  std::vector<char> pending(graph.NumNodes(), 0);
-  for (NodeId n : ctx.focal) pending[n] = 1;
-
-  BfsWorkspace bfs_a;
-  BfsWorkspace bfs_b;
-  BfsWorkspace* current_bfs = &bfs_a;
-  BfsWorkspace* prev_bfs = &bfs_b;
-
-  std::unordered_set<std::uint32_t> current_set;
-
   auto contained = [&](std::uint32_t mid, const BfsWorkspace& bfs) {
     for (int j = 0; j < anchors.NumAnchors(); ++j) {
       if (!bfs.Reached(anchors.Anchor(mid, j))) return false;
@@ -45,66 +46,112 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
     return true;
   };
 
-  std::size_t scan = 0;  // next focal index to consider for a fresh start
-  bool have_prev = false;
-  NodeId current = kInvalidNode;
+  struct DiffScratch {
+    BfsWorkspace bfs_a;
+    BfsWorkspace bfs_b;
+    std::unordered_set<std::uint32_t> current_set;
+    std::vector<std::uint32_t> pending_epoch;
+    std::uint32_t epoch = 0;
+  };
 
-  std::size_t processed = 0;
-  const std::size_t total = ctx.focal.size();
-  while (processed < total) {
-    if (current == kInvalidNode) {
-      while (scan < total && !pending[ctx.focal[scan]]) ++scan;
-      current = ctx.focal[scan];
-      have_prev = false;
+  // Run the chain walk over focal indices [begin, end).
+  auto process_range = [&](std::size_t begin, std::size_t end, DiffScratch& s,
+                           CensusStats& stats) {
+    if (s.pending_epoch.size() < graph.NumNodes()) {
+      s.pending_epoch.assign(graph.NumNodes(), 0);
     }
-    pending[current] = 0;
-    ++processed;
+    const std::uint32_t epoch = ++s.epoch;
+    for (std::size_t i = begin; i < end; ++i) {
+      s.pending_epoch[ctx.focal[i]] = epoch;
+    }
+    auto pending = [&](NodeId n) { return s.pending_epoch[n] == epoch; };
 
-    current_bfs->Run(graph, current, k);
-    result.stats.nodes_expanded += current_bfs->visited().size();
+    BfsWorkspace* current_bfs = &s.bfs_a;
+    BfsWorkspace* prev_bfs = &s.bfs_b;
+    std::unordered_set<std::uint32_t>& current_set = s.current_set;
 
-    if (!have_prev) {
-      current_set.clear();
-      for (NodeId n : current_bfs->visited()) {
-        for (std::uint32_t mid : pmi.MatchesAt(n)) {
-          ++result.stats.containment_checks;
-          if (contained(mid, *current_bfs)) current_set.insert(mid);
+    std::size_t scan = begin;  // next focal index for a fresh chain start
+    bool have_prev = false;
+    NodeId current = kInvalidNode;
+
+    std::size_t processed = 0;
+    const std::size_t total = end - begin;
+    while (processed < total) {
+      if (current == kInvalidNode) {
+        while (scan < end && !pending(ctx.focal[scan])) ++scan;
+        current = ctx.focal[scan];
+        have_prev = false;
+      }
+      s.pending_epoch[current] = 0;
+      ++processed;
+
+      current_bfs->Run(graph, current, k);
+      stats.nodes_expanded += current_bfs->visited().size();
+      stats.peak_neighborhood = std::max<std::uint64_t>(
+          stats.peak_neighborhood, current_bfs->visited().size());
+
+      if (!have_prev) {
+        current_set.clear();
+        for (NodeId n : current_bfs->visited()) {
+          for (std::uint32_t mid : pmi.MatchesAt(n)) {
+            ++stats.containment_checks;
+            if (contained(mid, *current_bfs)) current_set.insert(mid);
+          }
+        }
+      } else {
+        // N1 = N_k(current) - N_k(prev): candidate additions.
+        for (NodeId n : current_bfs->visited()) {
+          if (prev_bfs->Reached(n)) continue;
+          for (std::uint32_t mid : pmi.MatchesAt(n)) {
+            ++stats.containment_checks;
+            if (contained(mid, *current_bfs)) current_set.insert(mid);
+          }
+        }
+        // N2 = N_k(prev) - N_k(current): removals.
+        for (NodeId n : prev_bfs->visited()) {
+          if (current_bfs->Reached(n)) continue;
+          for (std::uint32_t mid : pmi.MatchesAt(n)) {
+            current_set.erase(mid);
+          }
         }
       }
-    } else {
-      // N1 = N_k(current) - N_k(prev): candidate additions.
-      for (NodeId n : current_bfs->visited()) {
-        if (prev_bfs->Reached(n)) continue;
-        for (std::uint32_t mid : pmi.MatchesAt(n)) {
-          ++result.stats.containment_checks;
-          if (contained(mid, *current_bfs)) current_set.insert(mid);
-        }
-      }
-      // N2 = N_k(prev) - N_k(current): removals.
-      for (NodeId n : prev_bfs->visited()) {
-        if (current_bfs->Reached(n)) continue;
-        for (std::uint32_t mid : pmi.MatchesAt(n)) {
-          current_set.erase(mid);
-        }
-      }
-    }
-    result.counts[current] = current_set.size();
+      result.counts[current] = current_set.size();
 
-    // Prefer an unprocessed focal neighbor to keep neighborhoods shared.
-    NodeId next = kInvalidNode;
-    for (NodeId nbr : graph.Neighbors(current)) {
-      if (pending[nbr]) {
-        next = nbr;
-        break;
+      // Prefer an unprocessed focal neighbor to keep neighborhoods shared.
+      NodeId next = kInvalidNode;
+      for (NodeId nbr : graph.Neighbors(current)) {
+        if (pending(nbr)) {
+          next = nbr;
+          break;
+        }
+      }
+      if (next != kInvalidNode) {
+        std::swap(current_bfs, prev_bfs);
+        have_prev = true;
+        current = next;
+      } else {
+        current = kInvalidNode;  // fresh start next iteration
       }
     }
-    if (next != kInvalidNode) {
-      std::swap(current_bfs, prev_bfs);
-      have_prev = true;
-      current = next;
-    } else {
-      current = kInvalidNode;  // fresh start next iteration
-    }
+  };
+
+  if (ctx.pool == nullptr) {
+    DiffScratch scratch;
+    process_range(0, ctx.focal.size(), scratch, result.stats);
+  } else {
+    const unsigned workers = ctx.pool->NumWorkers();
+    // Coarse grain: differential sharing pays off only along long chains,
+    // so keep slices big while still giving the pool room to balance.
+    const std::size_t grain =
+        std::max<std::size_t>(32, ctx.focal.size() / (workers * 8));
+    std::vector<DiffScratch> scratch(workers);
+    std::vector<CensusStats> stats(workers);
+    ctx.pool->ParallelFor(
+        0, ctx.focal.size(), grain,
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          process_range(begin, end, scratch[worker], stats[worker]);
+        });
+    for (const auto& s : stats) result.stats.Merge(s);
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
   return result;

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <vector>
 
 #include "census/engines.h"
 #include "graph/bfs.h"
@@ -16,6 +17,11 @@ namespace egocensus::internal {
 //
 // With a subpattern, the pivot is chosen among the subpattern nodes and all
 // distances are measured to subpattern nodes only (Appendix B).
+//
+// The per-focal-node counting loop is sharded across the pool: pivot
+// selection, the distant sets and the PMI are built once and read-only
+// thereafter; each worker owns a BFS workspace and writes counts[n] only
+// for its own focal nodes, so counts are identical for any worker count.
 CensusResult RunNdPvot(const CensusContext& ctx) {
   const Graph& graph = *ctx.graph;
   const Pattern& pattern = *ctx.pattern;
@@ -63,10 +69,11 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
   result.stats.index_seconds = timer.ElapsedSeconds();
 
   timer.Reset();
-  BfsWorkspace bfs;
-  for (NodeId n : ctx.focal) {
+  auto process = [&](NodeId n, BfsWorkspace& bfs, CensusStats& stats) {
     bfs.Run(graph, n, k);
-    result.stats.nodes_expanded += bfs.visited().size();
+    stats.nodes_expanded += bfs.visited().size();
+    stats.peak_neighborhood =
+        std::max<std::uint64_t>(stats.peak_neighborhood, bfs.visited().size());
     std::uint64_t count = 0;
     for (NodeId visited : bfs.visited()) {
       auto mids = pmi.MatchesAt(visited);
@@ -80,7 +87,7 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
       for (std::uint32_t mid : mids) {
         bool inside = true;
         for (int j : check_set) {
-          ++result.stats.containment_checks;
+          ++stats.containment_checks;
           if (!bfs.Reached(anchors.Anchor(mid, j))) {
             inside = false;
             break;
@@ -90,6 +97,21 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
       }
     }
     result.counts[n] = count;
+  };
+  if (ctx.pool == nullptr) {
+    BfsWorkspace bfs;
+    for (NodeId n : ctx.focal) process(n, bfs, result.stats);
+  } else {
+    std::vector<BfsWorkspace> bfs(ctx.pool->NumWorkers());
+    std::vector<CensusStats> stats(ctx.pool->NumWorkers());
+    ctx.pool->ParallelFor(
+        0, ctx.focal.size(), /*grain=*/8,
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          for (std::size_t i = begin; i < end; ++i) {
+            process(ctx.focal[i], bfs[worker], stats[worker]);
+          }
+        });
+    for (const auto& s : stats) result.stats.Merge(s);
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
   return result;

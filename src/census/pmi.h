@@ -52,6 +52,8 @@ Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
 /// Pattern match index (Section IV-A1): maps a database node to the ids of
 /// the matches anchored at it. ND-PVOT indexes on the pivot's images only;
 /// ND-DIFF indexes every match under each of its anchor images.
+/// Immutable once built; lookups are const and safe to share across census
+/// workers without synchronization.
 class PatternMatchIndex {
  public:
   /// PMI_v: index matches by the image of the single pattern node `v`.

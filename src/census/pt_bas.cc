@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <vector>
 
 #include "census/engines.h"
 #include "graph/bfs.h"
@@ -10,6 +11,12 @@ namespace egocensus::internal {
 // match with anchors m_1..m_t, BFS each anchor's k-hop neighborhood, pick
 // the anchor m_min with the fewest k-hop neighbors, and test every node in
 // its neighborhood for reachability within k hops from every other anchor.
+//
+// Matches are independent, so the parallel path shards the match list;
+// different matches can increment the same node's count, so each worker
+// accumulates into a private count vector and the vectors are summed in
+// worker order afterwards. Integer addition is order-insensitive, so the
+// totals are identical to the serial run for any worker count.
 CensusResult RunPtBas(const CensusContext& ctx) {
   const Graph& graph = *ctx.graph;
   const std::uint32_t k = ctx.options->k;
@@ -23,13 +30,15 @@ CensusResult RunPtBas(const CensusContext& ctx) {
   const int t = anchors.NumAnchors();
 
   Timer timer;
-  std::vector<BfsWorkspace> bfs(t);
-  for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+  auto process = [&](std::size_t m, std::vector<BfsWorkspace>& bfs,
+                     std::uint64_t* counts, CensusStats& stats) {
     int min_idx = 0;
     std::size_t min_size = 0;
     for (int j = 0; j < t; ++j) {
       bfs[j].Run(graph, anchors.Anchor(m, j), k);
-      result.stats.nodes_expanded += bfs[j].visited().size();
+      stats.nodes_expanded += bfs[j].visited().size();
+      stats.peak_neighborhood = std::max<std::uint64_t>(
+          stats.peak_neighborhood, bfs[j].visited().size());
       if (j == 0 || bfs[j].visited().size() < min_size) {
         min_idx = j;
         min_size = bfs[j].visited().size();
@@ -40,13 +49,40 @@ CensusResult RunPtBas(const CensusContext& ctx) {
       bool near = true;
       for (int j = 0; j < t; ++j) {
         if (j == min_idx) continue;
-        ++result.stats.containment_checks;
+        ++stats.containment_checks;
         if (!bfs[j].Reached(n)) {
           near = false;
           break;
         }
       }
-      if (near) ++result.counts[n];
+      if (near) ++counts[n];
+    }
+  };
+
+  if (ctx.pool == nullptr) {
+    std::vector<BfsWorkspace> bfs(t);
+    for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+      process(m, bfs, result.counts.data(), result.stats);
+    }
+  } else {
+    const unsigned workers = ctx.pool->NumWorkers();
+    std::vector<std::vector<BfsWorkspace>> bfs(workers);
+    for (auto& b : bfs) b.resize(t);
+    std::vector<std::vector<std::uint64_t>> counts(
+        workers, std::vector<std::uint64_t>(graph.NumNodes(), 0));
+    std::vector<CensusStats> stats(workers);
+    ctx.pool->ParallelFor(
+        0, anchors.NumMatches(), /*grain=*/4,
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          for (std::size_t m = begin; m < end; ++m) {
+            process(m, bfs[worker], counts[worker].data(), stats[worker]);
+          }
+        });
+    for (unsigned w = 0; w < workers; ++w) {
+      for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+        result.counts[n] += counts[w][n];
+      }
+      result.stats.Merge(stats[w]);
     }
   }
   result.stats.census_seconds = timer.ElapsedSeconds();

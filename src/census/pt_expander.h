@@ -41,6 +41,12 @@ struct ExpanderStats {
 /// initialization to newly discovered nodes, and relaxes until fixpoint.
 /// After Expand(), PMD values equal exact distances wherever those are
 /// <= k (larger values are clamped to k+1).
+///
+/// Thread-safety: all traversal state is per-instance, so distinct
+/// expanders may expand different clusters of the same graph concurrently
+/// (the parallel PT-OPT engine keeps one per worker); the fixpoint is
+/// pop-order independent, so results do not depend on which instance or
+/// thread handled a cluster. A single instance is not re-entrant.
 class SimultaneousExpander {
  public:
   SimultaneousExpander(const Graph& graph, const ExpanderOptions& options);

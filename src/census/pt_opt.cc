@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "census/engines.h"
 #include "census/pt_common.h"
@@ -14,6 +16,14 @@ namespace egocensus::internal {
 // whose anchors all lie within k hops. PT-RND replaces the best-first queue
 // with random pops, isolating the contribution of best-first ordering
 // (Fig. 4(d)).
+//
+// Clusters are independent, so the parallel path shards the cluster list;
+// each worker owns an expander (its traversal state is per-instance) plus a
+// private count vector, and the vectors are summed in worker order after the
+// loop. The PMD relaxation converges to the unique exact-distance fixpoint
+// regardless of pop order, so counts are identical to the serial run for any
+// worker count (and for PT-RND's randomized pops); only traversal stats like
+// pops/reinsertions may differ, which the determinism contract excludes.
 CensusResult RunPtOpt(const CensusContext& ctx) {
   const Graph& graph = *ctx.graph;
   const Pattern& pattern = *ctx.pattern;
@@ -39,17 +49,26 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
   expander_options.centers = setup.center_index;
   expander_options.num_centers = params.num_centers;
   expander_options.seed = params.seed + 2;
-  SimultaneousExpander expander(graph, expander_options);
 
-  std::vector<std::vector<NodeId>> anchor_sets;
-  std::vector<NodeId> buffer;
-  for (const auto& cluster : setup.clusters) {
-    anchor_sets.clear();
+  struct Scratch {
+    std::optional<SimultaneousExpander> expander;
+    std::vector<std::vector<NodeId>> anchor_sets;
+    std::vector<NodeId> buffer;
+    CensusStats stats;
+  };
+  // Processes one cluster, accumulating into `counts` (the shared result
+  // vector when serial, a per-worker private vector when parallel).
+  auto process = [&](const std::vector<std::uint32_t>& cluster, Scratch& s,
+                     std::uint64_t* counts) {
+    s.anchor_sets.clear();
     for (std::uint32_t mid : cluster) {
-      anchors.Get(mid, &buffer);
-      anchor_sets.push_back(buffer);
+      anchors.Get(mid, &s.buffer);
+      s.anchor_sets.push_back(s.buffer);
     }
-    expander.Expand(anchor_sets, &setup.anchor_dist);
+    SimultaneousExpander& expander = *s.expander;
+    expander.Expand(s.anchor_sets, &setup.anchor_dist);
+    s.stats.peak_neighborhood = std::max<std::uint64_t>(
+        s.stats.peak_neighborhood, expander.NumVisited());
     const auto& match_anchor_idx = expander.match_anchor_indices();
     for (std::size_t slot = 0; slot < expander.NumVisited(); ++slot) {
       NodeId n = expander.VisitedNode(slot);
@@ -57,18 +76,49 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
       for (const auto& idx : match_anchor_idx) {
         bool near = true;
         for (std::uint32_t a : idx) {
-          ++result.stats.containment_checks;
+          ++s.stats.containment_checks;
           if (expander.Pmd(slot, a) > k) {
             near = false;
             break;
           }
         }
-        if (near) ++result.counts[n];
+        if (near) ++counts[n];
       }
     }
+  };
+
+  if (ctx.pool == nullptr) {
+    Scratch scratch;
+    scratch.expander.emplace(graph, expander_options);
+    for (const auto& cluster : setup.clusters) {
+      process(cluster, scratch, result.counts.data());
+    }
+    scratch.stats.nodes_expanded = scratch.expander->stats().pops;
+    scratch.stats.reinsertions = scratch.expander->stats().reinsertions;
+    result.stats.Merge(scratch.stats);
+  } else {
+    const unsigned workers = ctx.pool->NumWorkers();
+    std::vector<Scratch> scratch(workers);
+    for (auto& s : scratch) s.expander.emplace(graph, expander_options);
+    std::vector<std::vector<std::uint64_t>> counts(
+        workers, std::vector<std::uint64_t>(graph.NumNodes(), 0));
+    ctx.pool->ParallelFor(
+        0, setup.clusters.size(), /*grain=*/1,
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          for (std::size_t c = begin; c < end; ++c) {
+            process(setup.clusters[c], scratch[worker],
+                    counts[worker].data());
+          }
+        });
+    for (unsigned w = 0; w < workers; ++w) {
+      scratch[w].stats.nodes_expanded = scratch[w].expander->stats().pops;
+      scratch[w].stats.reinsertions = scratch[w].expander->stats().reinsertions;
+      for (NodeId n = 0; n < graph.NumNodes(); ++n) {
+        result.counts[n] += counts[w][n];
+      }
+      result.stats.Merge(scratch[w].stats);
+    }
   }
-  result.stats.nodes_expanded = expander.stats().pops;
-  result.stats.reinsertions = expander.stats().reinsertions;
   result.stats.census_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -79,6 +79,8 @@ std::vector<std::string> AttributeTable::AttributeNames() const {
   return names;
 }
 
+void AttributeTable::Clear() { columns_.clear(); }
+
 void AttributeTable::CopyFrom(const AttributeTable& src, std::uint32_t src_id,
                               std::uint32_t dst_id) {
   for (const auto& [name, col] : src.columns_) {

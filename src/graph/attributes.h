@@ -54,6 +54,9 @@ class AttributeTable {
   void CopyFrom(const AttributeTable& src, std::uint32_t src_id,
                 std::uint32_t dst_id);
 
+  /// Removes every attribute of every element (Graph::Reset).
+  void Clear();
+
  private:
   struct Column {
     // Sparse: id -> value. Ego-subgraph extraction and selective attribute

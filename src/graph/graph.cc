@@ -10,8 +10,20 @@ NodeId Graph::AddNode(Label label) {
   if (finalized_) return kInvalidNode;
   labels_.push_back(label);
   max_label_ = std::max(max_label_, label);
-  build_out_.emplace_back();
-  if (directed_) build_in_.emplace_back();
+  // Recycle a stale adjacency row (left behind by Reset) when available so
+  // repeated populate/finalize cycles keep the rows' capacity.
+  if (build_out_.size() <= num_nodes_) {
+    build_out_.emplace_back();
+  } else {
+    build_out_[num_nodes_].clear();
+  }
+  if (directed_) {
+    if (build_in_.size() <= num_nodes_) {
+      build_in_.emplace_back();
+    } else {
+      build_in_[num_nodes_].clear();
+    }
+  }
   return num_nodes_++;
 }
 
@@ -46,13 +58,16 @@ Status Graph::SetLabel(NodeId n, Label label) {
   return Status::Ok();
 }
 
-Graph::Csr Graph::BuildCsr(
+void Graph::BuildCsr(
     std::uint32_t num_nodes,
-    std::vector<std::vector<std::pair<NodeId, EdgeId>>>* adj, bool dedup) {
-  Csr csr;
-  csr.offsets.assign(num_nodes + 1, 0);
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>>* adj, bool dedup,
+    Csr* out) {
+  out->offsets.assign(num_nodes + 1, 0);
+  out->targets.clear();
+  out->edge_ids.clear();
   std::size_t total = 0;
-  for (auto& list : *adj) {
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    auto& list = (*adj)[n];
     std::sort(list.begin(), list.end());
     if (dedup) {
       list.erase(std::unique(list.begin(), list.end(),
@@ -63,26 +78,25 @@ Graph::Csr Graph::BuildCsr(
     }
     total += list.size();
   }
-  csr.targets.reserve(total);
-  csr.edge_ids.reserve(total);
+  out->targets.reserve(total);
+  out->edge_ids.reserve(total);
   for (std::uint32_t n = 0; n < num_nodes; ++n) {
-    csr.offsets[n] = static_cast<std::uint32_t>(csr.targets.size());
+    out->offsets[n] = static_cast<std::uint32_t>(out->targets.size());
     for (const auto& [nbr, eid] : (*adj)[n]) {
-      csr.targets.push_back(nbr);
-      csr.edge_ids.push_back(eid);
+      out->targets.push_back(nbr);
+      out->edge_ids.push_back(eid);
     }
   }
-  csr.offsets[num_nodes] = static_cast<std::uint32_t>(csr.targets.size());
-  return csr;
+  out->offsets[num_nodes] = static_cast<std::uint32_t>(out->targets.size());
 }
 
-Status Graph::Finalize() {
+Status Graph::Finalize(bool release_build_buffers) {
   if (finalized_) {
     return Status::InvalidArgument("Finalize: graph is already finalized");
   }
-  out_ = BuildCsr(num_nodes_, &build_out_, /*dedup=*/false);
+  BuildCsr(num_nodes_, &build_out_, /*dedup=*/false, &out_);
   if (directed_) {
-    in_ = BuildCsr(num_nodes_, &build_in_, /*dedup=*/false);
+    BuildCsr(num_nodes_, &build_in_, /*dedup=*/false, &in_);
     // Combined undirected view: merge of in and out, deduplicated.
     std::vector<std::vector<std::pair<NodeId, EdgeId>>> comb(num_nodes_);
     for (NodeId n = 0; n < num_nodes_; ++n) {
@@ -90,14 +104,30 @@ Status Graph::Finalize() {
       for (const auto& p : build_out_[n]) comb[n].push_back(p);
       for (const auto& p : build_in_[n]) comb[n].push_back(p);
     }
-    combined_ = BuildCsr(num_nodes_, &comb, /*dedup=*/true);
+    BuildCsr(num_nodes_, &comb, /*dedup=*/true, &combined_);
   }
-  build_out_.clear();
-  build_out_.shrink_to_fit();
-  build_in_.clear();
-  build_in_.shrink_to_fit();
+  if (release_build_buffers) {
+    build_out_.clear();
+    build_out_.shrink_to_fit();
+    build_in_.clear();
+    build_in_.shrink_to_fit();
+  }
   finalized_ = true;
   return Status::Ok();
+}
+
+void Graph::Reset(bool directed) {
+  directed_ = directed;
+  finalized_ = false;
+  num_nodes_ = 0;
+  max_label_ = 0;
+  labels_.clear();
+  edges_.clear();
+  // build_out_/build_in_ rows are kept and recycled lazily by AddNode; the
+  // CSR vectors are rebuilt in place by the next Finalize. Stale CSR reads
+  // are impossible because every accessor asserts finalized_.
+  node_attributes_.Clear();
+  edge_attributes_.Clear();
 }
 
 std::span<const NodeId> Graph::OutNeighbors(NodeId n) const {

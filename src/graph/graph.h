@@ -62,7 +62,18 @@ class Graph {
 
   /// Sorts adjacency lists, flattens to CSR, and freezes the topology.
   /// Calling Finalize() twice returns an error and leaves the graph intact.
-  Status Finalize();
+  /// `release_build_buffers` (default) frees the build-phase adjacency;
+  /// graph objects recycled through Reset() pass false so the per-node
+  /// buffers keep their capacity across populate/finalize cycles.
+  Status Finalize(bool release_build_buffers = true);
+
+  /// Returns the graph to the empty, un-finalized state while keeping
+  /// every allocated buffer (labels, edge list, CSR arrays, and — when the
+  /// previous Finalize was called with release_build_buffers=false — the
+  /// build-phase adjacency rows). This is the scratch-reuse path behind
+  /// SubgraphExtractor::ExtractInto: repeated neighborhood extraction
+  /// allocates only when a neighborhood outgrows every previous one.
+  void Reset(bool directed);
 
   // --- Topology accessors (require Finalize()) ------------------------
 
@@ -132,9 +143,12 @@ class Graph {
     }
   };
 
-  static Csr BuildCsr(std::uint32_t num_nodes,
-                      std::vector<std::vector<std::pair<NodeId, EdgeId>>>* adj,
-                      bool dedup);
+  /// Flattens rows [0, num_nodes) of `adj` into `out`, reusing out's
+  /// buffers. Rows of `adj` beyond num_nodes (stale scratch from a larger
+  /// previous build) are ignored.
+  static void BuildCsr(std::uint32_t num_nodes,
+                       std::vector<std::vector<std::pair<NodeId, EdgeId>>>* adj,
+                       bool dedup, Csr* out);
 
   bool directed_;
   bool finalized_ = false;

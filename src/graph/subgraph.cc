@@ -9,23 +9,23 @@ SubgraphExtractor::SubgraphExtractor(const Graph& graph)
       local_of_(graph.NumNodes(), kInvalidNode),
       epoch_of_(graph.NumNodes(), 0) {}
 
-EgoSubgraph SubgraphExtractor::Extract(std::span<const NodeId> nodes,
-                                       bool copy_attributes) {
+void SubgraphExtractor::ExtractInto(std::span<const NodeId> nodes,
+                                    bool copy_attributes, EgoSubgraph* out) {
   ++epoch_;
-  EgoSubgraph out;
-  out.graph = Graph(graph_.directed());
-  out.to_global.reserve(nodes.size());
+  out->graph.Reset(graph_.directed());
+  out->to_global.clear();
+  out->to_global.reserve(nodes.size());
   for (NodeId g : nodes) {
     if (epoch_of_[g] == epoch_) continue;  // duplicate
     epoch_of_[g] = epoch_;
-    local_of_[g] = static_cast<NodeId>(out.to_global.size());
-    out.to_global.push_back(g);
-    out.graph.AddNode(graph_.label(g));
+    local_of_[g] = static_cast<NodeId>(out->to_global.size());
+    out->to_global.push_back(g);
+    out->graph.AddNode(graph_.label(g));
   }
   // Induced edges: directed graphs copy every out-edge between members;
   // undirected graphs copy each member-member edge once (from the endpoint
   // with the smaller global id).
-  for (NodeId g : out.to_global) {
+  for (NodeId g : out->to_global) {
     NodeId lu = local_of_[g];
     auto nbrs = graph_.OutNeighbors(g);
     auto eids = graph_.OutEdgeIds(g);
@@ -33,27 +33,41 @@ EgoSubgraph SubgraphExtractor::Extract(std::span<const NodeId> nodes,
       NodeId h = nbrs[i];
       if (epoch_of_[h] != epoch_) continue;
       if (!graph_.directed() && h < g) continue;
-      EdgeId local_edge = out.graph.AddEdge(lu, local_of_[h]);
+      EdgeId local_edge = out->graph.AddEdge(lu, local_of_[h]);
       if (copy_attributes && local_edge != kInvalidEdge) {
-        out.graph.edge_attributes().CopyFrom(graph_.edge_attributes(), eids[i],
-                                             local_edge);
+        out->graph.edge_attributes().CopyFrom(graph_.edge_attributes(),
+                                              eids[i], local_edge);
       }
     }
   }
   if (copy_attributes) {
-    for (NodeId g : out.to_global) {
-      out.graph.node_attributes().CopyFrom(graph_.node_attributes(), g,
-                                           local_of_[g]);
+    for (NodeId g : out->to_global) {
+      out->graph.node_attributes().CopyFrom(graph_.node_attributes(), g,
+                                            local_of_[g]);
     }
   }
-  out.graph.Finalize();
+  out->graph.Finalize(/*release_build_buffers=*/false);
+}
+
+EgoSubgraph SubgraphExtractor::Extract(std::span<const NodeId> nodes,
+                                       bool copy_attributes) {
+  EgoSubgraph out;
+  ExtractInto(nodes, copy_attributes, &out);
   return out;
 }
 
 EgoSubgraph SubgraphExtractor::ExtractKHop(NodeId n, std::uint32_t k,
                                            bool copy_attributes) {
+  EgoSubgraph out;
+  ExtractKHopInto(n, k, copy_attributes, &out);
+  return out;
+}
+
+void SubgraphExtractor::ExtractKHopInto(NodeId n, std::uint32_t k,
+                                        bool copy_attributes,
+                                        EgoSubgraph* out) {
   const auto& nodes = bfs1_.Run(graph_, n, k);
-  return Extract(nodes, copy_attributes);
+  ExtractInto(nodes, copy_attributes, out);
 }
 
 EgoSubgraph SubgraphExtractor::ExtractIntersection(NodeId n1, NodeId n2,

@@ -19,7 +19,11 @@ struct EgoSubgraph {
 
 /// Materializes induced subgraphs of a fixed parent graph. Keeps an
 /// epoch-stamped global->local scratch map so repeated extraction (one per
-/// focal node in ND-BAS) does not reallocate.
+/// focal node in ND-BAS) does not reallocate, and supports the `*Into`
+/// variants that additionally recycle the output EgoSubgraph's buffers
+/// (Graph::Reset) so a tight extraction loop settles into zero steady-state
+/// allocation. Instances are not thread-safe; parallel engines keep one
+/// extractor per worker.
 class SubgraphExtractor {
  public:
   explicit SubgraphExtractor(const Graph& graph);
@@ -30,9 +34,18 @@ class SubgraphExtractor {
   EgoSubgraph Extract(std::span<const NodeId> nodes,
                       bool copy_attributes = true);
 
+  /// Extract into a caller-owned EgoSubgraph whose buffers are reused
+  /// across calls. `out` must not alias the parent graph.
+  void ExtractInto(std::span<const NodeId> nodes, bool copy_attributes,
+                   EgoSubgraph* out);
+
   /// Induced subgraph on the k-hop neighborhood S(n, k).
   EgoSubgraph ExtractKHop(NodeId n, std::uint32_t k,
                           bool copy_attributes = true);
+
+  /// ExtractKHop with output-buffer reuse (the ND-BAS hot loop).
+  void ExtractKHopInto(NodeId n, std::uint32_t k, bool copy_attributes,
+                       EgoSubgraph* out);
 
   /// Induced subgraph on N_k(n1) ∩ N_k(n2).
   EgoSubgraph ExtractIntersection(NodeId n1, NodeId n2, std::uint32_t k,

@@ -17,6 +17,12 @@ namespace egocensus {
 ///
 /// An optional externally built ProfileIndex can be supplied to amortize
 /// profile computation across multiple calls on the same graph.
+///
+/// Thread-safety: FindMatches uses only per-call state and reads the graph,
+/// pattern and profile index, so distinct CnMatcher instances may run
+/// concurrently on the same (or different) graphs — the parallel ND-BAS
+/// engine keeps one matcher per worker. A single instance is not
+/// re-entrant.
 class CnMatcher : public Matcher {
  public:
   CnMatcher() = default;

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace egocensus {
+
+unsigned ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned ThreadPool::ResolveNumThreads(std::uint32_t requested) {
+  return requested == 0 ? HardwareThreads() : requested;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_workers_(std::max(1u, num_threads == 0 ? HardwareThreads()
+                                                 : num_threads)),
+      cursors_(num_workers_) {
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned rank = 1; rank < num_workers_; ++rank) {
+    threads_.emplace_back([this, rank] { WorkerLoop(rank); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain, const ChunkFn& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t count = end - begin;
+  if (num_workers_ == 1 || count <= grain) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  const std::size_t num_chunks = (count + grain - 1) / grain;
+  // Contiguous chunk partitions: worker w owns
+  // [w * num_chunks / W, (w + 1) * num_chunks / W).
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    cursors_[w].next.store(num_chunks * w / num_workers_,
+                           std::memory_order_relaxed);
+    cursors_[w].limit = num_chunks * (w + 1) / num_workers_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_fn_ = &fn;
+    workers_remaining_ = num_workers_;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  RunJob(0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--workers_remaining_ > 0) {
+    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+  }
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::RunJob(unsigned rank) {
+  const std::size_t begin = job_begin_;
+  const std::size_t end = job_end_;
+  const std::size_t grain = job_grain_;
+  const ChunkFn& fn = *job_fn_;
+
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t lo = begin + chunk * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    fn(lo, hi, rank);
+  };
+
+  // Own partition first, then steal from the others in rank order. A
+  // fetch_add that lands at or past the partition limit simply means the
+  // partition is drained; cursors are re-armed at the next ParallelFor.
+  for (unsigned offset = 0; offset < num_workers_; ++offset) {
+    Cursor& cursor = cursors_[(rank + offset) % num_workers_];
+    for (;;) {
+      std::size_t chunk = cursor.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= cursor.limit) break;
+      run_chunk(chunk);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(unsigned rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunJob(rank);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace egocensus

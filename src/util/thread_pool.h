@@ -1,0 +1,107 @@
+#ifndef EGOCENSUS_UTIL_THREAD_POOL_H_
+#define EGOCENSUS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace egocensus {
+
+/// Fixed-size work-stealing thread pool built for the census engines'
+/// fan-out shape: one ParallelFor over focal nodes / matches / clusters per
+/// query phase, with highly skewed per-item cost (hub neighborhoods are
+/// orders of magnitude larger than leaf neighborhoods).
+///
+/// Scheduling: the iteration range is cut into fixed-grain chunks; chunks
+/// are partitioned contiguously across workers and each worker drains its
+/// own partition through a private atomic cursor, then steals remaining
+/// chunks from the other workers' cursors. Stealing happens at chunk
+/// granularity, so the only cross-thread traffic on the happy path is one
+/// relaxed fetch_add per chunk.
+///
+/// Determinism contract: the pool makes no ordering promises — callers that
+/// need results independent of the worker count must write to disjoint
+/// locations (e.g. counts[n] for distinct focal n) or accumulate into
+/// per-worker scratch indexed by the `worker` argument and merge with an
+/// order-insensitive reduction (integer sums, maxes). All census engines
+/// follow this contract; see docs/PARALLEL.md.
+///
+/// The calling thread participates as worker 0, so a pool constructed with
+/// n threads spawns n - 1 std::threads and ParallelFor never leaves the
+/// caller idle. Worker ranks are stable within one ParallelFor call and lie
+/// in [0, NumWorkers()), which is what engines size their thread-local
+/// scratch slots by.
+///
+/// The chunk function must not throw: engines report failures through
+/// Status values computed before the parallel section, and an exception
+/// escaping a worker would terminate.
+class ThreadPool {
+ public:
+  /// fn(chunk_begin, chunk_end, worker): processes [chunk_begin, chunk_end)
+  /// on the worker with the given rank.
+  using ChunkFn = std::function<void(std::size_t, std::size_t, unsigned)>;
+
+  /// Creates a pool with `num_threads` workers (including the caller);
+  /// 0 means HardwareThreads().
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned NumWorkers() const { return num_workers_; }
+
+  /// Runs fn over [begin, end) cut into chunks of at most `grain` items.
+  /// Blocks until every chunk has been processed. Safe to call repeatedly;
+  /// must not be called concurrently from multiple threads or reentrantly
+  /// from inside a chunk function.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const ChunkFn& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned HardwareThreads();
+
+  /// Maps CensusOptions::num_threads to a worker count: 0 selects
+  /// HardwareThreads(), anything else is taken verbatim (so tests can run
+  /// 8 workers on a 1-core machine to widen interleavings under TSan).
+  static unsigned ResolveNumThreads(std::uint32_t requested);
+
+ private:
+  // One cache line per cursor: workers poll each other's cursors while
+  // stealing, and sharing a line would turn every chunk pop into
+  // cross-core traffic.
+  struct alignas(64) Cursor {
+    std::atomic<std::size_t> next{0};  // next chunk index in this partition
+    std::size_t limit = 0;             // one past the partition's last chunk
+  };
+
+  void WorkerLoop(unsigned rank);
+  /// Drains own partition, then steals; returns when no chunk remains.
+  void RunJob(unsigned rank);
+
+  unsigned num_workers_;
+  std::vector<Cursor> cursors_;
+
+  // Current job (valid while workers_remaining_ > 0).
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  const ChunkFn* job_fn_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers_remaining_
+  std::uint64_t generation_ = 0;
+  unsigned workers_remaining_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_THREAD_POOL_H_

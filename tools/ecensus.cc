@@ -5,7 +5,7 @@
 //   ecensus info --graph FILE
 //   ecensus query --graph FILE (--query "SQL" | --query-file FILE)
 //                 [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]
-//                 [--top N] [--csv]
+//                 [--threads T] [--top N] [--csv]
 //   ecensus update --graph FILE --updates FILE
 //                  (--query "SQL" | --query-file FILE)
 //                  [--batch-size N] [--top N] [--csv]
@@ -82,7 +82,8 @@ int Usage() {
       "  ecensus info --graph FILE\n"
       "  ecensus query --graph FILE (--query SQL | --query-file FILE)\n"
       "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
-      "                [--top N] [--csv] [--seed S]\n"
+      "                [--threads T (0 = all cores)] [--top N] [--csv]\n"
+      "                [--seed S]\n"
       "  ecensus update --graph FILE --updates FILE\n"
       "                 (--query SQL | --query-file FILE)\n"
       "                 [--batch-size N] [--top N] [--csv] [--seed S]\n";
@@ -234,6 +235,8 @@ int RunQuery(const Args& args) {
   QueryEngine engine(*graph);
   QueryEngine::Options options;
   options.rnd_seed = args.GetInt("seed", 99);
+  options.census.num_threads =
+      static_cast<std::uint32_t>(args.GetInt("threads", 1));
   std::string algorithm = args.Get("algorithm", "");
   if (!algorithm.empty()) {
     options.auto_algorithm = false;
@@ -267,6 +270,13 @@ int RunQuery(const Args& args) {
                             ? static_cast<std::size_t>(args.GetInt("top", 20))
                             : result->NumRows();
     std::cout << result->ToString(limit);
+    for (std::size_t i = 0; i < engine.last_stats().size(); ++i) {
+      const CensusStats& s = engine.last_stats()[i];
+      std::cout << "aggregate " << i << ": threads=" << s.threads_used
+                << " matches=" << s.num_matches << " match=" << s.match_seconds
+                << "s index=" << s.index_seconds
+                << "s census=" << s.census_seconds << "s\n";
+    }
   }
   return 0;
 }
