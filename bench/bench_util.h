@@ -9,12 +9,15 @@
 // set ECENSUS_SCALE (e.g. 5.0) to scale sizes back up toward the paper's.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
 
 #include "census/census.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 #include "util/timer.h"
 
@@ -32,7 +35,38 @@ inline std::uint32_t Scaled(std::uint32_t base) {
   return static_cast<std::uint32_t>(base * ScaleFactor());
 }
 
+/// Turns observability on from the environment: ECENSUS_TRACE=FILE and/or
+/// ECENSUS_METRICS=FILE enable instrumentation and register an atexit
+/// export, so any bench binary can produce a Chrome trace or metrics dump
+/// without its own flag plumbing. Idempotent.
+inline void InitObsFromEnv() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* trace = std::getenv("ECENSUS_TRACE");
+  const char* metrics = std::getenv("ECENSUS_METRICS");
+  if (trace == nullptr && metrics == nullptr) return;
+  obs::SetEnabled(true);
+  static std::string trace_path = trace == nullptr ? "" : trace;
+  static std::string metrics_path = metrics == nullptr ? "" : metrics;
+  std::atexit([] {
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (out) obs::Tracer::Global().WriteChromeTrace(out);
+      std::cerr << "trace: " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) {
+        obs::Registry::Global().Snapshot().WriteJson(out);
+      }
+      std::cerr << "metrics: " << metrics_path << "\n";
+    }
+  });
+}
+
 inline void PrintHeader(const std::string& figure, const std::string& what) {
+  InitObsFromEnv();
   std::cout << "==========================================================\n"
             << figure << " — " << what << "\n"
             << "(scale " << ScaleFactor()

@@ -15,6 +15,7 @@
 #include "graph/subgraph.h"
 #include "match/cn_matcher.h"
 #include "match/gql_matcher.h"
+#include "obs/obs.h"
 #include "pattern/catalog.h"
 #include "util/bucket_queue.h"
 #include "util/rng.h"
@@ -193,6 +194,27 @@ void BM_ParallelCensus(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelCensus)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Observability overhead on the densest instrumentation path (ND-BAS k=2
+// runs the matcher once per focal node). Arg(0) = runtime-disabled
+// (the acceptance bar: within noise of a build without instrumentation),
+// Arg(1) = enabled (the price of actually recording).
+void BM_ObsOverheadNdBas(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Pattern pattern = MakeTriangle(true);
+  auto focal = AllNodes(graph);
+  CensusOptions options;
+  options.algorithm = CensusAlgorithm::kNdBas;
+  options.k = 2;
+  obs::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    auto result = RunCensus(graph, pattern, focal, options);
+    benchmark::DoNotOptimize(result->stats.num_matches);
+  }
+  obs::SetEnabled(false);
+}
+BENCHMARK(BM_ObsOverheadNdBas)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace egocensus

@@ -2,10 +2,15 @@
 
 #include <numeric>
 #include <optional>
+#include <string>
 
 #include "census/engines.h"
 #include "census/pmi.h"
 #include "match/cn_matcher.h"
+#include "match/gql_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace egocensus {
@@ -37,9 +42,16 @@ std::vector<NodeId> AllNodes(const Graph& graph) {
 namespace internal {
 
 MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats) {
+  EGO_SPAN("census/match");
   Timer timer;
-  CnMatcher matcher(ctx.options->profile_index);
-  MatchSet matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+  MatchSet matches(ctx.pattern->NumNodes());
+  if (ctx.options->use_gql_matcher) {
+    GqlMatcher matcher(ctx.options->profile_index);
+    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+  } else {
+    CnMatcher matcher(ctx.options->profile_index);
+    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+  }
   stats->match_seconds = timer.ElapsedSeconds();
   stats->num_matches = matches.size();
   return matches;
@@ -87,8 +99,24 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
     ctx.pool = &*pool;
   }
 
+  EGO_SPAN("census/run", focal.size());
   auto finish = [&](CensusResult result) -> Result<CensusResult> {
     result.stats.threads_used = num_threads;
+    if (obs::Enabled()) {
+      // Route the per-census totals through the registry under
+      // census/<algorithm>/ so repeated censuses accumulate and the
+      // exporters see the same numbers CensusStats reports.
+      const std::string prefix =
+          "census/" + ToLower(CensusAlgorithmName(options.algorithm)) + "/";
+      const CensusStats& s = result.stats;
+      obs::CounterAdd(prefix + "runs", 1);
+      obs::CounterAdd(prefix + "num_matches", s.num_matches);
+      obs::CounterAdd(prefix + "nodes_expanded", s.nodes_expanded);
+      obs::CounterAdd(prefix + "reinsertions", s.reinsertions);
+      obs::CounterAdd(prefix + "containment_checks", s.containment_checks);
+      obs::GaugeMax(prefix + "peak_neighborhood", s.peak_neighborhood);
+      obs::GaugeMax(prefix + "threads_used", s.threads_used);
+    }
     return result;
   };
   switch (options.algorithm) {

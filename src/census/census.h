@@ -50,6 +50,13 @@ struct CensusOptions {
   /// COUNTSP subpattern name; empty means count the whole pattern (COUNTP).
   std::string subpattern;
 
+  /// Match with the GQL baseline matcher instead of the CN matcher. The
+  /// match sets are identical (both are exact); this exists so the
+  /// CN-vs-GQL cost gap (candidate-set scans vs candidate-neighbor
+  /// intersections) is observable end-to-end, e.g. via
+  /// `ecensus query --matcher gql --metrics -`.
+  bool use_gql_matcher = false;
+
   // ---- Pattern-driven parameters (PT-OPT / PT-RND) ----
 
   /// Number of centers used for PMD initialization (paper default: 12;

@@ -5,6 +5,8 @@
 #include "census/engines.h"
 #include "graph/subgraph.h"
 #include "match/cn_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus::internal {
@@ -49,10 +51,12 @@ CensusResult RunNdBas(const CensusContext& ctx) {
       s.extractor->ExtractKHopInto(n, k, need_attrs, &s.sub);
       MatchSet matches = s.matcher.FindMatches(s.sub.graph, pattern);
       result.counts[n] = matches.size();
+      EGO_HIST_RECORD("census/neighborhood_size", s.sub.graph.NumNodes());
       s.stats.nodes_expanded += s.sub.graph.NumNodes();
       s.stats.peak_neighborhood = std::max<std::uint64_t>(
           s.stats.peak_neighborhood, s.sub.graph.NumNodes());
     };
+    EGO_SPAN("census/count");
     if (ctx.pool == nullptr) {
       Scratch scratch;
       scratch.extractor.emplace(graph);
@@ -77,8 +81,10 @@ CensusResult RunNdBas(const CensusContext& ctx) {
   MatchSet matches = FindMatchesTimed(ctx, &result.stats);
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
   timer.Reset();
+  EGO_SPAN("census/count");
   auto process = [&](NodeId n, BfsWorkspace& bfs, CensusStats& stats) {
     bfs.Run(graph, n, k);
+    EGO_HIST_RECORD("census/neighborhood_size", bfs.visited().size());
     stats.nodes_expanded += bfs.visited().size();
     stats.peak_neighborhood =
         std::max<std::uint64_t>(stats.peak_neighborhood, bfs.visited().size());

@@ -4,6 +4,8 @@
 
 #include "census/engines.h"
 #include "graph/bfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus::internal {
@@ -35,10 +37,13 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
 
   Timer timer;
+  obs::ScopedSpan index_span("census/index");
   PatternMatchIndex pmi = PatternMatchIndex::BuildOnAnchors(anchors);
   result.stats.index_seconds = timer.ElapsedSeconds();
+  index_span.End();
 
   timer.Reset();
+  EGO_SPAN("census/count");
   auto contained = [&](std::uint32_t mid, const BfsWorkspace& bfs) {
     for (int j = 0; j < anchors.NumAnchors(); ++j) {
       if (!bfs.Reached(anchors.Anchor(mid, j))) return false;
@@ -73,6 +78,15 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
     std::size_t scan = begin;  // next focal index for a fresh chain start
     bool have_prev = false;
     NodeId current = kInvalidNode;
+    // Chain bookkeeping for the sharing metrics: a "chain" is a maximal run
+    // of focal nodes derived differentially from one fresh set; its length
+    // distribution and the fresh/diff step counts expose how much work
+    // ND-DIFF actually shares (sharing ratio = diff_steps / focal nodes).
+    static const obs::HistogramHandle chain_hist("census/nd-diff/chain_len");
+    static const obs::CounterHandle fresh_counter(
+        "census/nd-diff/fresh_sets");
+    static const obs::CounterHandle diff_counter("census/nd-diff/diff_steps");
+    std::uint64_t chain_len = 0;
 
     std::size_t processed = 0;
     const std::size_t total = end - begin;
@@ -81,16 +95,22 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
         while (scan < end && !pending(ctx.focal[scan])) ++scan;
         current = ctx.focal[scan];
         have_prev = false;
+        if (chain_len > 0) chain_hist.Record(chain_len);
+        chain_len = 0;
       }
       s.pending_epoch[current] = 0;
       ++processed;
+      ++chain_len;
 
       current_bfs->Run(graph, current, k);
+      EGO_HIST_RECORD("census/neighborhood_size",
+                      current_bfs->visited().size());
       stats.nodes_expanded += current_bfs->visited().size();
       stats.peak_neighborhood = std::max<std::uint64_t>(
           stats.peak_neighborhood, current_bfs->visited().size());
 
       if (!have_prev) {
+        fresh_counter.Add(1);
         current_set.clear();
         for (NodeId n : current_bfs->visited()) {
           for (std::uint32_t mid : pmi.MatchesAt(n)) {
@@ -99,6 +119,7 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
           }
         }
       } else {
+        diff_counter.Add(1);
         // N1 = N_k(current) - N_k(prev): candidate additions.
         for (NodeId n : current_bfs->visited()) {
           if (prev_bfs->Reached(n)) continue;
@@ -133,6 +154,7 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
         current = kInvalidNode;  // fresh start next iteration
       }
     }
+    if (chain_len > 0) chain_hist.Record(chain_len);
   };
 
   if (ctx.pool == nullptr) {

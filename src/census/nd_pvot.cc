@@ -3,6 +3,8 @@
 
 #include "census/engines.h"
 #include "graph/bfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus::internal {
@@ -36,6 +38,7 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
   // Pivot: anchor pattern node minimizing the maximum pattern distance to
   // the other anchors.
   Timer timer;
+  obs::ScopedSpan index_span("census/index");
   const auto& anchor_nodes = ctx.anchor_nodes;
   int pivot = anchor_nodes[0];
   std::uint32_t max_v = 0;
@@ -67,10 +70,13 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
 
   PatternMatchIndex pmi = PatternMatchIndex::BuildOnNode(matches, pivot);
   result.stats.index_seconds = timer.ElapsedSeconds();
+  index_span.End();
 
   timer.Reset();
+  EGO_SPAN("census/count");
   auto process = [&](NodeId n, BfsWorkspace& bfs, CensusStats& stats) {
     bfs.Run(graph, n, k);
+    EGO_HIST_RECORD("census/neighborhood_size", bfs.visited().size());
     stats.nodes_expanded += bfs.visited().size();
     stats.peak_neighborhood =
         std::max<std::uint64_t>(stats.peak_neighborhood, bfs.visited().size());

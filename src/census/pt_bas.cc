@@ -3,6 +3,8 @@
 
 #include "census/engines.h"
 #include "graph/bfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus::internal {
@@ -30,12 +32,14 @@ CensusResult RunPtBas(const CensusContext& ctx) {
   const int t = anchors.NumAnchors();
 
   Timer timer;
+  EGO_SPAN("census/count");
   auto process = [&](std::size_t m, std::vector<BfsWorkspace>& bfs,
                      std::uint64_t* counts, CensusStats& stats) {
     int min_idx = 0;
     std::size_t min_size = 0;
     for (int j = 0; j < t; ++j) {
       bfs[j].Run(graph, anchors.Anchor(m, j), k);
+      EGO_HIST_RECORD("census/neighborhood_size", bfs[j].visited().size());
       stats.nodes_expanded += bfs[j].visited().size();
       stats.peak_neighborhood = std::max<std::uint64_t>(
           stats.peak_neighborhood, bfs[j].visited().size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "census/kmeans.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -42,6 +43,7 @@ PtParams PtParamsFromPairwiseOptions(const PairwiseCensusOptions& options) {
 
 PtSetup BuildPtSetup(const Graph& graph, const Pattern& pattern,
                      const MatchAnchors& anchors, const PtParams& params) {
+  EGO_SPAN("census/index");
   PtSetup setup;
   const std::size_t num_matches = anchors.NumMatches();
   const int t = anchors.NumAnchors();

@@ -5,6 +5,8 @@
 #include "census/engines.h"
 #include "census/pt_common.h"
 #include "census/pt_expander.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus::internal {
@@ -41,8 +43,16 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
   PtParams params = PtParamsFromCensusOptions(options);
   PtSetup setup = BuildPtSetup(graph, pattern, anchors, params);
   result.stats.index_seconds = setup.index_seconds;
+  if (obs::Enabled()) {
+    static const obs::HistogramHandle cluster_hist(
+        "census/pt/cluster_size");
+    for (const auto& cluster : setup.clusters) {
+      cluster_hist.Record(cluster.size());
+    }
+  }
 
   Timer timer;
+  EGO_SPAN("census/count");
   ExpanderOptions expander_options;
   expander_options.k = k;
   expander_options.best_first = params.best_first;
@@ -67,6 +77,7 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
     }
     SimultaneousExpander& expander = *s.expander;
     expander.Expand(s.anchor_sets, &setup.anchor_dist);
+    EGO_HIST_RECORD("census/pt/expansion_size", expander.NumVisited());
     s.stats.peak_neighborhood = std::max<std::uint64_t>(
         s.stats.peak_neighborhood, expander.NumVisited());
     const auto& match_anchor_idx = expander.match_anchor_indices();

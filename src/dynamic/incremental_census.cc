@@ -6,6 +6,8 @@
 
 #include "census/census.h"
 #include "match/cn_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace egocensus {
@@ -222,6 +224,7 @@ IncrementalCensus::EnumerateEdgeMatches(NodeId u, NodeId v, bool edge_present,
   EgoSubgraph sub = extractor->ExtractAroundPair(
       u, v, diameter_, pattern_.HasGeneralPredicates());
   stats->region_nodes += sub.graph.NumNodes();
+  EGO_HIST_RECORD("dynamic/region_nodes", sub.graph.NumNodes());
 
   NodeId lu = kInvalidNode;
   NodeId lv = kInvalidNode;
@@ -404,6 +407,7 @@ Result<MaintenanceStats> IncrementalCensus::ApplyBatch(
         "IncrementalCensus: graph was mutated outside of ApplyBatch");
   }
   Timer timer;
+  EGO_SPAN("dynamic/apply_batch", updates.size());
   MaintenanceStats stats;
   DynamicSubgraphExtractor extractor(*graph_);
   BfsWorkspace bfs;
@@ -423,6 +427,10 @@ Result<MaintenanceStats> IncrementalCensus::ApplyBatch(
   };
 
   for (const GraphUpdate& update : updates) {
+    // Per-update latency: sampled only when observability is on so the
+    // default path never touches the clock per update.
+    const std::uint64_t update_begin_us =
+        obs::Enabled() ? Timer::NowMicros() : 0;
     switch (update.kind) {
       case GraphUpdate::Kind::kAddEdge:
       case GraphUpdate::Kind::kRemoveEdge: {
@@ -499,6 +507,10 @@ Result<MaintenanceStats> IncrementalCensus::ApplyBatch(
         break;
       }
     }
+    if (obs::Enabled()) {
+      EGO_HIST_RECORD("dynamic/update_micros",
+                      Timer::NowMicros() - update_begin_us);
+    }
   }
 
   std::vector<CountDelta> deltas;
@@ -511,6 +523,13 @@ Result<MaintenanceStats> IncrementalCensus::ApplyBatch(
             });
   stats.changed_nodes = deltas.size();
   stats.seconds = timer.ElapsedSeconds();
+  if (obs::Enabled()) {
+    obs::CounterAdd("dynamic/updates_applied", stats.updates_applied);
+    obs::CounterAdd("dynamic/noop_updates", stats.noop_updates);
+    obs::CounterAdd("dynamic/delta_matches", stats.delta_matches);
+    obs::CounterAdd("dynamic/recounted_nodes", stats.recounted_nodes);
+    obs::CounterAdd("dynamic/changed_nodes", stats.changed_nodes);
+  }
   lifetime_stats_.Accumulate(stats);
   expected_version_ = graph_->version();
 

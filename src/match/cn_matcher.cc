@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace egocensus {
 namespace {
 
@@ -41,6 +44,7 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
   std::vector<CandidateState> state(arity);
   for (int v = 0; v < arity; ++v) {
     state[v].cands = std::move(initial[v]);
+    EGO_HIST_RECORD("match/cn/candidate_set_size", state[v].cands.size());
     stats_.initial_candidates += state[v].cands.size();
     if (state[v].cands.empty()) return matches;  // no match possible
     state[v].alive.assign(state[v].cands.size(), 1);
@@ -75,6 +79,18 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
           }
           slots[slot].push_back(x);  // Neighbors(n) is sorted
         }
+      }
+    }
+  }
+
+  // The candidate-neighbor cardinalities right after initialization are the
+  // quantity the paper's CN-vs-GQL argument turns on (small CN lists vs
+  // full candidate-set scans), so sample them before pruning shrinks them.
+  if (obs::Enabled()) {
+    static const obs::HistogramHandle cn_len_hist("match/cn/cn_set_size");
+    for (int v = 0; v < arity; ++v) {
+      for (const auto& slots : state[v].cn) {
+        for (const auto& slot : slots) cn_len_hist.Record(slot.size());
       }
     }
   }
@@ -213,6 +229,16 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     }
   };
   extend(extend, 0);
+
+  if (obs::Enabled()) {
+    obs::CounterAdd("match/cn/initial_candidates", stats_.initial_candidates);
+    obs::CounterAdd("match/cn/pruned_candidates", stats_.pruned_candidates);
+    obs::CounterAdd("match/cn/prune_passes", stats_.prune_passes);
+    obs::CounterAdd("match/cn/extension_checks", stats_.extension_checks);
+    obs::CounterAdd("match/cn/partial_matches", stats_.partial_matches);
+    obs::CounterAdd("match/cn/matches", matches.size());
+    obs::HistogramRecord("match/cn/prune_passes_per_run", stats_.prune_passes);
+  }
   return matches;
 }
 

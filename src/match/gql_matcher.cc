@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace egocensus {
 namespace {
 
@@ -63,6 +65,7 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
       EnumerateCandidates(graph, *profiles, pattern);
   std::vector<std::vector<char>> is_cand(arity);
   for (int v = 0; v < arity; ++v) {
+    EGO_HIST_RECORD("match/gql/candidate_set_size", cands[v].size());
     stats_.initial_candidates += cands[v].size();
     if (cands[v].empty()) return matches;
     is_cand[v].assign(graph.NumNodes(), 0);
@@ -139,6 +142,10 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     }
     ++stats_.partial_matches;
     int v = order[i];
+    // The full candidate-set scan per extension is exactly the cost CN's
+    // candidate-neighbor lists avoid; its size distribution is the
+    // observable half of the Fig. 4(a)/(b) gap.
+    EGO_HIST_RECORD("match/gql/scan_set_size", cands[v].size());
     for (NodeId x : cands[v]) {
       ++stats_.extension_checks;
       bool ok = true;
@@ -180,6 +187,18 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     }
   };
   extend(extend, 0);
+
+  if (obs::Enabled()) {
+    obs::CounterAdd("match/gql/initial_candidates",
+                    stats_.initial_candidates);
+    obs::CounterAdd("match/gql/pruned_candidates", stats_.pruned_candidates);
+    obs::CounterAdd("match/gql/prune_passes", stats_.prune_passes);
+    obs::CounterAdd("match/gql/extension_checks", stats_.extension_checks);
+    obs::CounterAdd("match/gql/partial_matches", stats_.partial_matches);
+    obs::CounterAdd("match/gql/matches", matches.size());
+    obs::HistogramRecord("match/gql/prune_passes_per_run",
+                         stats_.prune_passes);
+  }
   return matches;
 }
 

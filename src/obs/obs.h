@@ -1,0 +1,54 @@
+#ifndef EGOCENSUS_OBS_OBS_H_
+#define EGOCENSUS_OBS_OBS_H_
+
+// Master switches of the observability layer (metrics registry + span
+// tracer, see obs/metrics.h and obs/trace.h).
+//
+// Two independent gates keep the un-instrumented path free:
+//
+//  * Compile-time kill switch: build with -DEGO_OBS_ENABLED=0 (CMake option
+//    EGOCENSUS_OBS=OFF) and every EGO_* macro expands to nothing, Enabled()
+//    folds to constexpr false, and the inline recording helpers dead-code
+//    eliminate — no atomics, no statics, no registry references at the
+//    instrumentation sites.
+//
+//  * Runtime flag: even when compiled in, observability is off by default.
+//    Every instrumentation site is guarded by Enabled(), a single relaxed
+//    atomic load + predictable branch; nothing is interned, allocated, or
+//    recorded until SetEnabled(true).
+
+#ifndef EGO_OBS_ENABLED
+#define EGO_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+
+namespace egocensus::obs {
+
+#if EGO_OBS_ENABLED
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when metric/span recording is active. Hot-path guard: one relaxed
+/// load, no fence.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off process-wide. Toggling while worker threads
+/// are mid-census is safe (sites re-check per event) but yields partial
+/// data; callers normally enable before a query and export after it.
+void SetEnabled(bool enabled);
+
+#else  // !EGO_OBS_ENABLED
+
+inline constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+
+#endif  // EGO_OBS_ENABLED
+
+}  // namespace egocensus::obs
+
+#endif  // EGOCENSUS_OBS_OBS_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace egocensus {
 
 unsigned ThreadPool::HardwareThreads() {
@@ -76,6 +79,13 @@ void ThreadPool::RunJob(unsigned rank) {
   const std::size_t grain = job_grain_;
   const ChunkFn& fn = *job_fn_;
 
+  // One span per worker per job: the trace timeline shows each worker's
+  // busy interval on its own tid row, with the chunk tally as the arg —
+  // imbalance and steal activity are visible at a glance.
+  obs::ScopedSpan worker_span("pool/worker");
+  std::uint64_t own_chunks = 0;
+  std::uint64_t stolen_chunks = 0;
+
   auto run_chunk = [&](std::size_t chunk) {
     const std::size_t lo = begin + chunk * grain;
     const std::size_t hi = std::min(end, lo + grain);
@@ -91,7 +101,20 @@ void ThreadPool::RunJob(unsigned rank) {
       std::size_t chunk = cursor.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= cursor.limit) break;
       run_chunk(chunk);
+      if (offset == 0) {
+        ++own_chunks;
+      } else {
+        ++stolen_chunks;
+      }
     }
+  }
+
+  if (obs::Enabled()) {
+    worker_span.SetArg(own_chunks + stolen_chunks);
+    obs::CounterAdd("pool/chunks_own", own_chunks);
+    obs::CounterAdd("pool/chunks_stolen", stolen_chunks);
+    obs::HistogramRecord("pool/chunks_per_worker",
+                         own_chunks + stolen_chunks);
   }
 }
 

@@ -2,10 +2,13 @@
 #define EGOCENSUS_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace egocensus {
 
-/// Simple wall-clock stopwatch used by the benchmark harnesses.
+/// Simple wall-clock stopwatch used by the benchmark harnesses and the
+/// observability layer (obs/trace.h timestamps its spans with NowMicros so
+/// every timing in the system reads the same steady clock).
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
@@ -19,6 +22,18 @@ class Timer {
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Steady-clock timestamp in integer microseconds (epoch is the clock's,
+  /// typically boot time — only differences are meaningful).
+  static std::uint64_t NowMicros() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

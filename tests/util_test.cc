@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "census/census.h"
 #include "util/bucket_queue.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -234,6 +235,83 @@ TEST(TimerTest, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink += i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3 - 1e3);
+}
+
+TEST(TimerTest, MicrosConsistentWithSeconds) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double micros = t.ElapsedMicros();
+  double seconds = t.ElapsedSeconds();
+  EXPECT_GE(micros, 0.0);
+  // ElapsedMicros is the same reading scaled; a later ElapsedSeconds can
+  // only be larger.
+  EXPECT_LE(micros, seconds * 1e6 + 1.0);
+}
+
+TEST(TimerTest, NowMicrosMonotone) {
+  std::uint64_t a = Timer::NowMicros();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  std::uint64_t b = Timer::NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(StringsTest, EndsWith) {
+  EXPECT_TRUE(EndsWith("metrics.csv", ".csv"));
+  EXPECT_TRUE(EndsWith("x", ""));
+  EXPECT_FALSE(EndsWith("metrics.json", ".csv"));
+  EXPECT_FALSE(EndsWith("sv", ".csv"));
+}
+
+TEST(CensusStatsTest, MergeSumsCountersAndTimes) {
+  CensusStats a;
+  a.num_matches = 3;
+  a.match_seconds = 0.5;
+  a.index_seconds = 0.25;
+  a.census_seconds = 1.0;
+  a.nodes_expanded = 100;
+  a.reinsertions = 7;
+  a.containment_checks = 40;
+  CensusStats b;
+  b.num_matches = 2;
+  b.match_seconds = 0.5;
+  b.index_seconds = 0.75;
+  b.census_seconds = 2.0;
+  b.nodes_expanded = 50;
+  b.reinsertions = 3;
+  b.containment_checks = 10;
+  a.Merge(b);
+  EXPECT_EQ(a.num_matches, 5u);
+  EXPECT_DOUBLE_EQ(a.match_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.index_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.census_seconds, 3.0);
+  EXPECT_EQ(a.nodes_expanded, 150u);
+  EXPECT_EQ(a.reinsertions, 10u);
+  EXPECT_EQ(a.containment_checks, 50u);
+  EXPECT_DOUBLE_EQ(a.TotalSeconds(), 5.0);
+}
+
+TEST(CensusStatsTest, MergeMaxesPeakMetrics) {
+  CensusStats a;
+  a.threads_used = 2;
+  a.peak_neighborhood = 10;
+  CensusStats b;
+  b.threads_used = 8;
+  b.peak_neighborhood = 4;
+  a.Merge(b);
+  EXPECT_EQ(a.threads_used, 8u);
+  EXPECT_EQ(a.peak_neighborhood, 10u);
+  // Max-merge is order-insensitive: merging the other way agrees.
+  CensusStats c;
+  c.threads_used = 8;
+  c.peak_neighborhood = 4;
+  CensusStats d;
+  d.threads_used = 2;
+  d.peak_neighborhood = 10;
+  c.Merge(d);
+  EXPECT_EQ(c.threads_used, a.threads_used);
+  EXPECT_EQ(c.peak_neighborhood, a.peak_neighborhood);
 }
 
 }  // namespace

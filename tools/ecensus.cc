@@ -33,7 +33,10 @@
 #include "graph/io.h"
 #include "lang/engine.h"
 #include "lang/maintain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
+#include "util/table_printer.h"
 
 namespace {
 
@@ -82,12 +85,80 @@ int Usage() {
       "  ecensus info --graph FILE\n"
       "  ecensus query --graph FILE (--query SQL | --query-file FILE)\n"
       "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
-      "                [--threads T (0 = all cores)] [--top N] [--csv]\n"
-      "                [--seed S]\n"
+      "                [--matcher cn|gql] [--threads T (0 = all cores)]\n"
+      "                [--top N] [--csv] [--seed S]\n"
+      "                [--trace FILE.json] [--metrics FILE.json|.csv]\n"
+      "  ecensus stats --graph FILE (--query SQL | --query-file FILE)\n"
+      "                [query options] (runs the query, prints metric tables)\n"
       "  ecensus update --graph FILE --updates FILE\n"
       "                 (--query SQL | --query-file FILE)\n"
-      "                 [--batch-size N] [--top N] [--csv] [--seed S]\n";
+      "                 [--batch-size N] [--top N] [--csv] [--seed S]\n"
+      "                 [--trace FILE.json] [--metrics FILE.json|.csv]\n";
   return 2;
+}
+
+/// --trace / --metrics export destinations. Requesting either turns the
+/// instrumentation on for the whole run.
+struct ObsExport {
+  std::string trace_path;
+  std::string metrics_path;
+
+  bool requested() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+ObsExport ObsFromArgs(const Args& args) {
+  ObsExport o;
+  o.trace_path = args.Get("trace", "");
+  o.metrics_path = args.Get("metrics", "");
+  if (o.requested()) obs::SetEnabled(true);
+  return o;
+}
+
+/// Writes the Chrome trace and/or the metrics dump (JSON, or CSV when the
+/// path ends in .csv). Returns non-zero if an output file cannot be opened.
+int WriteObsExports(const ObsExport& o) {
+  if (!o.trace_path.empty()) {
+    std::ofstream out(o.trace_path);
+    if (!out) {
+      std::cerr << "cannot open trace output " << o.trace_path << "\n";
+      return 1;
+    }
+    obs::Tracer::Global().WriteChromeTrace(out);
+    std::cerr << "trace: " << o.trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!o.metrics_path.empty()) {
+    std::ofstream out(o.metrics_path);
+    if (!out) {
+      std::cerr << "cannot open metrics output " << o.metrics_path << "\n";
+      return 1;
+    }
+    obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+    if (EndsWith(o.metrics_path, ".csv")) {
+      snap.WriteCsv(out);
+    } else {
+      snap.WriteJson(out);
+    }
+    std::cerr << "metrics: " << o.metrics_path << "\n";
+  }
+  return 0;
+}
+
+/// Per-aggregate census phase stats, one CSV row per aggregate (timings,
+/// threads, peak neighborhood). Written to stderr so stdout stays a pure
+/// result table — byte-identical across thread counts and repeat runs.
+void WriteStatsCsv(const std::vector<CensusStats>& stats, std::ostream& os) {
+  if (stats.empty()) return;
+  os << "aggregate,num_matches,match_seconds,index_seconds,census_seconds,"
+        "threads_used,peak_neighborhood\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const CensusStats& s = stats[i];
+    os << i << "," << s.num_matches << "," << s.match_seconds << ","
+       << s.index_seconds << "," << s.census_seconds << "," << s.threads_used
+       << "," << s.peak_neighborhood << "\n";
+  }
 }
 
 /// Reads --query inline text or --query-file contents; empty on error.
@@ -223,7 +294,39 @@ int RunInfo(const Args& args) {
   return 0;
 }
 
-int RunQuery(const Args& args) {
+/// Prints the metrics snapshot as aligned text tables (counters, gauges,
+/// histograms with approximate percentiles) — the `ecensus stats` view.
+void PrintMetricsTables(const obs::MetricsSnapshot& snap, std::ostream& os) {
+  if (snap.empty()) {
+    os << "no metrics recorded\n";
+    return;
+  }
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TablePrinter table({"metric", "kind", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      table.AddRow({name, "counter", std::to_string(value)});
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      table.AddRow({name, "gauge(max)", std::to_string(value)});
+    }
+    table.PrintText(os);
+  }
+  if (!snap.histograms.empty()) {
+    os << "\n";
+    TablePrinter table(
+        {"histogram", "count", "mean", "p50<=", "p99<=", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      table.AddRow({name, std::to_string(h.count),
+                    TablePrinter::FormatDouble(h.Mean(), 2),
+                    std::to_string(h.ApproxPercentile(0.50)),
+                    std::to_string(h.ApproxPercentile(0.99)),
+                    std::to_string(h.max)});
+    }
+    table.PrintText(os);
+  }
+}
+
+int RunQuery(const Args& args, bool stats_mode) {
   auto graph = LoadGraph(args.Get("graph", ""));
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
@@ -231,6 +334,9 @@ int RunQuery(const Args& args) {
   }
   std::string query = ReadQueryArg(args);
   if (query.empty()) return 2;
+
+  ObsExport obs_export = ObsFromArgs(args);
+  if (stats_mode) obs::SetEnabled(true);
 
   QueryEngine engine(*graph);
   QueryEngine::Options options;
@@ -255,6 +361,13 @@ int RunQuery(const Args& args) {
     }
     options.census.algorithm = it->second;
   }
+  std::string matcher = ToLower(args.Get("matcher", "cn"));
+  if (matcher == "gql") {
+    options.census.use_gql_matcher = true;
+  } else if (matcher != "cn") {
+    std::cerr << "unknown --matcher " << matcher << " (expected cn or gql)\n";
+    return 2;
+  }
   auto result = engine.Execute(query, options);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -263,8 +376,13 @@ int RunQuery(const Args& args) {
   if (args.Has("top") && result->NumColumns() >= 2) {
     result->SortByColumnDesc(result->NumColumns() - 1);
   }
-  if (args.Has("csv")) {
+  if (stats_mode) {
+    // Result rows are elided: the subcommand's product is the metric view.
+    std::cout << "query returned " << result->NumRows() << " rows\n\n";
+    PrintMetricsTables(obs::Registry::Global().Snapshot(), std::cout);
+  } else if (args.Has("csv")) {
     result->WriteCsv(std::cout);
+    WriteStatsCsv(engine.last_stats(), std::cerr);
   } else {
     std::size_t limit = args.Has("top")
                             ? static_cast<std::size_t>(args.GetInt("top", 20))
@@ -275,10 +393,11 @@ int RunQuery(const Args& args) {
       std::cout << "aggregate " << i << ": threads=" << s.threads_used
                 << " matches=" << s.num_matches << " match=" << s.match_seconds
                 << "s index=" << s.index_seconds
-                << "s census=" << s.census_seconds << "s\n";
+                << "s census=" << s.census_seconds
+                << "s peak_neighborhood=" << s.peak_neighborhood << "\n";
     }
   }
-  return 0;
+  return WriteObsExports(obs_export);
 }
 
 int RunUpdate(const Args& args) {
@@ -289,6 +408,7 @@ int RunUpdate(const Args& args) {
   }
   std::string query = ReadQueryArg(args);
   if (query.empty()) return 2;
+  ObsExport obs_export = ObsFromArgs(args);
   std::string updates_path = args.Get("updates", "");
   if (updates_path.empty()) {
     std::cerr << "update: --updates is required\n";
@@ -361,7 +481,7 @@ int RunUpdate(const Args& args) {
                 << " updates/sec (" << total.seconds << "s total)\n";
     }
   }
-  return 0;
+  return WriteObsExports(obs_export);
 }
 
 }  // namespace
@@ -372,7 +492,8 @@ int main(int argc, char** argv) {
   Args args(argc, argv, 2);
   if (command == "generate") return RunGenerate(args);
   if (command == "info") return RunInfo(args);
-  if (command == "query") return RunQuery(args);
+  if (command == "query") return RunQuery(args, /*stats_mode=*/false);
+  if (command == "stats") return RunQuery(args, /*stats_mode=*/true);
   if (command == "update") return RunUpdate(args);
   return Usage();
 }
