@@ -216,6 +216,34 @@ void BM_ObsOverheadNdBas(benchmark::State& state) {
 BENCHMARK(BM_ObsOverheadNdBas)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Governor overhead on the densest checkpoint path (ND-BAS k=2 checkpoints
+// per focal node and per matcher search-tree node). Arg(0) = no governor
+// (one pointer test per checkpoint; the acceptance bar is <=1% vs the seed
+// ND-BAS numbers), Arg(1) = unlimited governor (relaxed fetch_add per
+// checkpoint), Arg(2) = far deadline + large budget (adds the steady-clock
+// poll and the budget charges — the full governed price).
+void BM_GovernorOverhead(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  Pattern pattern = MakeTriangle(true);
+  auto focal = AllNodes(graph);
+  CensusOptions options;
+  options.algorithm = CensusAlgorithm::kNdBas;
+  options.k = 2;
+  for (auto _ : state) {
+    Governor governor;
+    if (state.range(0) >= 1) options.governor = &governor;
+    if (state.range(0) >= 2) {
+      governor.SetDeadline(Deadline::AfterMillis(3'600'000));
+      governor.SetMemoryLimitBytes(1ull << 40);
+    }
+    auto result = RunCensus(graph, pattern, focal, options);
+    benchmark::DoNotOptimize(result->stats.num_matches);
+    options.governor = nullptr;
+  }
+}
+BENCHMARK(BM_GovernorOverhead)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace egocensus
 

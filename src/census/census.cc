@@ -1,9 +1,11 @@
 #include "census/census.h"
 
+#include <cmath>
 #include <numeric>
 #include <optional>
 #include <string>
 
+#include "census/approx.h"
 #include "census/engines.h"
 #include "census/pmi.h"
 #include "match/cn_matcher.h"
@@ -33,6 +35,18 @@ const char* CensusAlgorithmName(CensusAlgorithm algorithm) {
   return "?";
 }
 
+const char* FocalStateName(FocalState state) {
+  switch (state) {
+    case FocalState::kPending:
+      return "pending";
+    case FocalState::kComplete:
+      return "complete";
+    case FocalState::kApprox:
+      return "approx";
+  }
+  return "?";
+}
+
 std::vector<NodeId> AllNodes(const Graph& graph) {
   std::vector<NodeId> nodes(graph.NumNodes());
   std::iota(nodes.begin(), nodes.end(), 0u);
@@ -41,17 +55,40 @@ std::vector<NodeId> AllNodes(const Graph& graph) {
 
 namespace internal {
 
-MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats) {
+void InitFocalState(const CensusContext& ctx, CensusResult* result) {
+  result->focal_state.assign(ctx.graph->NumNodes(), FocalState::kPending);
+}
+
+void MarkAllFocal(const CensusContext& ctx, CensusResult* result,
+                  FocalState state) {
+  for (NodeId n : ctx.focal) result->focal_state[n] = state;
+}
+
+void FinishExecStatus(const CensusContext& ctx, const char* engine,
+                      CensusResult* result) {
+  Governor* gov = ctx.governor();
+  if (gov == nullptr) return;
+  result->exec_status = gov->ToStatus(engine);
+}
+
+MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
+                          bool* interrupted) {
   EGO_SPAN("census/match");
   Timer timer;
   MatchSet matches(ctx.pattern->NumNodes());
+  MatchOptions match_options;
+  match_options.governor = ctx.governor();
+  bool was_interrupted = false;
   if (ctx.options->use_gql_matcher) {
     GqlMatcher matcher(ctx.options->profile_index);
-    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern, match_options);
+    was_interrupted = matcher.interrupted();
   } else {
     CnMatcher matcher(ctx.options->profile_index);
-    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern);
+    matches = matcher.FindMatches(*ctx.graph, *ctx.pattern, match_options);
+    was_interrupted = matcher.interrupted();
   }
+  if (interrupted != nullptr) *interrupted = was_interrupted;
   stats->match_seconds = timer.ElapsedSeconds();
   stats->num_matches = matches.size();
   return matches;
@@ -102,6 +139,42 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
   EGO_SPAN("census/run", focal.size());
   auto finish = [&](CensusResult result) -> Result<CensusResult> {
     result.stats.threads_used = num_threads;
+    if (options.governor != nullptr) {
+      EGO_HIST_RECORD("exec/checkpoints_per_census",
+                      options.governor->checkpoints());
+    }
+    // Graceful degradation: a deadline/budget stop (not an explicit cancel
+    // — the user asked out) re-covers the unfinished focal nodes with the
+    // sampling-based approximate census so the result has estimates
+    // everywhere instead of holes. Completed nodes keep their exact counts;
+    // exec_status still reports the stop so callers know what happened.
+    if (!result.exec_status.ok() &&
+        result.exec_status.code() != StatusCode::kCancelled &&
+        options.degrade_to_approx) {
+      std::vector<NodeId> pending;
+      for (NodeId n : focal) {
+        if (result.focal_state[n] != FocalState::kComplete) pending.push_back(n);
+      }
+      if (!pending.empty()) {
+        ApproximateCensusOptions approx_options;
+        approx_options.k = options.k;
+        approx_options.subpattern = options.subpattern;
+        approx_options.sample_rate = options.degrade_sample_rate;
+        approx_options.seed = options.seed;
+        auto approx =
+            RunApproximateCensus(graph, pattern, pending, approx_options);
+        if (approx.ok()) {
+          for (NodeId n : pending) {
+            result.counts[n] = static_cast<std::uint64_t>(
+                std::llround(approx->estimates[n]));
+            result.focal_state[n] = FocalState::kApprox;
+          }
+          // Stats now cover both passes (exact prefix + degraded tail).
+          result.stats.Merge(approx->stats);
+          EGO_COUNTER_ADD("exec/degraded_focal", pending.size());
+        }
+      }
+    }
     if (obs::Enabled()) {
       // Route the per-census totals through the registry under
       // census/<algorithm>/ so repeated censuses accumulate and the

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/governor.h"
 #include "graph/distance_index.h"
 #include "graph/graph.h"
 #include "graph/profile_index.h"
@@ -97,7 +98,38 @@ struct CensusOptions {
   /// profile computation across repeated censuses on the same graph; the
   /// QueryEngine caches and supplies one automatically).
   const ProfileIndex* profile_index = nullptr;
+
+  // ---- Resource governance (docs/ROBUSTNESS.md) ----
+
+  /// Optional resource governor (deadline / memory budget / cancel token).
+  /// When set, the matcher, the counting engines and the worker pool
+  /// checkpoint cooperatively; when the governor stops, RunCensus returns
+  /// the partial CensusResult built so far with per-focal completion state
+  /// and a non-OK exec_status. Null = ungoverned (the historical behavior;
+  /// one pointer test per checkpoint).
+  Governor* governor = nullptr;
+
+  /// On a deadline/budget stop (not an explicit cancel), re-cover the focal
+  /// nodes the exact engine did not finish with the sampling-based
+  /// approximate census (src/census/approx.*): their counts become
+  /// estimates and their state kApprox, so the query degrades instead of
+  /// leaving holes. The degraded pass is ungoverned but cheap: its cost is
+  /// sample_rate-proportional.
+  bool degrade_to_approx = false;
+
+  /// Match-sampling rate for the degraded pass.
+  double degrade_sample_rate = 0.1;
 };
+
+/// Completion state of one focal node's count in a (possibly interrupted)
+/// census. Ungoverned and uninterrupted runs mark every focal kComplete.
+enum class FocalState : std::uint8_t {
+  kPending = 0,   // not finished: count is a lower bound (possibly 0)
+  kComplete = 1,  // exact: bit-identical to an uninterrupted run
+  kApprox = 2,    // degraded: sampling-based estimate
+};
+
+const char* FocalStateName(FocalState state);
 
 struct CensusStats {
   std::uint64_t num_matches = 0;     // |M| found by the matcher
@@ -145,6 +177,21 @@ struct CensusResult {
   /// sized NumNodes, zero for non-focal nodes.
   std::vector<std::uint64_t> counts;
   CensusStats stats;
+
+  /// Per-node completion state, sized NumNodes (non-focal nodes stay
+  /// kPending with count 0). On an uninterrupted run every focal node is
+  /// kComplete; after a governor stop, kComplete nodes' counts are still
+  /// bit-identical to an uninterrupted run, kPending nodes' counts are
+  /// lower bounds, kApprox nodes carry degraded estimates.
+  std::vector<FocalState> focal_state;
+
+  /// OK for a complete census; kDeadlineExceeded / kResourceExhausted /
+  /// kCancelled when a governor stopped it early (counts/focal_state then
+  /// hold the partial result — RunCensus returns the partial result as a
+  /// value, not as an error, so callers keep what was computed).
+  Status exec_status;
+
+  bool complete() const { return exec_status.ok(); }
 };
 
 /// Runs an ego-centric pattern census: for every focal node n, counts the

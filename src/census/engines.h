@@ -27,7 +27,25 @@ struct CensusContext {
   /// use it must keep per-worker scratch (sized pool->NumWorkers()) and
   /// merge order-insensitively so counts are identical to the serial run.
   ThreadPool* pool = nullptr;
+
+  /// Resource governor from CensusOptions; null = ungoverned.
+  Governor* governor() const { return options->governor; }
 };
+
+/// Sizes result->focal_state (all kPending) alongside counts. Every engine
+/// calls this first; focal nodes are marked kComplete as (or after) they
+/// finish.
+void InitFocalState(const CensusContext& ctx, CensusResult* result);
+
+/// Marks every focal node of ctx with `state` (PT engines: completion is
+/// all-or-nothing because counts accumulate across matches/clusters).
+void MarkAllFocal(const CensusContext& ctx, CensusResult* result,
+                  FocalState state);
+
+/// Fills result->exec_status from the governor (OK when ungoverned or not
+/// stopped); `engine` names the interrupted operation in the message.
+void FinishExecStatus(const CensusContext& ctx, const char* engine,
+                      CensusResult* result);
 
 CensusResult RunNdBas(const CensusContext& ctx);
 CensusResult RunNdPvot(const CensusContext& ctx);
@@ -37,8 +55,14 @@ CensusResult RunPtBas(const CensusContext& ctx);
 /// ctx.options->algorithm).
 CensusResult RunPtOpt(const CensusContext& ctx);
 
-/// Shared: runs the CN matcher and records timing/num_matches into stats.
-MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats);
+/// Shared: runs the selected matcher (CN or GQL) under the context's
+/// governor and records timing/num_matches into stats. If the governor
+/// stopped the matcher mid-search, *interrupted (optional) is set and the
+/// returned set is the valid prefix found — engines must then skip counting
+/// (counting a partial match set would produce wrong per-focal counts, not
+/// partial ones) and report via FinishExecStatus.
+MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
+                          bool* interrupted = nullptr);
 
 }  // namespace egocensus::internal
 

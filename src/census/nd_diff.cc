@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "census/engines.h"
+#include "exec/failpoints.h"
 #include "graph/bfs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,8 +33,16 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
 
   CensusResult result;
   result.counts.assign(graph.NumNodes(), 0);
+  InitFocalState(ctx, &result);
+  Governor* const gov = ctx.governor();
 
-  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  bool match_interrupted = false;
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats, &match_interrupted);
+  if (match_interrupted) {
+    // A partial match set would undercount everywhere; keep all kPending.
+    FinishExecStatus(ctx, "ND-DIFF", &result);
+    return result;
+  }
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
 
   Timer timer;
@@ -57,6 +66,7 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
     std::unordered_set<std::uint32_t> current_set;
     std::vector<std::uint32_t> pending_epoch;
     std::uint32_t epoch = 0;
+    ScratchCharge charge;  // high-water footprint of the walk state
   };
 
   // Run the chain walk over focal indices [begin, end).
@@ -91,6 +101,18 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
     std::size_t processed = 0;
     const std::size_t total = end - begin;
     while (processed < total) {
+      // One checkpoint per focal node: a stop abandons the chain mid-walk
+      // and every unprocessed node of this slice stays kPending. The walk
+      // state (two BFS frontiers + the running match set + the epoch mask)
+      // is the engine's memory footprint, charged at its high-water mark.
+      EGO_FAILPOINT("census/focal");
+      if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) return;
+      if (!s.charge.Update(
+              gov, 3 * static_cast<std::uint64_t>(graph.NumNodes()) *
+                           sizeof(std::uint32_t) +
+                       s.current_set.size() * 2 * sizeof(std::uint64_t))) {
+        return;
+      }
       if (current == kInvalidNode) {
         while (scan < end && !pending(ctx.focal[scan])) ++scan;
         current = ctx.focal[scan];
@@ -137,6 +159,7 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
         }
       }
       result.counts[current] = current_set.size();
+      result.focal_state[current] = FocalState::kComplete;
 
       // Prefer an unprocessed focal neighbor to keep neighborhoods shared.
       NodeId next = kInvalidNode;
@@ -169,13 +192,14 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
     std::vector<DiffScratch> scratch(workers);
     std::vector<CensusStats> stats(workers);
     ctx.pool->ParallelFor(
-        0, ctx.focal.size(), grain,
+        0, ctx.focal.size(), grain, gov,
         [&](std::size_t begin, std::size_t end, unsigned worker) {
           process_range(begin, end, scratch[worker], stats[worker]);
         });
     for (const auto& s : stats) result.stats.Merge(s);
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
+  FinishExecStatus(ctx, "ND-DIFF", &result);
   return result;
 }
 

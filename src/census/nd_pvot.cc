@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "census/engines.h"
+#include "exec/failpoints.h"
 #include "graph/bfs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,8 +32,16 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
 
   CensusResult result;
   result.counts.assign(graph.NumNodes(), 0);
+  InitFocalState(ctx, &result);
+  Governor* const gov = ctx.governor();
 
-  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  bool match_interrupted = false;
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats, &match_interrupted);
+  if (match_interrupted) {
+    // A partial match set would undercount everywhere; keep all kPending.
+    FinishExecStatus(ctx, "ND-PVOT", &result);
+    return result;
+  }
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
 
   // Pivot: anchor pattern node minimizing the maximum pattern distance to
@@ -103,23 +112,36 @@ CensusResult RunNdPvot(const CensusContext& ctx) {
       }
     }
     result.counts[n] = count;
+    result.focal_state[n] = FocalState::kComplete;
+  };
+  // One checkpoint per focal node; a stop leaves the rest kPending. The BFS
+  // workspace is the per-worker footprint, charged at its high-water mark.
+  auto run_range = [&](std::size_t begin, std::size_t end, BfsWorkspace& bfs,
+                       CensusStats& stats, ScratchCharge& charge) {
+    for (std::size_t i = begin; i < end; ++i) {
+      EGO_FAILPOINT("census/focal");
+      if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) return;
+      if (!charge.Update(gov, graph.NumNodes() * sizeof(NodeId))) return;
+      process(ctx.focal[i], bfs, stats);
+    }
   };
   if (ctx.pool == nullptr) {
     BfsWorkspace bfs;
-    for (NodeId n : ctx.focal) process(n, bfs, result.stats);
+    ScratchCharge charge;
+    run_range(0, ctx.focal.size(), bfs, result.stats, charge);
   } else {
     std::vector<BfsWorkspace> bfs(ctx.pool->NumWorkers());
     std::vector<CensusStats> stats(ctx.pool->NumWorkers());
+    std::vector<ScratchCharge> charges(ctx.pool->NumWorkers());
     ctx.pool->ParallelFor(
-        0, ctx.focal.size(), /*grain=*/8,
+        0, ctx.focal.size(), /*grain=*/8, gov,
         [&](std::size_t begin, std::size_t end, unsigned worker) {
-          for (std::size_t i = begin; i < end; ++i) {
-            process(ctx.focal[i], bfs[worker], stats[worker]);
-          }
+          run_range(begin, end, bfs[worker], stats[worker], charges[worker]);
         });
     for (const auto& s : stats) result.stats.Merge(s);
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
+  FinishExecStatus(ctx, "ND-PVOT", &result);
   return result;
 }
 

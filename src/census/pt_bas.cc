@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "census/engines.h"
+#include "exec/failpoints.h"
 #include "graph/bfs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,8 +27,15 @@ CensusResult RunPtBas(const CensusContext& ctx) {
 
   CensusResult result;
   result.counts.assign(graph.NumNodes(), 0);
+  InitFocalState(ctx, &result);
+  Governor* const gov = ctx.governor();
 
-  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  bool match_interrupted = false;
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats, &match_interrupted);
+  if (match_interrupted) {
+    FinishExecStatus(ctx, "PT-BAS", &result);
+    return result;
+  }
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
   const int t = anchors.NumAnchors();
 
@@ -63,11 +71,29 @@ CensusResult RunPtBas(const CensusContext& ctx) {
     }
   };
 
+  // Counts accumulate contributions across matches, so completion is
+  // all-or-nothing: an interrupted run leaves every focal node kPending and
+  // its counts are lower bounds (matches processed so far), never wrong.
+  auto run_range = [&](std::size_t begin, std::size_t end,
+                       std::vector<BfsWorkspace>& bfs, std::uint64_t* counts,
+                       CensusStats& stats, ScratchCharge& charge) {
+    for (std::size_t m = begin; m < end; ++m) {
+      EGO_FAILPOINT("census/cluster");
+      if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) return;
+      // t BFS workspaces + the private count vector.
+      if (!charge.Update(gov, static_cast<std::uint64_t>(graph.NumNodes()) *
+                                  (t * sizeof(NodeId) +
+                                   sizeof(std::uint64_t)))) {
+        return;
+      }
+      process(m, bfs, counts, stats);
+    }
+  };
   if (ctx.pool == nullptr) {
     std::vector<BfsWorkspace> bfs(t);
-    for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
-      process(m, bfs, result.counts.data(), result.stats);
-    }
+    ScratchCharge charge;
+    run_range(0, anchors.NumMatches(), bfs, result.counts.data(),
+              result.stats, charge);
   } else {
     const unsigned workers = ctx.pool->NumWorkers();
     std::vector<std::vector<BfsWorkspace>> bfs(workers);
@@ -75,14 +101,15 @@ CensusResult RunPtBas(const CensusContext& ctx) {
     std::vector<std::vector<std::uint64_t>> counts(
         workers, std::vector<std::uint64_t>(graph.NumNodes(), 0));
     std::vector<CensusStats> stats(workers);
+    std::vector<ScratchCharge> charges(workers);
     ctx.pool->ParallelFor(
-        0, anchors.NumMatches(), /*grain=*/4,
+        0, anchors.NumMatches(), /*grain=*/4, gov,
         [&](std::size_t begin, std::size_t end, unsigned worker) {
-          for (std::size_t m = begin; m < end; ++m) {
-            process(m, bfs[worker], counts[worker].data(), stats[worker]);
-          }
+          run_range(begin, end, bfs[worker], counts[worker].data(),
+                    stats[worker], charges[worker]);
         });
     for (unsigned w = 0; w < workers; ++w) {
+      EGO_FAILPOINT("census/merge");
       for (NodeId n = 0; n < graph.NumNodes(); ++n) {
         result.counts[n] += counts[w][n];
       }
@@ -90,6 +117,10 @@ CensusResult RunPtBas(const CensusContext& ctx) {
     }
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
+  if (gov == nullptr || !gov->stopped()) {
+    MarkAllFocal(ctx, &result, FocalState::kComplete);
+  }
+  FinishExecStatus(ctx, "PT-BAS", &result);
   return result;
 }
 

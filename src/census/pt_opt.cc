@@ -4,6 +4,7 @@
 
 #include "census/engines.h"
 #include "census/pt_common.h"
+#include "exec/failpoints.h"
 #include "census/pt_expander.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,10 +36,20 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
 
   CensusResult result;
   result.counts.assign(graph.NumNodes(), 0);
+  InitFocalState(ctx, &result);
+  Governor* const gov = ctx.governor();
 
-  MatchSet matches = FindMatchesTimed(ctx, &result.stats);
+  bool match_interrupted = false;
+  MatchSet matches = FindMatchesTimed(ctx, &result.stats, &match_interrupted);
+  if (match_interrupted) {
+    FinishExecStatus(ctx, "PT-OPT", &result);
+    return result;
+  }
   MatchAnchors anchors(&matches, ctx.anchor_nodes);
-  if (anchors.NumMatches() == 0) return result;
+  if (anchors.NumMatches() == 0) {
+    MarkAllFocal(ctx, &result, FocalState::kComplete);
+    return result;
+  }
 
   PtParams params = PtParamsFromCensusOptions(options);
   PtSetup setup = BuildPtSetup(graph, pattern, anchors, params);
@@ -65,6 +76,7 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
     std::vector<std::vector<NodeId>> anchor_sets;
     std::vector<NodeId> buffer;
     CensusStats stats;
+    ScratchCharge charge;  // high-water footprint of the expander state
   };
   // Processes one cluster, accumulating into `counts` (the shared result
   // vector when serial, a per-worker private vector when parallel).
@@ -98,12 +110,30 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
     }
   };
 
+  // Counts accumulate contributions across clusters, so completion is
+  // all-or-nothing (like PT-BAS): an interrupted run leaves every focal
+  // node kPending with lower-bound counts.
+  auto run_range = [&](std::size_t begin, std::size_t end, Scratch& s,
+                       std::uint64_t* counts) {
+    for (std::size_t c = begin; c < end; ++c) {
+      EGO_FAILPOINT("census/cluster");
+      if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) return;
+      // Simultaneous-expansion distance table: per-visited-node rows over
+      // the cluster's anchors, plus the private count vector.
+      if (!s.charge.Update(
+              gov, static_cast<std::uint64_t>(graph.NumNodes()) *
+                       sizeof(std::uint64_t) +
+                   s.expander->NumVisited() *
+                       setup.clusters[c].size() * sizeof(std::uint32_t))) {
+        return;
+      }
+      process(setup.clusters[c], s, counts);
+    }
+  };
   if (ctx.pool == nullptr) {
     Scratch scratch;
     scratch.expander.emplace(graph, expander_options);
-    for (const auto& cluster : setup.clusters) {
-      process(cluster, scratch, result.counts.data());
-    }
+    run_range(0, setup.clusters.size(), scratch, result.counts.data());
     scratch.stats.nodes_expanded = scratch.expander->stats().pops;
     scratch.stats.reinsertions = scratch.expander->stats().reinsertions;
     result.stats.Merge(scratch.stats);
@@ -114,14 +144,12 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
     std::vector<std::vector<std::uint64_t>> counts(
         workers, std::vector<std::uint64_t>(graph.NumNodes(), 0));
     ctx.pool->ParallelFor(
-        0, setup.clusters.size(), /*grain=*/1,
+        0, setup.clusters.size(), /*grain=*/1, gov,
         [&](std::size_t begin, std::size_t end, unsigned worker) {
-          for (std::size_t c = begin; c < end; ++c) {
-            process(setup.clusters[c], scratch[worker],
-                    counts[worker].data());
-          }
+          run_range(begin, end, scratch[worker], counts[worker].data());
         });
     for (unsigned w = 0; w < workers; ++w) {
+      EGO_FAILPOINT("census/merge");
       scratch[w].stats.nodes_expanded = scratch[w].expander->stats().pops;
       scratch[w].stats.reinsertions = scratch[w].expander->stats().reinsertions;
       for (NodeId n = 0; n < graph.NumNodes(); ++n) {
@@ -131,6 +159,10 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
     }
   }
   result.stats.census_seconds = timer.ElapsedSeconds();
+  if (gov == nullptr || !gov->stopped()) {
+    MarkAllFocal(ctx, &result, FocalState::kComplete);
+  }
+  FinishExecStatus(ctx, "PT-OPT", &result);
   return result;
 }
 

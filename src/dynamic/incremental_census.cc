@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "census/census.h"
+#include "exec/failpoints.h"
 #include "match/cn_matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -427,6 +428,16 @@ Result<MaintenanceStats> IncrementalCensus::ApplyBatch(
   };
 
   for (const GraphUpdate& update : updates) {
+    // One checkpoint per update: a governor stop aborts the batch between
+    // updates, so the applied prefix stays exact (same contract as an
+    // invalid-update abort). Listeners see nothing for an aborted batch.
+    EGO_FAILPOINT("dynamic/update");
+    if (options_.governor != nullptr &&
+        options_.governor->Checkpoint() != StopReason::kNone) {
+      return options_.governor->ToStatus(
+          "IncrementalCensus::ApplyBatch (applied prefix updates stay "
+          "applied)");
+    }
     // Per-update latency: sampled only when observability is on so the
     // default path never touches the clock per update.
     const std::uint64_t update_begin_us =

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dynamic/dynamic_graph.h"
+#include "exec/governor.h"
 #include "pattern/pattern.h"
 #include "util/status.h"
 
@@ -73,6 +74,12 @@ class IncrementalCensus {
     /// base edge count (checked at batch boundaries).
     bool auto_compact = true;
     double compact_threshold = 0.25;
+    /// Optional resource governor: ApplyBatch checkpoints once per update
+    /// and stops between updates when the governor says stop, returning the
+    /// governor's status. Already-applied prefix updates stay applied (the
+    /// documented batch-abort semantics) and the maintained counts remain
+    /// exact for the applied prefix. Null = ungoverned.
+    Governor* governor = nullptr;
   };
 
   /// Change-listener: receives the aggregated count deltas of every

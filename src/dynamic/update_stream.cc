@@ -35,6 +35,18 @@ Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
     std::string op;
     if (!(tokens >> op) || op[0] == '#' || op[0] == '%') continue;
 
+    // After a valid op and its operands the rest of the line must be empty
+    // or an inline comment — a stray token is a malformed stream, not
+    // something to skip silently.
+    auto end_of_line = [&]() -> Status {
+      std::string extra;
+      if ((tokens >> extra) && extra[0] != '#' && extra[0] != '%') {
+        return LineError(line_no,
+                         "trailing token '" + extra + "' after '" + op + "'");
+      }
+      return Status::Ok();
+    };
+
     auto parse_pair = [&](GraphUpdate (*make)(NodeId, NodeId))
         -> Result<GraphUpdate> {
       std::string a, b;
@@ -48,18 +60,21 @@ Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
     if (op == "ae" || op == "+") {
       auto update = parse_pair(&GraphUpdate::AddEdge);
       if (!update.ok()) return update.status();
+      if (Status s = end_of_line(); !s.ok()) return s;
       updates.push_back(*update);
     } else if (op == "re" || op == "-") {
       auto update = parse_pair(&GraphUpdate::RemoveEdge);
       if (!update.ok()) return update.status();
+      if (Status s = end_of_line(); !s.ok()) return s;
       updates.push_back(*update);
     } else if (op == "an") {
       std::string token;
       NodeId label = 0;
-      if (tokens >> token) {
+      if ((tokens >> token) && token[0] != '#' && token[0] != '%') {
         if (!ParseNodeId(token, &label)) {
           return LineError(line_no, "bad label '" + token + "'");
         }
+        if (Status s = end_of_line(); !s.ok()) return s;
       }
       updates.push_back(GraphUpdate::AddNode(static_cast<Label>(label)));
     } else if (op == "rn") {
@@ -68,6 +83,7 @@ Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
       if (!(tokens >> token) || !ParseNodeId(token, &n)) {
         return LineError(line_no, "expected a node id after 'rn'");
       }
+      if (Status s = end_of_line(); !s.ok()) return s;
       updates.push_back(GraphUpdate::RemoveNode(n));
     } else {
       return LineError(line_no, "unknown op '" + op + "'");

@@ -1,0 +1,88 @@
+#include "exec/governor.h"
+
+#include "exec/failpoints.h"
+#include "obs/metrics.h"
+
+namespace egocensus {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StopReason::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+StopReason Governor::Checkpoint() {
+  EGO_FAILPOINT("exec/checkpoint");
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  StopReason r = reason();
+  if (r != StopReason::kNone) return r;
+  if (cancel_.Cancelled()) return Stop(StopReason::kCancelled);
+  // Poll the clock on every checkpoint rather than every Nth: checkpoints
+  // bracket arbitrarily slow work (a hub's k=2 extraction can take
+  // milliseconds), so decimation would delay detection unboundedly. The
+  // steady-clock read is a ~20ns vDSO call.
+  if (deadline_.Expired()) return Stop(StopReason::kDeadlineExceeded);
+  return StopReason::kNone;
+}
+
+bool Governor::ChargeMemory(std::uint64_t bytes) {
+  EGO_COUNTER_ADD("exec/budget_charged_bytes", bytes);
+  if (budget_.TryCharge(bytes)) return true;
+  Stop(StopReason::kResourceExhausted);
+  return false;
+}
+
+StopReason Governor::Stop(StopReason r) {
+  std::uint8_t expected = static_cast<std::uint8_t>(StopReason::kNone);
+  if (stop_reason_.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(r),
+          std::memory_order_relaxed, std::memory_order_relaxed)) {
+    switch (r) {
+      case StopReason::kCancelled:
+        EGO_COUNTER_ADD("exec/cancelled", 1);
+        break;
+      case StopReason::kDeadlineExceeded:
+        EGO_COUNTER_ADD("exec/deadline_exceeded", 1);
+        break;
+      case StopReason::kResourceExhausted:
+        EGO_COUNTER_ADD("exec/resource_exhausted", 1);
+        break;
+      case StopReason::kNone:
+        break;
+    }
+    return r;
+  }
+  // Lost the race: the first recorded reason wins everywhere.
+  return static_cast<StopReason>(expected);
+}
+
+Status Governor::ToStatus(std::string_view context) const {
+  std::string what;
+  switch (reason()) {
+    case StopReason::kNone:
+      return Status::Ok();
+    case StopReason::kCancelled:
+      what = std::string(context) + ": cancelled";
+      return Status::Cancelled(what);
+    case StopReason::kDeadlineExceeded:
+      what = std::string(context) + ": deadline exceeded after " +
+             std::to_string(checkpoints()) + " checkpoints";
+      return Status::DeadlineExceeded(what);
+    case StopReason::kResourceExhausted:
+      what = std::string(context) + ": memory budget exhausted (" +
+             std::to_string(budget_.charged_bytes()) + " of " +
+             std::to_string(budget_.limit_bytes()) + " bytes charged)";
+      return Status::ResourceExhausted(what);
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+}  // namespace egocensus

@@ -1,6 +1,7 @@
 #ifndef EGOCENSUS_GRAPH_IO_H_
 #define EGOCENSUS_GRAPH_IO_H_
 
+#include <istream>
 #include <ostream>
 #include <string>
 
@@ -19,7 +20,14 @@ namespace egocensus {
 Status SaveGraph(const Graph& graph, const std::string& path);
 
 /// Loads a graph written by SaveGraph. The returned graph is finalized.
+/// Malformed input fails with a ParseError naming the 1-based line number
+/// and the offending token; trailing content after the edge list is an
+/// error, never silently ignored.
 Result<Graph> LoadGraph(const std::string& path);
+
+/// Stream-based core of LoadGraph; `source` names the input in errors.
+Result<Graph> ReadGraph(std::istream& in,
+                        const std::string& source = "<stream>");
 
 /// Writes the graph in Graphviz DOT format (for visualization of small
 /// graphs / ego subgraphs). Nodes are annotated with their label when the

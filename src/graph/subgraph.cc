@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/failpoints.h"
+
 namespace egocensus {
 
 SubgraphExtractor::SubgraphExtractor(const Graph& graph)
@@ -66,6 +68,7 @@ EgoSubgraph SubgraphExtractor::ExtractKHop(NodeId n, std::uint32_t k,
 void SubgraphExtractor::ExtractKHopInto(NodeId n, std::uint32_t k,
                                         bool copy_attributes,
                                         EgoSubgraph* out) {
+  EGO_FAILPOINT("extract/khop");
   const auto& nodes = bfs1_.Run(graph_, n, k);
   ExtractInto(nodes, copy_attributes, out);
 }

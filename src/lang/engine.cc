@@ -65,6 +65,7 @@ Result<ResultTable> QueryEngine::ExecuteParsed(const Query& query,
   auto analyzed = AnalyzeQuery(query, registered_);
   if (!analyzed.ok()) return analyzed.status();
   last_stats_.clear();
+  last_exec_.clear();
   auto table = analyzed->pairwise ? ExecutePairwise(*analyzed, options)
                                   : ExecuteSingle(*analyzed, options);
   if (!table.ok()) return table;
@@ -97,6 +98,7 @@ Result<ResultTable> QueryEngine::ExecuteSingle(const AnalyzedQuery& analyzed,
 
   // Run each census aggregate.
   std::vector<std::vector<std::uint64_t>> count_columns;
+  std::vector<std::vector<FocalState>> state_columns;
   for (const auto& item : analyzed.counts) {
     CensusOptions census = options.census;
     census.k = item.spec->neighborhood.k;
@@ -119,10 +121,39 @@ Result<ResultTable> QueryEngine::ExecuteSingle(const AnalyzedQuery& analyzed,
     auto result = RunCensus(graph_, *item.pattern, focal, census);
     if (!result.ok()) return result.status();
     last_stats_.push_back(result->stats);
+    AggregateExec exec;
+    exec.status = result->exec_status;
+    for (NodeId n : focal) {
+      switch (result->focal_state[n]) {
+        case FocalState::kComplete: ++exec.complete; break;
+        case FocalState::kApprox: ++exec.approx; break;
+        case FocalState::kPending: ++exec.pending; break;
+      }
+    }
+    last_exec_.push_back(std::move(exec));
+    state_columns.push_back(std::move(result->focal_state));
     count_columns.push_back(std::move(result->counts));
   }
 
-  ResultTable table(ColumnNames(query));
+  // Interrupted aggregates get a trailing "<aggregate>.state" string column
+  // (complete / approx / pending per focal node). Trailing, not adjacent,
+  // so ORDER BY ordinals and the COUNT column layout stay stable whether or
+  // not the query ran to completion.
+  std::vector<std::string> names = ColumnNames(query);
+  std::vector<std::size_t> state_of_count;  // count idx -> interrupted or ~0
+  {
+    std::size_t count_idx = 0;
+    for (std::size_t i = 0; i < query.select.size(); ++i) {
+      if (query.select[i].kind == SelectItem::Kind::kId) continue;
+      if (last_exec_[count_idx].interrupted()) {
+        state_of_count.push_back(count_idx);
+        names.push_back(names[i] + ".state");
+      }
+      ++count_idx;
+    }
+  }
+
+  ResultTable table(std::move(names));
   for (NodeId n : focal) {
     std::vector<AttributeValue> row;
     std::size_t count_idx = 0;
@@ -134,6 +165,9 @@ Result<ResultTable> QueryEngine::ExecuteSingle(const AnalyzedQuery& analyzed,
             static_cast<std::int64_t>(count_columns[count_idx][n]));
         ++count_idx;
       }
+    }
+    for (std::size_t idx : state_of_count) {
+      row.emplace_back(std::string(FocalStateName(state_columns[idx][n])));
     }
     table.AddRow(std::move(row));
   }

@@ -47,6 +47,18 @@ class QueryEngine {
     std::uint64_t rnd_seed = 99;
   };
 
+  /// Execution outcome of one census aggregate of the last single-table
+  /// query: its exec status plus the per-focal completion tally. A governed
+  /// query that hits its deadline/budget still produces a table; this is
+  /// where callers learn it is partial and how partial.
+  struct AggregateExec {
+    Status status;  // OK, or kDeadlineExceeded/kResourceExhausted/kCancelled
+    std::uint64_t complete = 0;  // focal nodes with exact counts
+    std::uint64_t approx = 0;    // focal nodes with degraded estimates
+    std::uint64_t pending = 0;   // focal nodes with lower-bound counts
+    bool interrupted() const { return !status.ok(); }
+  };
+
   Result<ResultTable> Execute(std::string_view query_text,
                               const Options& options);
   Result<ResultTable> Execute(std::string_view query_text) {
@@ -61,6 +73,19 @@ class QueryEngine {
   /// Census statistics of the aggregates of the last single-table query, in
   /// SELECT order.
   const std::vector<CensusStats>& last_stats() const { return last_stats_; }
+
+  /// Execution outcomes of the aggregates of the last single-table query,
+  /// in SELECT order (empty for pairwise queries, which are ungoverned).
+  const std::vector<AggregateExec>& last_exec() const { return last_exec_; }
+
+  /// First non-OK aggregate exec status of the last query, or OK. The CLI
+  /// exits non-zero on this even though Execute returned a (partial) table.
+  Status last_exec_status() const {
+    for (const AggregateExec& exec : last_exec_) {
+      if (!exec.status.ok()) return exec.status;
+    }
+    return Status::Ok();
+  }
 
  private:
   Result<ResultTable> ExecuteSingle(const AnalyzedQuery& analyzed,
@@ -77,6 +102,7 @@ class QueryEngine {
   const Graph& graph_;
   std::vector<Pattern> registered_;
   std::vector<CensusStats> last_stats_;
+  std::vector<AggregateExec> last_exec_;
   std::optional<ProfileIndex> profiles_cache_;
   std::optional<CenterDistanceIndex> centers_cache_;
 };

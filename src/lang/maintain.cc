@@ -62,6 +62,7 @@ Result<MaintainSession> MaintainSession::Create(
       item.spec->count_subpattern ? item.spec->subpattern : "";
   census_options.auto_compact = options.auto_compact;
   census_options.compact_threshold = options.compact_threshold;
+  census_options.governor = options.governor;
   auto census = IncrementalCensus::Create(graph, *item.pattern,
                                           census_options, std::move(focal));
   if (!census.ok()) return census.status();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/failpoints.h"
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,10 +28,12 @@ bool SortedContains(const std::vector<NodeId>& v, NodeId x) {
 
 }  // namespace
 
-MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
+MatchSet CnMatcher::DoFindMatches(const Graph& graph,
+                                  const Pattern& pattern) {
   stats_ = MatcherStats();
   const int arity = pattern.NumNodes();
   MatchSet matches(arity);
+  Governor* const gov = governor();
 
   ProfileIndex local_profiles;
   const ProfileIndex* profiles = profiles_;
@@ -54,12 +58,24 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
       state[v].is_cand[state[v].cands[i]] = 1;
       state[v].pos[state[v].cands[i]] = i;
     }
+    // Candidate list + dense reverse maps for this pattern node.
+    if (gov != nullptr &&
+        !gov->ChargeMemory(state[v].cands.size() * sizeof(NodeId) +
+                           graph.NumNodes() *
+                               (sizeof(char) + sizeof(std::uint32_t)))) {
+      interrupted_ = true;
+      return matches;
+    }
   }
 
   const bool directed = graph.directed();
 
   // Step 2: initialize candidate neighbor sets.
   for (int v = 0; v < arity; ++v) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      interrupted_ = true;
+      return matches;
+    }
     const auto& adjacency = pattern.Neighbors(v);
     state[v].cn.resize(state[v].cands.size());
     for (std::uint32_t ci = 0; ci < state[v].cands.size(); ++ci) {
@@ -81,6 +97,14 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
         }
       }
     }
+    std::uint64_t cn_bytes = 0;
+    for (const auto& slots : state[v].cn) {
+      for (const auto& slot : slots) cn_bytes += slot.size() * sizeof(NodeId);
+    }
+    if (gov != nullptr && !gov->ChargeMemory(cn_bytes)) {
+      interrupted_ = true;
+      return matches;
+    }
   }
 
   // The candidate-neighbor cardinalities right after initialization are the
@@ -98,6 +122,10 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
   // Step 3: simultaneous pruning to a fixed point.
   bool changed = true;
   while (changed) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      interrupted_ = true;
+      return matches;
+    }
     changed = false;
     ++stats_.prune_passes;
     // Remove candidates with an empty CN slot.
@@ -172,12 +200,27 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
   std::vector<NodeId> assignment(arity, kInvalidNode);
   std::vector<std::uint32_t> cand_index(arity, 0);
 
-  // Recursive lambda over search positions.
+  // Recursive lambda over search positions. `stop` unwinds the whole
+  // search tree once the governor says stop: matches found so far stay
+  // valid, nothing new is expanded.
+  bool stop = false;
   auto extend = [&](auto&& self, int i) -> void {
+    if (stop) return;
     if (i == arity) {
       if (MatchSatisfiesConstraints(graph, pattern, assignment)) {
         matches.Add(assignment);
+        if (gov != nullptr &&
+            !gov->ChargeMemory(static_cast<std::uint64_t>(arity) *
+                               sizeof(NodeId))) {
+          stop = true;
+        }
       }
+      return;
+    }
+    // One checkpoint per search-tree node expanded.
+    EGO_FAILPOINT("match/extend");
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      stop = true;
       return;
     }
     ++stats_.partial_matches;
@@ -229,6 +272,7 @@ MatchSet CnMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     }
   };
   extend(extend, 0);
+  if (stop) interrupted_ = true;
 
   if (obs::Enabled()) {
     obs::CounterAdd("match/cn/initial_candidates", stats_.initial_candidates);

@@ -28,7 +28,8 @@ class CnMatcher : public Matcher {
   CnMatcher() = default;
   explicit CnMatcher(const ProfileIndex* profiles) : profiles_(profiles) {}
 
-  MatchSet FindMatches(const Graph& graph, const Pattern& pattern) override;
+ protected:
+  MatchSet DoFindMatches(const Graph& graph, const Pattern& pattern) override;
 
  private:
   const ProfileIndex* profiles_ = nullptr;

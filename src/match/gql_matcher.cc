@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/failpoints.h"
+
 #include "obs/metrics.h"
 
 namespace egocensus {
@@ -49,10 +51,12 @@ class BipartiteMatcher {
 
 }  // namespace
 
-MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
+MatchSet GqlMatcher::DoFindMatches(const Graph& graph,
+                                   const Pattern& pattern) {
   stats_ = MatcherStats();
   const int arity = pattern.NumNodes();
   MatchSet matches(arity);
+  Governor* const gov = governor();
 
   ProfileIndex local_profiles;
   const ProfileIndex* profiles = profiles_;
@@ -70,6 +74,12 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     if (cands[v].empty()) return matches;
     is_cand[v].assign(graph.NumNodes(), 0);
     for (NodeId n : cands[v]) is_cand[v][n] = 1;
+    if (gov != nullptr &&
+        !gov->ChargeMemory(cands[v].size() * sizeof(NodeId) +
+                           graph.NumNodes() * sizeof(char))) {
+      interrupted_ = true;
+      return matches;
+    }
   }
 
   const bool directed = graph.directed();
@@ -79,6 +89,10 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
   BipartiteMatcher bipartite;
   bool changed = true;
   while (changed) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      interrupted_ = true;
+      return matches;
+    }
     changed = false;
     ++stats_.prune_passes;
     for (int v = 0; v < arity; ++v) {
@@ -133,11 +147,26 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
   }
 
   std::vector<NodeId> assignment(arity, kInvalidNode);
+  // `stop` unwinds the search tree once the governor says stop; matches
+  // found so far stay valid.
+  bool stop = false;
   auto extend = [&](auto&& self, int i) -> void {
+    if (stop) return;
     if (i == arity) {
       if (MatchSatisfiesConstraints(graph, pattern, assignment)) {
         matches.Add(assignment);
+        if (gov != nullptr &&
+            !gov->ChargeMemory(static_cast<std::uint64_t>(arity) *
+                               sizeof(NodeId))) {
+          stop = true;
+        }
       }
+      return;
+    }
+    // One checkpoint per search-tree node expanded.
+    EGO_FAILPOINT("match/extend");
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      stop = true;
       return;
     }
     ++stats_.partial_matches;
@@ -187,6 +216,7 @@ MatchSet GqlMatcher::FindMatches(const Graph& graph, const Pattern& pattern) {
     }
   };
   extend(extend, 0);
+  if (stop) interrupted_ = true;
 
   if (obs::Enabled()) {
     obs::CounterAdd("match/gql/initial_candidates",

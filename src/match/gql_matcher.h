@@ -22,7 +22,8 @@ class GqlMatcher : public Matcher {
   GqlMatcher() = default;
   explicit GqlMatcher(const ProfileIndex* profiles) : profiles_(profiles) {}
 
-  MatchSet FindMatches(const Graph& graph, const Pattern& pattern) override;
+ protected:
+  MatchSet DoFindMatches(const Graph& graph, const Pattern& pattern) override;
 
  private:
   const ProfileIndex* profiles_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/governor.h"
 #include "graph/graph.h"
 #include "graph/profile_index.h"
 #include "match/match_set.h"
@@ -23,19 +24,52 @@ struct MatcherStats {
   std::uint64_t partial_matches = 0;      // partial assignments expanded
 };
 
+/// Per-call execution options for a matcher run.
+struct MatchOptions {
+  /// Optional resource governor. When set, the matcher checkpoints once per
+  /// search-tree node expanded (and once per refinement pass) and charges
+  /// match-set growth to the budget; when the governor stops, the matcher
+  /// returns the matches found so far and interrupted() is true. Null =
+  /// ungoverned (one pointer test per checkpoint).
+  Governor* governor = nullptr;
+};
+
 /// Interface of a subgraph pattern matcher: returns all matches of
 /// `pattern` in `graph` (distinct subgraphs; symmetry-broken).
+///
+/// Template method: FindMatches is the non-virtual public entry (so the
+/// historical two-argument call sites compile unchanged and option handling
+/// lives in one place); implementations override DoFindMatches.
 class Matcher {
  public:
   virtual ~Matcher() = default;
 
-  /// Finds all matches. `pattern` must be prepared.
-  virtual MatchSet FindMatches(const Graph& graph, const Pattern& pattern) = 0;
+  /// Finds all matches. `pattern` must be prepared. When
+  /// options.governor stops mid-search the returned set is the valid
+  /// prefix found so far and interrupted() reports true.
+  MatchSet FindMatches(const Graph& graph, const Pattern& pattern,
+                       const MatchOptions& options = {}) {
+    options_ = options;
+    interrupted_ = false;
+    return DoFindMatches(graph, pattern);
+  }
 
   const MatcherStats& stats() const { return stats_; }
 
+  /// True iff the last FindMatches call was stopped by its governor before
+  /// exhausting the search space (its result is a subset of the full match
+  /// set, every element still a genuine match).
+  bool interrupted() const { return interrupted_; }
+
  protected:
+  virtual MatchSet DoFindMatches(const Graph& graph,
+                                 const Pattern& pattern) = 0;
+
+  Governor* governor() const { return options_.governor; }
+
   MatcherStats stats_;
+  MatchOptions options_;
+  bool interrupted_ = false;
 };
 
 /// Step III-A shared by both matchers: enumerates candidate database nodes

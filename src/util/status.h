@@ -17,7 +17,13 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
+
+/// Uppercase wire/CSV name of a code ("OK", "DEADLINE_EXCEEDED", ...).
+const char* StatusCodeName(StatusCode code);
 
 /// Lightweight status object carrying a code and a human-readable message.
 class Status {
@@ -45,6 +51,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

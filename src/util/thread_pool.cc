@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/failpoints.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -37,7 +39,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              std::size_t grain, const ChunkFn& fn) {
+  ParallelFor(begin, end, grain, nullptr, fn);
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain, const Governor* governor,
+                             const ChunkFn& fn) {
   if (end <= begin) return;
+  if (governor != nullptr && governor->stopped()) return;
   grain = std::max<std::size_t>(1, grain);
   const std::size_t count = end - begin;
   if (num_workers_ == 1 || count <= grain) {
@@ -59,6 +68,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     job_end_ = end;
     job_grain_ = grain;
     job_fn_ = &fn;
+    job_governor_ = governor;
     workers_remaining_ = num_workers_;
     ++generation_;
   }
@@ -71,6 +81,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
   }
   job_fn_ = nullptr;
+  job_governor_ = nullptr;
 }
 
 void ThreadPool::RunJob(unsigned rank) {
@@ -78,6 +89,7 @@ void ThreadPool::RunJob(unsigned rank) {
   const std::size_t end = job_end_;
   const std::size_t grain = job_grain_;
   const ChunkFn& fn = *job_fn_;
+  const Governor* const governor = job_governor_;
 
   // One span per worker per job: the trace timeline shows each worker's
   // busy interval on its own tid row, with the chunk tally as the arg —
@@ -98,8 +110,13 @@ void ThreadPool::RunJob(unsigned rank) {
   for (unsigned offset = 0; offset < num_workers_; ++offset) {
     Cursor& cursor = cursors_[(rank + offset) % num_workers_];
     for (;;) {
+      // Per-chunk stop check: the pop itself is what propagates a sibling's
+      // stop — a stopped governor stops every worker at its next chunk
+      // boundary without running the chunk.
+      if (governor != nullptr && governor->stopped()) return;
       std::size_t chunk = cursor.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= cursor.limit) break;
+      EGO_FAILPOINT("pool/chunk");
       run_chunk(chunk);
       if (offset == 0) {
         ++own_chunks;

@@ -11,6 +11,9 @@
 
 namespace egocensus {
 
+class Governor;  // exec/governor.h; forward-declared to keep util -> exec
+                 // out of this header (thread_pool.cc includes it).
+
 /// Fixed-size work-stealing thread pool built for the census engines'
 /// fan-out shape: one ParallelFor over focal nodes / matches / clusters per
 /// query phase, with highly skewed per-item cost (hub neighborhoods are
@@ -62,6 +65,15 @@ class ThreadPool {
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const ChunkFn& fn);
 
+  /// Governed variant: every worker re-checks governor->stopped() before
+  /// popping its next chunk (own or stolen), so one worker tripping the
+  /// governor stops the siblings at their next chunk boundary — remaining
+  /// chunks are skipped, never run. Chunk functions should still checkpoint
+  /// internally if a single chunk can run long. Null governor behaves
+  /// exactly like the ungoverned overload.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const Governor* governor, const ChunkFn& fn);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned HardwareThreads();
 
@@ -91,6 +103,7 @@ class ThreadPool {
   std::size_t job_end_ = 0;
   std::size_t job_grain_ = 1;
   const ChunkFn* job_fn_ = nullptr;
+  const Governor* job_governor_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable wake_cv_;   // workers wait for a new generation

@@ -1,0 +1,375 @@
+// Governed census execution: partial results, per-focal completion state,
+// degradation, and the deterministic cancel-at-checkpoint-#i failpoint
+// sweep. The sweep is the core robustness contract: for EVERY checkpoint i
+// (strided) of ND-BAS, ND-DIFF and PT-OPT at 1 and 8 threads, cancelling at
+// exactly checkpoint i must (a) not crash or leak (this binary runs under
+// ASan and TSan in CI), (b) leave every kComplete focal count bit-identical
+// to the uninterrupted run, and (c) report accurate partial-result flags.
+
+#include "census/census.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_census.h"
+#include "exec/failpoints.h"
+#include "exec/governor.h"
+#include "graph/generators.h"
+#include "pattern/catalog.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+Graph SweepGraph() {
+  GeneratorOptions gen;
+  gen.num_nodes = 120;
+  gen.edges_per_node = 3;
+  gen.seed = 17;
+  return GeneratePreferentialAttachment(gen);
+}
+
+/// The per-unit-of-work failpoint of an algorithm: ND engines checkpoint
+/// per focal node, PT engines per match cluster.
+const char* CheckpointSite(CensusAlgorithm algorithm) {
+  switch (algorithm) {
+    case CensusAlgorithm::kPtBas:
+    case CensusAlgorithm::kPtOpt:
+    case CensusAlgorithm::kPtRnd:
+      return "census/cluster";
+    default:
+      return "census/focal";
+  }
+}
+
+class GovernorCensusTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(GovernorCensusTest, UngovernedRunMarksEveryFocalComplete) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdBas;
+  opts.k = 2;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->complete());
+  ASSERT_EQ(r->focal_state.size(), g.NumNodes());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(r->focal_state[n], FocalState::kComplete);
+  }
+}
+
+TEST_F(GovernorCensusTest, ExpiredDeadlineReturnsPartialResult) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  for (auto algorithm :
+       {CensusAlgorithm::kNdBas, CensusAlgorithm::kNdDiff,
+        CensusAlgorithm::kNdPvot, CensusAlgorithm::kPtBas,
+        CensusAlgorithm::kPtOpt}) {
+    Governor gov;
+    gov.SetDeadline(Deadline::AtMicros(1));  // long past
+    CensusOptions opts;
+    opts.algorithm = algorithm;
+    opts.k = 2;
+    opts.governor = &gov;
+    auto r = RunCensus(g, tri, focal, opts);
+    // Partial result as a VALUE, not an error.
+    ASSERT_TRUE(r.ok()) << CensusAlgorithmName(algorithm);
+    EXPECT_EQ(r->exec_status.code(), StatusCode::kDeadlineExceeded)
+        << CensusAlgorithmName(algorithm);
+    EXPECT_FALSE(r->complete());
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      EXPECT_EQ(r->focal_state[n], FocalState::kPending);
+      EXPECT_EQ(r->counts[n], 0u);
+    }
+  }
+}
+
+TEST_F(GovernorCensusTest, TinyMemoryBudgetStopsWithResourceExhausted) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  Governor gov;
+  gov.SetMemoryLimitBytes(64);  // smaller than any candidate set charge
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdBas;
+  opts.k = 2;
+  opts.governor = &gov;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exec_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(gov.memory_charged_bytes(), 64u);
+}
+
+TEST_F(GovernorCensusTest, DegradeToApproxCoversInterruptedFocals) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  Governor gov;
+  gov.SetDeadline(Deadline::AtMicros(1));
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 2;
+  opts.governor = &gov;
+  opts.degrade_to_approx = true;
+  opts.degrade_sample_rate = 1.0;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  // Still reported as interrupted — estimates are not exact results...
+  EXPECT_EQ(r->exec_status.code(), StatusCode::kDeadlineExceeded);
+  // ...but no focal is left as a hole: every unfinished one is re-covered.
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_NE(r->focal_state[n], FocalState::kPending) << n;
+  }
+}
+
+TEST_F(GovernorCensusTest, ExplicitCancelDoesNotDegrade) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  Governor gov;
+  gov.RequestCancel();  // the user asked out: degradation must not run
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kNdPvot;
+  opts.k = 2;
+  opts.governor = &gov;
+  opts.degrade_to_approx = true;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exec_status.code(), StatusCode::kCancelled);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_NE(r->focal_state[n], FocalState::kApprox);
+  }
+}
+
+#if EGO_FAILPOINTS_ENABLED
+
+TEST_F(GovernorCensusTest, CancelAtEveryCheckpointSweep) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  for (auto algorithm : {CensusAlgorithm::kNdBas, CensusAlgorithm::kNdDiff,
+                         CensusAlgorithm::kPtOpt}) {
+    const char* site = CheckpointSite(algorithm);
+    for (std::uint32_t threads : {1u, 8u}) {
+      CensusOptions opts;
+      opts.algorithm = algorithm;
+      opts.k = 2;
+      opts.num_threads = threads;
+
+      // Uninterrupted reference run (the bit-identity oracle).
+      auto baseline = RunCensus(g, tri, focal, opts);
+      ASSERT_TRUE(baseline.ok());
+      ASSERT_TRUE(baseline->complete());
+
+      // Observe pass: count how many times the site is hit end-to-end.
+      failpoints::Arm(site, 0, nullptr);
+      {
+        Governor gov;
+        CensusOptions governed = opts;
+        governed.governor = &gov;
+        ASSERT_TRUE(RunCensus(g, tri, focal, governed).ok());
+      }
+      const std::uint64_t hits = failpoints::Hits(site);
+      failpoints::DisarmAll();
+      ASSERT_GT(hits, 0u) << CensusAlgorithmName(algorithm);
+
+      // Cancel at checkpoint #i for all i (strided to bound test time).
+      const std::uint64_t stride = std::max<std::uint64_t>(1, hits / 20);
+      for (std::uint64_t i = 1; i <= hits; i += stride) {
+        SCOPED_TRACE(std::string(CensusAlgorithmName(algorithm)) +
+                     " threads=" + std::to_string(threads) +
+                     " cancel@" + std::to_string(i) + "/" +
+                     std::to_string(hits));
+        Governor gov;
+        failpoints::Arm(site, i, [&gov] { gov.RequestCancel(); });
+        CensusOptions governed = opts;
+        governed.governor = &gov;
+        auto r = RunCensus(g, tri, focal, governed);
+        failpoints::DisarmAll();
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r->exec_status.code(), StatusCode::kCancelled);
+        EXPECT_FALSE(r->complete());
+        std::size_t pending = 0;
+        for (NodeId n = 0; n < g.NumNodes(); ++n) {
+          switch (r->focal_state[n]) {
+            case FocalState::kComplete:
+              // The invariant: a flag saying "complete" means the count is
+              // bit-identical to the uninterrupted run.
+              EXPECT_EQ(r->counts[n], baseline->counts[n]) << "node " << n;
+              break;
+            case FocalState::kPending:
+              ++pending;
+              EXPECT_LE(r->counts[n], baseline->counts[n]) << "node " << n;
+              break;
+            case FocalState::kApprox:
+              ADD_FAILURE() << "unexpected kApprox at node " << n;
+              break;
+          }
+        }
+        // The focal/cluster whose checkpoint observed the cancel was not
+        // recorded, so at least one unit is pending.
+        EXPECT_GE(pending, 1u);
+      }
+
+      // Arming past the last hit: the run completes untouched.
+      {
+        Governor gov;
+        failpoints::Arm(site, hits + 1, [&gov] { gov.RequestCancel(); });
+        CensusOptions governed = opts;
+        governed.governor = &gov;
+        auto r = RunCensus(g, tri, focal, governed);
+        failpoints::DisarmAll();
+        ASSERT_TRUE(r.ok());
+        EXPECT_TRUE(r->complete());
+        EXPECT_EQ(r->counts, baseline->counts);
+      }
+    }
+  }
+}
+
+TEST_F(GovernorCensusTest, MatcherCancellationLeavesAllFocalsPending) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  Governor gov;
+  // Cancel inside the global match phase (PT engines match once up front):
+  // a partial match set would undercount every focal, so the engine must
+  // skip counting entirely.
+  failpoints::Arm("match/extend", 1, [&gov] { gov.RequestCancel(); });
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kPtOpt;
+  opts.k = 2;
+  opts.governor = &gov;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exec_status.code(), StatusCode::kCancelled);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(r->focal_state[n], FocalState::kPending);
+    EXPECT_EQ(r->counts[n], 0u);
+  }
+}
+
+TEST_F(GovernorCensusTest, BudgetExhaustionMidMergeIsAllOrNothing) {
+  Graph g = SweepGraph();
+  Pattern tri = MakeTriangle(false);
+  auto focal = AllNodes(g);
+  Governor gov;
+  gov.SetMemoryLimitBytes(1ull << 30);
+  // Blow the budget at the first merge step: PT completion is
+  // all-or-nothing, so every focal must stay pending (counts are lower
+  // bounds) even though most of the counting work finished.
+  failpoints::Arm("census/merge", 1,
+                  [&gov] { gov.ChargeMemory(1ull << 31); });
+  CensusOptions opts;
+  opts.algorithm = CensusAlgorithm::kPtOpt;
+  opts.k = 2;
+  opts.num_threads = 4;
+  opts.governor = &gov;
+  auto r = RunCensus(g, tri, focal, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exec_status.code(), StatusCode::kResourceExhausted);
+  CensusOptions ungoverned;
+  ungoverned.algorithm = CensusAlgorithm::kPtOpt;
+  ungoverned.k = 2;
+  auto baseline = RunCensus(g, tri, focal, ungoverned);
+  ASSERT_TRUE(baseline.ok());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(r->focal_state[n], FocalState::kPending);
+    EXPECT_LE(r->counts[n], baseline->counts[n]);
+  }
+}
+
+TEST_F(GovernorCensusTest, PoolChunkCancellationPropagatesToSiblings) {
+  ThreadPool pool(4);
+  Governor gov;
+  std::atomic<std::size_t> processed{0};
+  failpoints::Arm("pool/chunk", 5, [&gov] { gov.RequestCancel(); });
+  // The chunk body checkpoints like every governed engine chunk does: the
+  // cancel becomes a recorded stop at the next checkpoint, and the per-pop
+  // stopped() check then propagates it to every sibling worker.
+  pool.ParallelFor(0, 10'000, /*grain=*/1, &gov,
+                   [&processed, &gov](std::size_t begin, std::size_t end,
+                                      unsigned) {
+                     if (gov.Checkpoint() != StopReason::kNone) return;
+                     processed.fetch_add(end - begin,
+                                         std::memory_order_relaxed);
+                   });
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.reason(), StopReason::kCancelled);
+  // With 10k single-item chunks and a cancel at chunk #5, most of the
+  // range must be left unprocessed.
+  EXPECT_LT(processed.load(), 10'000u);
+}
+
+TEST_F(GovernorCensusTest, DynamicBatchAbortsAtUpdateBoundary) {
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  DynamicGraph dg(std::move(g));
+  Governor gov;
+  IncrementalCensus::Options opts;
+  opts.k = 1;
+  opts.governor = &gov;
+  auto census = IncrementalCensus::Create(&dg, MakeTriangle(false), opts);
+  ASSERT_TRUE(census.ok()) << census.status().ToString();
+  const auto counts_before = census->counts();
+
+  // Cancel at the third per-update checkpoint: updates 1-2 apply (prefix
+  // stays applied), update 3 does not.
+  failpoints::Arm("dynamic/update", 3, [&gov] { gov.RequestCancel(); });
+  std::vector<GraphUpdate> updates = {
+      GraphUpdate::AddEdge(3, 0),   // applies
+      GraphUpdate::AddEdge(4, 2),   // applies
+      GraphUpdate::AddEdge(4, 0),   // aborted
+  };
+  auto stats = census->ApplyBatch(updates);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
+
+  // The maintained counts equal a from-scratch census over the prefix.
+  Graph expected = MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {3, 0}, {4, 2}});
+  CensusOptions copts;
+  copts.algorithm = CensusAlgorithm::kNdBas;
+  copts.k = 1;
+  auto reference = RunCensus(expected, MakeTriangle(false),
+                             AllNodes(expected), copts);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(census->counts(), reference->counts);
+  EXPECT_NE(census->counts(), counts_before);
+}
+
+#endif  // EGO_FAILPOINTS_ENABLED
+
+// Needs no failpoint, so it also runs in the kill-switch build.
+TEST_F(GovernorCensusTest, DynamicExpiredDeadlineLeavesCountsUntouched) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}});
+  DynamicGraph dg(std::move(g));
+  Governor gov;
+  gov.SetDeadline(Deadline::AtMicros(1));
+  IncrementalCensus::Options opts;
+  opts.k = 1;
+  opts.governor = &gov;
+  auto census = IncrementalCensus::Create(&dg, MakeTriangle(false), opts);
+  ASSERT_TRUE(census.ok()) << census.status().ToString();
+  const auto counts_before = census->counts();
+  std::vector<GraphUpdate> updates = {GraphUpdate::AddEdge(0, 3)};
+  auto stats = census->ApplyBatch(updates);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(census->counts(), counts_before);
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -1,0 +1,173 @@
+// Malformed-input robustness: graph files and update streams must fail
+// with a ParseError naming the line number and the offending token — never
+// crash, never silently skip or mis-read. Locks the error-message contract
+// of graph/io.cc (LoadGraph/ReadGraph) and dynamic/update_stream.cc.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "dynamic/update_stream.h"
+#include "tests/test_util.h"
+
+namespace egocensus {
+namespace {
+
+using testing::MakeGraph;
+
+Status ParseGraphError(const std::string& text) {
+  std::istringstream in(text);
+  auto graph = ReadGraph(in, "test.graph");
+  EXPECT_FALSE(graph.ok()) << "expected a parse failure for:\n" << text;
+  return graph.ok() ? Status::Ok() : graph.status();
+}
+
+void ExpectGraphError(const std::string& text, const std::string& line_part,
+                      const std::string& token_part) {
+  Status status = ParseGraphError(text);
+  EXPECT_EQ(status.code(), StatusCode::kParseError) << status.ToString();
+  EXPECT_NE(status.ToString().find(line_part), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find(token_part), std::string::npos)
+      << status.ToString();
+}
+
+TEST(GraphIoRobustnessTest, RoundTripStillWorks) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}},
+                      {0, 1, 0, 1, 0});
+  std::string path = ::testing::TempDir() + "/roundtrip.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), 5u);
+  EXPECT_EQ(loaded->NumEdges(), 5u);
+  EXPECT_EQ(loaded->label(1), 1u);
+}
+
+TEST(GraphIoRobustnessTest, EmptyInput) {
+  Status status = ParseGraphError("");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.ToString().find("missing header"), std::string::npos);
+}
+
+TEST(GraphIoRobustnessTest, BadMagicNamesLineAndToken) {
+  ExpectGraphError("wrong-magic 1 0 2 1\n0\n0 1\n", "line 1", "wrong-magic");
+}
+
+TEST(GraphIoRobustnessTest, UnsupportedVersion) {
+  ExpectGraphError("egocensus-graph 9 0 2 1\n0\n0 1\n", "line 1", "9");
+}
+
+TEST(GraphIoRobustnessTest, NonNumericNodeCount) {
+  ExpectGraphError("egocensus-graph 1 0 two 1\n0\n0 1\n", "line 1", "two");
+}
+
+TEST(GraphIoRobustnessTest, TrailingTokenOnHeader) {
+  ExpectGraphError("egocensus-graph 1 0 2 1 junk\n0\n0 1\n", "line 1",
+                   "junk");
+}
+
+TEST(GraphIoRobustnessTest, BadLabelNamesLineAndToken) {
+  ExpectGraphError("egocensus-graph 1 0 3 0\n1\n0 oops 1\n", "line 3",
+                   "oops");
+}
+
+TEST(GraphIoRobustnessTest, TruncatedLabelLine) {
+  ExpectGraphError("egocensus-graph 1 0 3 0\n1\n0 1\n", "line 3", "label");
+}
+
+TEST(GraphIoRobustnessTest, TruncatedEdgeList) {
+  Status status =
+      ParseGraphError("egocensus-graph 1 0 3 2\n0\n0 1\n");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.ToString().find("truncated edge list"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(GraphIoRobustnessTest, NonNumericEdgeEndpoint) {
+  ExpectGraphError("egocensus-graph 1 0 3 1\n0\nx 1\n", "line 3", "x");
+}
+
+TEST(GraphIoRobustnessTest, EdgeEndpointOutOfRange) {
+  ExpectGraphError("egocensus-graph 1 0 3 1\n0\n0 7\n", "line 3",
+                   "out of range");
+}
+
+TEST(GraphIoRobustnessTest, TrailingTokenOnEdgeLine) {
+  ExpectGraphError("egocensus-graph 1 0 3 1\n0\n0 1 9\n", "line 3", "9");
+}
+
+TEST(GraphIoRobustnessTest, TrailingContentAfterEdgeList) {
+  ExpectGraphError("egocensus-graph 1 0 3 1\n0\n0 1\ngarbage here\n",
+                   "line 4", "garbage");
+}
+
+TEST(GraphIoRobustnessTest, BlankLinesAfterEdgeListAreFine) {
+  std::istringstream in("egocensus-graph 1 0 3 1\n0\n0 1\n\n\n");
+  auto graph = ReadGraph(in, "test.graph");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumNodes(), 3u);
+  EXPECT_EQ(graph->NumEdges(), 1u);
+}
+
+Status ParseStreamError(const std::string& text) {
+  std::istringstream in(text);
+  auto updates = ParseUpdateStream(in);
+  EXPECT_FALSE(updates.ok()) << "expected a parse failure for:\n" << text;
+  return updates.ok() ? Status::Ok() : updates.status();
+}
+
+void ExpectStreamError(const std::string& text, const std::string& line_part,
+                       const std::string& token_part) {
+  Status status = ParseStreamError(text);
+  EXPECT_EQ(status.code(), StatusCode::kParseError) << status.ToString();
+  EXPECT_NE(status.ToString().find(line_part), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find(token_part), std::string::npos)
+      << status.ToString();
+}
+
+TEST(UpdateStreamRobustnessTest, ValidStreamParses) {
+  std::istringstream in(
+      "# comment\n"
+      "ae 0 1\n"
+      "+ 1 2\n"
+      "re 0 1  # inline comment\n"
+      "an 3\n"
+      "an\n"
+      "rn 2 % trailing comment\n"
+      "\n");
+  auto updates = ParseUpdateStream(in);
+  ASSERT_TRUE(updates.ok()) << updates.status().ToString();
+  EXPECT_EQ(updates->size(), 6u);
+}
+
+TEST(UpdateStreamRobustnessTest, UnknownOpNamesLineAndToken) {
+  ExpectStreamError("ae 0 1\nzz 1 2\n", "line 2", "zz");
+}
+
+TEST(UpdateStreamRobustnessTest, MissingOperand) {
+  ExpectStreamError("ae 0\n", "line 1", "ae");
+}
+
+TEST(UpdateStreamRobustnessTest, NonNumericOperand) {
+  ExpectStreamError("ae 0 abc\n", "line 1", "ae");
+}
+
+TEST(UpdateStreamRobustnessTest, TrailingTokenAfterEdgeOp) {
+  ExpectStreamError("ae 0 1 2\n", "line 1", "2");
+}
+
+TEST(UpdateStreamRobustnessTest, TrailingTokenAfterRemoveNode) {
+  ExpectStreamError("ae 0 1\nrn 1 junk\n", "line 2", "junk");
+}
+
+TEST(UpdateStreamRobustnessTest, BadLabelOnAddNode) {
+  ExpectStreamError("an x\n", "line 1", "x");
+}
+
+}  // namespace
+}  // namespace egocensus

@@ -29,6 +29,7 @@
 
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/update_stream.h"
+#include "exec/governor.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "lang/engine.h"
@@ -77,6 +78,14 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Single exit path for every failing subcommand: renders the Status and
+/// picks the exit code from its class (2 for usage/argument errors, 1 for
+/// everything else — parse failures, I/O failures, governor stops).
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return status.code() == StatusCode::kInvalidArgument ? 2 : 1;
+}
+
 int Usage() {
   std::cerr <<
       "usage:\n"
@@ -87,13 +96,22 @@ int Usage() {
       "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
       "                [--matcher cn|gql] [--threads T (0 = all cores)]\n"
       "                [--top N] [--csv] [--seed S]\n"
+      "                [--timeout-ms MS] [--memory-budget-mb MB]\n"
+      "                [--degrade-approx [RATE]]\n"
       "                [--trace FILE.json] [--metrics FILE.json|.csv]\n"
       "  ecensus stats --graph FILE (--query SQL | --query-file FILE)\n"
       "                [query options] (runs the query, prints metric tables)\n"
       "  ecensus update --graph FILE --updates FILE\n"
       "                 (--query SQL | --query-file FILE)\n"
       "                 [--batch-size N] [--top N] [--csv] [--seed S]\n"
-      "                 [--trace FILE.json] [--metrics FILE.json|.csv]\n";
+      "                 [--timeout-ms MS] [--memory-budget-mb MB]\n"
+      "                 [--trace FILE.json] [--metrics FILE.json|.csv]\n"
+      "\n"
+      "Governed runs (--timeout-ms / --memory-budget-mb) that stop early\n"
+      "still print their partial results — with per-focal .state columns on\n"
+      "interrupted aggregates — and exit non-zero with the stop reason.\n"
+      "--degrade-approx re-covers interrupted focal nodes with sampled\n"
+      "estimates (optional RATE in (0,1], default 0.1).\n";
   return 2;
 }
 
@@ -122,8 +140,8 @@ int WriteObsExports(const ObsExport& o) {
   if (!o.trace_path.empty()) {
     std::ofstream out(o.trace_path);
     if (!out) {
-      std::cerr << "cannot open trace output " << o.trace_path << "\n";
-      return 1;
+      return Fail(Status::Internal("cannot open trace output: " +
+                                   o.trace_path));
     }
     obs::Tracer::Global().WriteChromeTrace(out);
     std::cerr << "trace: " << o.trace_path
@@ -132,8 +150,8 @@ int WriteObsExports(const ObsExport& o) {
   if (!o.metrics_path.empty()) {
     std::ofstream out(o.metrics_path);
     if (!out) {
-      std::cerr << "cannot open metrics output " << o.metrics_path << "\n";
-      return 1;
+      return Fail(Status::Internal("cannot open metrics output: " +
+                                   o.metrics_path));
     }
     obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
     if (EndsWith(o.metrics_path, ".csv")) {
@@ -146,36 +164,84 @@ int WriteObsExports(const ObsExport& o) {
   return 0;
 }
 
+/// Builds a Governor from --timeout-ms / --memory-budget-mb; true when
+/// either limit was requested (callers then thread the governor through).
+bool GovernorFromArgs(const Args& args, Governor* governor) {
+  bool governed = false;
+  if (args.Has("timeout-ms")) {
+    governor->SetDeadline(Deadline::AfterMillis(args.GetInt("timeout-ms", 0)));
+    governed = true;
+  }
+  if (args.Has("memory-budget-mb")) {
+    governor->SetMemoryLimitBytes(args.GetInt("memory-budget-mb", 0) *
+                                  1024ull * 1024ull);
+    governed = true;
+  }
+  return governed;
+}
+
+/// Per-aggregate execution outcome of an interrupted query (stderr, next to
+/// the partial result table on stdout).
+void PrintExecSummary(const std::vector<QueryEngine::AggregateExec>& exec,
+                      std::ostream& os) {
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const QueryEngine::AggregateExec& e = exec[i];
+    os << "aggregate " << i << ": " << e.status.ToString()
+       << " (focal complete=" << e.complete << " approx=" << e.approx
+       << " pending=" << e.pending << ")\n";
+  }
+}
+
 /// Per-aggregate census phase stats, one CSV row per aggregate (timings,
-/// threads, peak neighborhood). Written to stderr so stdout stays a pure
-/// result table — byte-identical across thread counts and repeat runs.
-void WriteStatsCsv(const std::vector<CensusStats>& stats, std::ostream& os) {
+/// threads, peak neighborhood, execution outcome). Written to stderr so
+/// stdout stays a pure result table — byte-identical across thread counts
+/// and repeat runs (the exec columns are OK/all-complete when ungoverned).
+void WriteStatsCsv(const std::vector<CensusStats>& stats,
+                   const std::vector<QueryEngine::AggregateExec>& exec,
+                   std::ostream& os) {
   if (stats.empty()) return;
   os << "aggregate,num_matches,match_seconds,index_seconds,census_seconds,"
-        "threads_used,peak_neighborhood\n";
+        "threads_used,peak_neighborhood,exec_status,focal_complete,"
+        "focal_approx,focal_pending\n";
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const CensusStats& s = stats[i];
     os << i << "," << s.num_matches << "," << s.match_seconds << ","
        << s.index_seconds << "," << s.census_seconds << "," << s.threads_used
-       << "," << s.peak_neighborhood << "\n";
+       << "," << s.peak_neighborhood;
+    if (i < exec.size()) {
+      const QueryEngine::AggregateExec& e = exec[i];
+      os << "," << StatusCodeName(e.status.code()) << "," << e.complete << ","
+         << e.approx << "," << e.pending;
+    } else {
+      os << ",OK,0,0,0";
+    }
+    os << "\n";
   }
 }
 
-/// Reads --query inline text or --query-file contents; empty on error.
-std::string ReadQueryArg(const Args& args) {
+/// Highest sortable column for --top: count columns sort, trailing .state
+/// columns (appended on interrupted governed runs) do not.
+std::size_t TopSortColumn(const ResultTable& table) {
+  std::size_t cols = table.NumColumns();
+  while (cols > 0 && EndsWith(table.columns()[cols - 1], ".state")) --cols;
+  return cols;
+}
+
+/// Reads --query inline text or --query-file contents.
+Result<std::string> ReadQueryArg(const Args& args) {
   std::string query = args.Get("query", "");
   if (query.empty() && args.Has("query-file")) {
     std::ifstream in(args.Get("query-file", ""));
     if (!in) {
-      std::cerr << "cannot open query file\n";
-      return "";
+      return Status::NotFound("cannot open query file: " +
+                              args.Get("query-file", ""));
     }
     std::ostringstream ss;
     ss << in.rdbuf();
     query = ss.str();
   }
   if (query.empty()) {
-    std::cerr << "--query or --query-file is required\n";
+    return Status::InvalidArgument("--query or --query-file is required");
   }
   return query;
 }
@@ -184,8 +250,7 @@ int RunGenerate(const Args& args) {
   std::string type = args.Get("type", "pa");
   std::string out = args.Get("out", "");
   if (out.empty()) {
-    std::cerr << "generate: --out is required\n";
-    return 2;
+    return Fail(Status::InvalidArgument("generate: --out is required"));
   }
   std::uint32_t nodes = static_cast<std::uint32_t>(args.GetInt("nodes", 10000));
   std::uint32_t labels = static_cast<std::uint32_t>(args.GetInt("labels", 1));
@@ -212,14 +277,10 @@ int RunGenerate(const Args& args) {
     graph = GenerateRmat(scale, args.GetInt("edges", nodes * 5ull), 0.45,
                          0.22, 0.22, labels, seed);
   } else {
-    std::cerr << "generate: unknown --type " << type << "\n";
-    return 2;
+    return Fail(Status::InvalidArgument("generate: unknown --type " + type));
   }
   Status status = SaveGraph(graph, out);
-  if (!status.ok()) {
-    std::cerr << status.ToString() << "\n";
-    return 1;
-  }
+  if (!status.ok()) return Fail(status);
   std::cout << "wrote " << graph.NumNodes() << " nodes, " << graph.NumEdges()
             << " edges to " << out << "\n";
   return 0;
@@ -227,10 +288,7 @@ int RunGenerate(const Args& args) {
 
 int RunInfo(const Args& args) {
   auto graph = LoadGraph(args.Get("graph", ""));
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
-    return 1;
-  }
+  if (!graph.ok()) return Fail(graph.status());
   std::uint64_t degree_sum = 0;
   std::vector<std::uint32_t> degrees(graph->NumNodes());
   std::vector<std::uint64_t> label_counts(graph->NumLabels(), 0);
@@ -328,12 +386,9 @@ void PrintMetricsTables(const obs::MetricsSnapshot& snap, std::ostream& os) {
 
 int RunQuery(const Args& args, bool stats_mode) {
   auto graph = LoadGraph(args.Get("graph", ""));
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
-    return 1;
-  }
-  std::string query = ReadQueryArg(args);
-  if (query.empty()) return 2;
+  if (!graph.ok()) return Fail(graph.status());
+  auto query = ReadQueryArg(args);
+  if (!query.ok()) return Fail(query.status());
 
   ObsExport obs_export = ObsFromArgs(args);
   if (stats_mode) obs::SetEnabled(true);
@@ -343,6 +398,15 @@ int RunQuery(const Args& args, bool stats_mode) {
   options.rnd_seed = args.GetInt("seed", 99);
   options.census.num_threads =
       static_cast<std::uint32_t>(args.GetInt("threads", 1));
+  Governor governor;
+  if (GovernorFromArgs(args, &governor)) {
+    options.census.governor = &governor;
+  }
+  if (args.Has("degrade-approx")) {
+    options.census.degrade_to_approx = true;
+    double rate = args.GetDouble("degrade-approx", 0.0);
+    if (rate > 0.0 && rate <= 1.0) options.census.degrade_sample_rate = rate;
+  }
   std::string algorithm = args.Get("algorithm", "");
   if (!algorithm.empty()) {
     options.auto_algorithm = false;
@@ -356,8 +420,7 @@ int RunQuery(const Args& args, bool stats_mode) {
     };
     auto it = kNames.find(ToLower(algorithm));
     if (it == kNames.end()) {
-      std::cerr << "unknown --algorithm " << algorithm << "\n";
-      return 2;
+      return Fail(Status::InvalidArgument("unknown --algorithm " + algorithm));
     }
     options.census.algorithm = it->second;
   }
@@ -365,16 +428,16 @@ int RunQuery(const Args& args, bool stats_mode) {
   if (matcher == "gql") {
     options.census.use_gql_matcher = true;
   } else if (matcher != "cn") {
-    std::cerr << "unknown --matcher " << matcher << " (expected cn or gql)\n";
-    return 2;
+    return Fail(Status::InvalidArgument("unknown --matcher " + matcher +
+                                        " (expected cn or gql)"));
   }
-  auto result = engine.Execute(query, options);
-  if (!result.ok()) {
-    std::cerr << result.status().ToString() << "\n";
-    return 1;
-  }
-  if (args.Has("top") && result->NumColumns() >= 2) {
-    result->SortByColumnDesc(result->NumColumns() - 1);
+  auto result = engine.Execute(*query, options);
+  if (!result.ok()) return Fail(result.status());
+  // A governed run that stopped early still produced a (partial) table;
+  // print it, then exit non-zero with the stop reason.
+  Status exec_status = engine.last_exec_status();
+  if (args.Has("top") && TopSortColumn(*result) >= 2) {
+    result->SortByColumnDesc(TopSortColumn(*result) - 1);
   }
   if (stats_mode) {
     // Result rows are elided: the subcommand's product is the metric view.
@@ -382,7 +445,7 @@ int RunQuery(const Args& args, bool stats_mode) {
     PrintMetricsTables(obs::Registry::Global().Snapshot(), std::cout);
   } else if (args.Has("csv")) {
     result->WriteCsv(std::cout);
-    WriteStatsCsv(engine.last_stats(), std::cerr);
+    WriteStatsCsv(engine.last_stats(), engine.last_exec(), std::cerr);
   } else {
     std::size_t limit = args.Has("top")
                             ? static_cast<std::size_t>(args.GetInt("top", 20))
@@ -397,37 +460,36 @@ int RunQuery(const Args& args, bool stats_mode) {
                 << "s peak_neighborhood=" << s.peak_neighborhood << "\n";
     }
   }
+  if (!exec_status.ok()) {
+    PrintExecSummary(engine.last_exec(), std::cerr);
+    WriteObsExports(obs_export);
+    return Fail(exec_status);
+  }
   return WriteObsExports(obs_export);
 }
 
 int RunUpdate(const Args& args) {
   auto graph = LoadGraph(args.Get("graph", ""));
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
-    return 1;
-  }
-  std::string query = ReadQueryArg(args);
-  if (query.empty()) return 2;
+  if (!graph.ok()) return Fail(graph.status());
+  auto query = ReadQueryArg(args);
+  if (!query.ok()) return Fail(query.status());
   ObsExport obs_export = ObsFromArgs(args);
   std::string updates_path = args.Get("updates", "");
   if (updates_path.empty()) {
-    std::cerr << "update: --updates is required\n";
-    return 2;
+    return Fail(Status::InvalidArgument("update: --updates is required"));
   }
   auto updates = LoadUpdateStream(updates_path);
-  if (!updates.ok()) {
-    std::cerr << updates.status().ToString() << "\n";
-    return 1;
-  }
+  if (!updates.ok()) return Fail(updates.status());
 
   DynamicGraph dynamic(std::move(*graph));
   MaintainSession::Options options;
   options.rnd_seed = args.GetInt("seed", 99);
-  auto session = MaintainSession::Create(&dynamic, query, options);
-  if (!session.ok()) {
-    std::cerr << session.status().ToString() << "\n";
-    return 1;
+  Governor governor;
+  if (GovernorFromArgs(args, &governor)) {
+    options.governor = &governor;
   }
+  auto session = MaintainSession::Create(&dynamic, *query, options);
+  if (!session.ok()) return Fail(session.status());
 
   std::size_t batch_size =
       static_cast<std::size_t>(args.GetInt("batch-size", updates->size()));
@@ -439,10 +501,7 @@ int RunUpdate(const Args& args) {
   while (!remaining.empty()) {
     std::size_t n = std::min(batch_size, remaining.size());
     auto deltas = session->ApplyBatch(remaining.first(n));
-    if (!deltas.ok()) {
-      std::cerr << deltas.status().ToString() << "\n";
-      return 1;
-    }
+    if (!deltas.ok()) return Fail(deltas.status());
     remaining = remaining.subspan(n);
     total.Accumulate(session->last_stats());
     if (!csv) {
@@ -456,8 +515,8 @@ int RunUpdate(const Args& args) {
   }
 
   ResultTable counts = session->CountsTable();
-  if (args.Has("top") && counts.NumColumns() >= 2) {
-    counts.SortByColumnDesc(counts.NumColumns() - 1);
+  if (args.Has("top") && TopSortColumn(counts) >= 2) {
+    counts.SortByColumnDesc(TopSortColumn(counts) - 1);
   }
   if (csv) {
     counts.WriteCsv(std::cout);
