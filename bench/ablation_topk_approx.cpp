@@ -87,7 +87,6 @@ int main() {
     opts.seed = 31;
     Timer timer;
     auto result = RunApproximateCensus(graph, pattern, focal, opts);
-    double seconds = timer.ElapsedSeconds();
     if (!result.ok()) {
       std::cerr << result.status().ToString() << "\n";
       return 1;

@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <queue>
+#include <sstream>
+
+#include "egolint.h"
 
 #include "census/census.h"
 #include "census/pt_expander.h"
@@ -243,6 +248,34 @@ void BM_GovernorOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_GovernorOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+// Full-repo egolint scan (lex + all four checks over every src/ file). CI
+// treats the lint job as nearly free; this keeps the whole scan honest
+// against the 2s budget the egolint_test smoke asserts.
+void BM_EgolintRepoScan(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  std::vector<egolint::SourceFile> files;
+  for (auto it = fs::recursive_directory_iterator(EGOCENSUS_REPO_SRC);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    std::ifstream in(it->path());
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(
+        egolint::SourceFile{it->path().generic_string(), content.str()});
+  }
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    auto out = egolint::RunLint(files, egolint::LintOptions{});
+    findings = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["files"] = static_cast<double>(files.size());
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_EgolintRepoScan)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace egocensus

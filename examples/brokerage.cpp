@@ -25,7 +25,7 @@ int main() {
   Graph graph(/*directed=*/true);
   graph.AddNodes(800);
   for (NodeId n = 0; n < graph.NumNodes(); ++n) {
-    graph.SetLabel(n, static_cast<Label>(rng.NextBounded(4)));
+    CheckOk(graph.SetLabel(n, static_cast<Label>(rng.NextBounded(4))), "example graph setup");
   }
   // Transactions: mostly within the organization, some across.
   for (int e = 0; e < 4000; ++e) {
@@ -36,7 +36,7 @@ int main() {
     if (!same_org && !rng.NextBool(0.25)) continue;
     graph.AddEdge(a, b);
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "example graph setup");
   std::cout << "transaction network: " << graph.NumNodes() << " actors, "
             << graph.NumEdges() << " directed transactions\n\n";
 

@@ -65,7 +65,7 @@ int main() {
     graph.node_attributes().Set(n, "SMOKER",
                                 static_cast<std::int64_t>(smoker[n]));
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "example graph setup");
   std::cout << "family network: " << graph.NumNodes() << " people, "
             << graph.NumEdges() << " ties\n";
 

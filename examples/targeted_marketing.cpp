@@ -33,7 +33,7 @@ int main() {
       graph.edge_attributes().Set(e, "REL", std::string("fr"));
     }
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "example graph setup");
   std::cout << "population: " << num_people << " people, " << graph.NumEdges()
             << " relationships\n\n";
 

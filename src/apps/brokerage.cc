@@ -15,7 +15,7 @@ PatternPredicate LabelPredicate(int a, int b, bool equal) {
 
 /// Builds the open-triad pattern A -> B -> C, no A -> C, with the label
 /// relations of the given role, subpattern {B}.
-Result<Pattern> MakeRolePattern(BrokerageRole role) {
+[[nodiscard]] Result<Pattern> MakeRolePattern(BrokerageRole role) {
   Pattern p("triad-" + std::string(BrokerageRoleName(role)));
   p.AddEdge("A", "B", /*directed=*/true);
   p.AddEdge("B", "C", /*directed=*/true);
@@ -71,7 +71,7 @@ const char* BrokerageRoleName(BrokerageRole role) {
   return "?";
 }
 
-Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
+[[nodiscard]] Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
                                          const CensusOptions& base_options) {
   if (!graph.directed()) {
     return Status::InvalidArgument(

@@ -37,7 +37,7 @@ struct BrokerageResult {
 /// encode organization membership: one COUNTSP(broker, triad, SUBGRAPH(ID,0))
 /// census per role, with the role's label equalities/inequalities attached
 /// as pattern predicates.
-Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
+[[nodiscard]] Result<BrokerageResult> ComputeBrokerage(const Graph& graph,
                                          const CensusOptions& base_options);
 
 }  // namespace egocensus

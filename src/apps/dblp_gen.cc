@@ -96,7 +96,7 @@ DblpData GenerateDblp(const DblpOptions& options) {
       }
     }
   }
-  data.train.Finalize();
+  CheckOk(data.train.Finalize(), "builder invariant");
 
   std::unordered_set<std::uint64_t> test_seen;
   for (std::uint32_t year = options.train_years; year < options.num_years;

@@ -62,7 +62,7 @@ std::vector<std::pair<std::uint64_t, double>> ComputeJaccardScores(
   return scores;
 }
 
-Result<LinkPredictionReport> RunLinkPrediction(
+[[nodiscard]] Result<LinkPredictionReport> RunLinkPrediction(
     const DblpData& data, const LinkPredictionOptions& options) {
   LinkPredictionReport report;
   const Graph& graph = data.train;

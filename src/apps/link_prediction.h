@@ -39,7 +39,7 @@ struct LinkPredictionReport {
 
 /// Runs all measures over the training graph and scores against the test
 /// edges. Pairs already linked in training are excluded from rankings.
-Result<LinkPredictionReport> RunLinkPrediction(
+[[nodiscard]] Result<LinkPredictionReport> RunLinkPrediction(
     const DblpData& data, const LinkPredictionOptions& options);
 
 /// Ranks the pairs of `counts` by descending count (ties by pair key) after

@@ -2,7 +2,7 @@
 
 namespace egocensus {
 
-Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
+[[nodiscard]] Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
     const Graph& graph, std::span<const Pattern> patterns,
     const SignatureOptions& options) {
   std::vector<std::vector<std::uint64_t>> signatures(
@@ -29,11 +29,11 @@ Graph PatternToGraph(const Pattern& pattern) {
   for (const auto& e : pattern.PositiveEdges()) {
     graph.AddEdge(static_cast<NodeId>(e.src), static_cast<NodeId>(e.dst));
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "builder invariant");
   return graph;
 }
 
-Result<std::vector<std::uint64_t>> RoleSignature(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RoleSignature(
     const Pattern& query, int role, std::span<const Pattern> patterns,
     const SignatureOptions& options) {
   if (role < 0 || role >= query.NumNodes()) {

@@ -24,7 +24,7 @@ struct SignatureOptions {
 };
 
 /// signatures[n][i] = count of patterns[i] within S(n, k).
-Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
+[[nodiscard]] Result<std::vector<std::vector<std::uint64_t>>> BuildNodeSignatures(
     const Graph& graph, std::span<const Pattern> patterns,
     const SignatureOptions& options);
 
@@ -37,7 +37,7 @@ Graph PatternToGraph(const Pattern& pattern);
 
 /// Signature of one role (pattern node) of a query pattern: the census
 /// counts around that node within the query's own skeleton.
-Result<std::vector<std::uint64_t>> RoleSignature(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RoleSignature(
     const Pattern& query, int role, std::span<const Pattern> patterns,
     const SignatureOptions& options);
 

@@ -10,7 +10,7 @@
 
 namespace egocensus {
 
-Result<ApproximateCensusResult> RunApproximateCensus(
+[[nodiscard]] Result<ApproximateCensusResult> RunApproximateCensus(
     const Graph& graph, const Pattern& pattern, std::span<const NodeId> focal,
     const ApproximateCensusOptions& options) {
   if (!pattern.prepared()) {
@@ -36,6 +36,7 @@ Result<ApproximateCensusResult> RunApproximateCensus(
   Timer index_timer;
   Rng rng(options.seed);
   MatchSet sampled(all_matches.arity());
+  // egolint: no-checkpoint(one RNG draw per match; BFS loop below polls)
   for (std::size_t m = 0; m < all_matches.size(); ++m) {
     if (rng.NextBool(options.sample_rate)) sampled.Add(all_matches.Match(m));
   }
@@ -70,8 +71,12 @@ Result<ApproximateCensusResult> RunApproximateCensus(
 
   Timer census_timer;
   const double scale = 1.0 / options.sample_rate;
+  Governor* gov = options.governor;
   BfsWorkspace bfs;
   for (NodeId n : focal) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("approximate census");
+    }
     if (n >= graph.NumNodes()) {
       return Status::OutOfRange("focal node out of range");
     }

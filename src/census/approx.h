@@ -28,6 +28,11 @@ struct ApproximateCensusOptions {
   /// to the exact census.
   double sample_rate = 0.1;
   std::uint64_t seed = 13;
+  /// Optional resource governor (see CensusOptions::governor). The
+  /// per-focal counting loop polls Checkpoint(); on stop the run returns
+  /// the governor's status instead of a partial estimate (a truncated
+  /// estimate would silently bias the scaled counts). Not owned.
+  Governor* governor = nullptr;
 };
 
 /// Approximation for very large graphs (the paper's Section VII future
@@ -40,7 +45,7 @@ struct ApproximateCensusOptions {
 /// ~ sqrt((1 - p) / (p * count)), so nodes with large counts — the ones
 /// ego-census analyses rank on — are estimated accurately while the census
 /// pass does a `sample_rate` fraction of the containment work.
-Result<ApproximateCensusResult> RunApproximateCensus(
+[[nodiscard]] Result<ApproximateCensusResult> RunApproximateCensus(
     const Graph& graph, const Pattern& pattern, std::span<const NodeId> focal,
     const ApproximateCensusOptions& options);
 

@@ -61,7 +61,7 @@ void InitFocalState(const CensusContext& ctx, CensusResult* result) {
 
 void MarkAllFocal(const CensusContext& ctx, CensusResult* result,
                   FocalState state) {
-  for (NodeId n : ctx.focal) result->focal_state[n] = state;
+  // egolint: no-checkpoint(O(|focal|) state-flag stores, no match work)
 }
 
 void FinishExecStatus(const CensusContext& ctx, const char* engine,
@@ -96,7 +96,7 @@ MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
 
 }  // namespace internal
 
-Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
                                std::span<const NodeId> focal,
                                const CensusOptions& options) {
   if (!pattern.prepared()) {
@@ -109,6 +109,7 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
   if (!anchors.ok()) return anchors.status();
 
   std::vector<char> is_focal(graph.NumNodes(), 0);
+  // egolint: no-checkpoint(O(|focal|) validation pass before engines run)
   for (NodeId n : focal) {
     if (n >= graph.NumNodes()) {
       return Status::OutOfRange("focal node out of range");
@@ -152,6 +153,7 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
         result.exec_status.code() != StatusCode::kCancelled &&
         options.degrade_to_approx) {
       std::vector<NodeId> pending;
+      // egolint: no-checkpoint(O(|focal|) scan collecting incomplete nodes)
       for (NodeId n : focal) {
         if (result.focal_state[n] != FocalState::kComplete) pending.push_back(n);
       }
@@ -164,6 +166,7 @@ Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
         auto approx =
             RunApproximateCensus(graph, pattern, pending, approx_options);
         if (approx.ok()) {
+          // egolint: no-checkpoint(O(|pending|) copy of finished estimates)
           for (NodeId n : pending) {
             result.counts[n] = static_cast<std::uint64_t>(
                 std::llround(approx->estimates[n]));

@@ -197,7 +197,7 @@ struct CensusResult {
 /// Runs an ego-centric pattern census: for every focal node n, counts the
 /// matches of `pattern` whose anchor images are contained in the k-hop
 /// neighborhood S(n, k). `pattern` must be prepared.
-Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<CensusResult> RunCensus(const Graph& graph, const Pattern& pattern,
                                std::span<const NodeId> focal,
                                const CensusOptions& options);
 

@@ -76,6 +76,7 @@ CensusResult RunNdDiff(const CensusContext& ctx) {
       s.pending_epoch.assign(graph.NumNodes(), 0);
     }
     const std::uint32_t epoch = ++s.epoch;
+    // egolint: no-checkpoint(O(chunk) epoch stores; chain walk below polls)
     for (std::size_t i = begin; i < end; ++i) {
       s.pending_epoch[ctx.focal[i]] = epoch;
     }

@@ -25,7 +25,7 @@ struct Prepared {
   std::vector<int> anchor_nodes;
 };
 
-Result<Prepared> PrepareMatches(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<Prepared> PrepareMatches(const Graph& graph, const Pattern& pattern,
                                 const std::string& subpattern) {
   if (!pattern.prepared()) {
     return Status::InvalidArgument("pattern must be prepared");
@@ -97,7 +97,7 @@ std::vector<std::pair<std::uint16_t, std::vector<NodeId>>> GroupByMask(
 
 }  // namespace
 
-Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
                                     const PairwiseCensusOptions& options) {
   auto prepared = PrepareMatches(graph, pattern, options.subpattern);
   if (!prepared.ok()) return prepared.status();
@@ -117,11 +117,15 @@ Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
   SimultaneousExpander expander(graph, expander_options);
 
   const std::uint32_t k = options.k;
+  Governor* gov = options.governor;
   std::vector<std::vector<NodeId>> anchor_sets;
   std::vector<NodeId> buffer;
   std::vector<NodeId> full_nodes;
   std::vector<std::pair<NodeId, std::uint16_t>> node_masks;
   for (const auto& cluster : setup.clusters) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("pairwise census (pt-opt)");
+    }
     anchor_sets.clear();
     for (std::uint32_t mid : cluster) {
       anchors.Get(mid, &buffer);
@@ -165,7 +169,7 @@ Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
   return counts;
 }
 
-Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
                                     const PairwiseCensusOptions& options) {
   auto prepared = PrepareMatches(graph, pattern, options.subpattern);
   if (!prepared.ok()) return prepared.status();
@@ -174,10 +178,14 @@ Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
   const int t = anchors.NumAnchors();
   const std::uint32_t k = options.k;
 
+  Governor* gov = options.governor;
   std::vector<BfsWorkspace> bfs(t);
   std::vector<NodeId> full_nodes;
   std::vector<std::pair<NodeId, std::uint16_t>> node_masks;
   for (std::size_t m = 0; m < anchors.NumMatches(); ++m) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("pairwise census (pt-bas)");
+    }
     int min_idx = 0;
     for (int j = 0; j < t; ++j) {
       bfs[j].Run(graph, anchors.Anchor(m, j), k);
@@ -215,7 +223,7 @@ Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
   return counts;
 }
 
-Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
     const Graph& graph, const Pattern& pattern,
     std::span<const std::pair<NodeId, NodeId>> pairs,
     const PairwiseCensusOptions& options) {
@@ -223,10 +231,14 @@ Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
   std::vector<std::uint64_t> counts(pairs.size(), 0);
   const std::uint32_t k = options.k;
 
+  Governor* gov = options.governor;
   if (whole_pattern) {
     SubgraphExtractor extractor(graph);
     const bool need_attrs = pattern.HasGeneralPredicates();
     for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+        return gov->ToStatus("pairwise census (nd-bas)");
+      }
       EgoSubgraph sub =
           options.neighborhood == PairNeighborhood::kIntersection
               ? extractor.ExtractIntersection(pairs[i].first, pairs[i].second,
@@ -244,6 +256,9 @@ Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
   MatchAnchors anchors(&prepared->matches, prepared->anchor_nodes);
   BfsWorkspace bfs1, bfs2;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("pairwise census (nd-bas)");
+    }
     bfs1.Run(graph, pairs[i].first, k);
     bfs2.Run(graph, pairs[i].second, k);
     std::uint64_t count = 0;
@@ -267,7 +282,7 @@ Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
   return counts;
 }
 
-Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
     const Graph& graph, const Pattern& pattern,
     std::span<const std::pair<NodeId, NodeId>> pairs,
     const PairwiseCensusOptions& options) {
@@ -306,8 +321,12 @@ Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
       PatternMatchIndex::BuildOnNode(prepared->matches, pivot);
 
   std::vector<std::uint64_t> counts(pairs.size(), 0);
+  Governor* gov = options.governor;
   BfsWorkspace bfs1, bfs2;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("pairwise census (nd-pvot)");
+    }
     bfs1.Run(graph, pairs[i].first, k);
     bfs2.Run(graph, pairs[i].second, k);
     std::uint64_t count = 0;

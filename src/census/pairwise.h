@@ -53,6 +53,12 @@ struct PairwiseCensusOptions {
   const CenterDistanceIndex* center_index = nullptr;
   /// See CensusOptions::cluster_center_index.
   const CenterDistanceIndex* cluster_center_index = nullptr;
+  /// Optional resource governor (see CensusOptions::governor). Every
+  /// engine's outer cluster/match/pair loop polls Checkpoint(); on stop the
+  /// run returns the governor's status — pairwise counts are sparse maps,
+  /// so a partial result is indistinguishable from "those pairs are zero".
+  /// Not owned.
+  Governor* governor = nullptr;
 };
 
 /// Pattern-driven pairwise census over ALL unordered node pairs, returning
@@ -65,18 +71,18 @@ struct PairwiseCensusOptions {
 /// partitioning into two non-empty parts has the same effect); the
 /// node-driven engines below compute the unrestricted semantics for
 /// explicit pairs.
-Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<PairCounts> RunPairwisePtOpt(const Graph& graph, const Pattern& pattern,
                                     const PairwiseCensusOptions& options);
 
 /// Pattern-driven baseline (per-match independent BFS traversals), same
 /// output contract as RunPairwisePtOpt.
-Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<PairCounts> RunPairwisePtBas(const Graph& graph, const Pattern& pattern,
                                     const PairwiseCensusOptions& options);
 
 /// Node-driven baseline for an explicit pair list: materializes the
 /// intersection/union subgraph of each pair and matches inside it (whole
 /// pattern), or brute-force checks global matches (subpattern).
-Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
     const Graph& graph, const Pattern& pattern,
     std::span<const std::pair<NodeId, NodeId>> pairs,
     const PairwiseCensusOptions& options);
@@ -84,7 +90,7 @@ Result<std::vector<std::uint64_t>> RunPairwiseNdBas(
 /// ND-PVOT adapted to pairs (Appendix B): BFS both endpoints, replace
 /// d(n, n') by max (intersection) or min (union) of the two distances in
 /// the containment-avoidance bound.
-Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
+[[nodiscard]] Result<std::vector<std::uint64_t>> RunPairwiseNdPvot(
     const Graph& graph, const Pattern& pattern,
     std::span<const std::pair<NodeId, NodeId>> pairs,
     const PairwiseCensusOptions& options);

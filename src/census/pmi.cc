@@ -5,7 +5,7 @@
 
 namespace egocensus {
 
-Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
+[[nodiscard]] Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
                                             const std::string& subpattern) {
   if (subpattern.empty()) {
     std::vector<int> all(pattern.NumNodes());
@@ -23,6 +23,7 @@ Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
 PatternMatchIndex PatternMatchIndex::BuildOnNode(const MatchSet& matches,
                                                  int v) {
   PatternMatchIndex index;
+  // egolint: no-checkpoint(single linear index-build pass; engines poll)
   for (std::size_t i = 0; i < matches.size(); ++i) {
     index.index_[matches.Image(i, v)].push_back(
         static_cast<std::uint32_t>(i));
@@ -33,6 +34,7 @@ PatternMatchIndex PatternMatchIndex::BuildOnNode(const MatchSet& matches,
 PatternMatchIndex PatternMatchIndex::BuildOnAnchors(
     const MatchAnchors& anchors) {
   PatternMatchIndex index;
+  // egolint: no-checkpoint(single linear index-build pass; engines poll)
   for (std::size_t i = 0; i < anchors.NumMatches(); ++i) {
     for (int j = 0; j < anchors.NumAnchors(); ++j) {
       // Anchor images within a match are distinct (matches are injective),

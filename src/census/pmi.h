@@ -46,7 +46,7 @@ class MatchAnchors {
 
 /// Resolves the anchor pattern nodes for a census run: all pattern nodes
 /// when `subpattern` is empty, otherwise the named subpattern's nodes.
-Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
+[[nodiscard]] Result<std::vector<int>> ResolveAnchorNodes(const Pattern& pattern,
                                             const std::string& subpattern);
 
 /// Pattern match index (Section IV-A1): maps a database node to the ids of

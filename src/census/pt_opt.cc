@@ -57,6 +57,7 @@ CensusResult RunPtOpt(const CensusContext& ctx) {
   if (obs::Enabled()) {
     static const obs::HistogramHandle cluster_hist(
         "census/pt/cluster_size");
+    // egolint: no-checkpoint(O(clusters) metric recording, no match work)
     for (const auto& cluster : setup.clusters) {
       cluster_hist.Record(cluster.size());
     }

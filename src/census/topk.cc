@@ -43,7 +43,7 @@ PivotSetup MakePivotSetup(const Pattern& pattern,
 
 }  // namespace
 
-Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
                                  std::span<const NodeId> focal,
                                  const TopKOptions& options) {
   if (!pattern.prepared()) {
@@ -77,8 +77,12 @@ Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
   };
   std::vector<Bound> bounds;
   bounds.reserve(focal.size());
+  Governor* gov = options.governor;
   BfsWorkspace bfs;
   for (NodeId n : focal) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("top-k census (bounding pass)");
+    }
     if (n >= graph.NumNodes()) {
       return Status::OutOfRange("focal node out of range");
     }
@@ -137,6 +141,9 @@ Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
     return a.first != b.first ? a.first > b.first : a.second < b.second;
   };
   for (const Bound& b : bounds) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      return gov->ToStatus("top-k census (exact pass)");
+    }
     if (heap.size() == top_k &&
         (top_k == 0 || heap.front().first >= b.bound)) {
       break;  // no remaining node can displace the current top-K

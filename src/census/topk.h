@@ -29,6 +29,11 @@ struct TopKOptions {
   std::uint32_t k = 1;          // neighborhood radius
   std::size_t top_k = 10;       // how many nodes to return
   std::string subpattern;       // COUNTSP subpattern (empty = whole pattern)
+  /// Optional resource governor (see CensusOptions::governor). Both the
+  /// bounding pass and the exact-evaluation pass poll Checkpoint(); on stop
+  /// the run returns the governor's status — a truncated top-K would be
+  /// silently wrong, not partially useful. Not owned.
+  Governor* governor = nullptr;
 };
 
 /// Top-K query evaluation (the paper's Section VII future work): identify
@@ -48,7 +53,7 @@ struct TopKOptions {
 /// The result is exact. The savings come from never running containment
 /// checks for pruned nodes; on skewed (preferential-attachment) graphs the
 /// bound order prunes the vast majority of focal nodes.
-Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
+[[nodiscard]] Result<TopKResult> RunTopKCensus(const Graph& graph, const Pattern& pattern,
                                  std::span<const NodeId> focal,
                                  const TopKOptions& options);
 

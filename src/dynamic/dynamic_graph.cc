@@ -221,7 +221,7 @@ Graph DynamicGraph::Materialize() const {
       out.node_attributes().CopyFrom(base_.node_attributes(), n, n);
     }
   }
-  out.Finalize();
+  CheckOk(out.Finalize(), "extracted subgraph");
   return out;
 }
 
@@ -282,7 +282,7 @@ EgoSubgraph DynamicSubgraphExtractor::Extract(std::span<const NodeId> nodes,
                                            local_of_[g]);
     }
   }
-  out.graph.Finalize();
+  CheckOk(out.graph.Finalize(), "extracted subgraph");
   return out;
 }
 

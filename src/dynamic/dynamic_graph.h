@@ -112,24 +112,24 @@ class DynamicGraph {
   // --- Mutations --------------------------------------------------------
 
   /// Adds a node and returns its id.
-  Result<NodeId> AddNode(Label label = kDefaultLabel);
+  [[nodiscard]] Result<NodeId> AddNode(Label label = kDefaultLabel);
 
   /// Inserts edge u->v (undirected: u-v). Returns false if the edge already
   /// exists (no-op); errors on self-loops, out-of-range ids, or removed
   /// endpoints.
-  Result<bool> AddEdge(NodeId u, NodeId v);
+  [[nodiscard]] Result<bool> AddEdge(NodeId u, NodeId v);
 
   /// Deletes edge u->v (undirected: u-v). Returns false if the edge does
   /// not exist (no-op).
-  Result<bool> RemoveEdge(NodeId u, NodeId v);
+  [[nodiscard]] Result<bool> RemoveEdge(NodeId u, NodeId v);
 
   /// Tombstones node n: removes all incident edges and marks the id dead.
   /// Returns false if already removed.
-  Result<bool> RemoveNode(NodeId n);
+  [[nodiscard]] Result<bool> RemoveNode(NodeId n);
 
   /// Applies one GraphUpdate. For kAddNode the returned flag is always
   /// true (the new id is reported via new_node_id).
-  Result<bool> Apply(const GraphUpdate& update,
+  [[nodiscard]] Result<bool> Apply(const GraphUpdate& update,
                      NodeId* new_node_id = nullptr);
 
   // --- Compaction -------------------------------------------------------
@@ -174,7 +174,7 @@ class DynamicGraph {
   bool ViewContains(int view, NodeId u, NodeId v) const;
   void DeltaAddNeighbor(int view, NodeId n, NodeId x);
   void DeltaRemoveNeighbor(int view, NodeId n, NodeId x);
-  Status CheckEndpoints(NodeId u, NodeId v) const;
+  [[nodiscard]] Status CheckEndpoints(NodeId u, NodeId v) const;
 
   Graph base_;  // finalized
   std::uint32_t num_nodes_ = 0;

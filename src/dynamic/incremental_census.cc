@@ -159,6 +159,7 @@ Status IncrementalCensus::InitCounts(std::vector<NodeId> focal,
   } else {
     all_nodes_focal_ = false;
     focal_.assign(num_nodes, 0);
+    // egolint: no-checkpoint(O(|focal|) flag marking during Init)
     for (NodeId n : focal) {
       if (n >= num_nodes) {
         return Status::OutOfRange("IncrementalCensus: focal node " +
@@ -167,6 +168,7 @@ Status IncrementalCensus::InitCounts(std::vector<NodeId> focal,
       focal_[n] = 1;
     }
   }
+  // egolint: no-checkpoint(O(N) removed-node sweep during Init)
   for (NodeId n = 0; n < num_nodes; ++n) {
     if (graph_->NodeRemoved(n)) focal_[n] = 0;
   }
@@ -174,6 +176,7 @@ Status IncrementalCensus::InitCounts(std::vector<NodeId> focal,
   // Initial census on an equivalent static snapshot (the base CSR directly
   // when the overlay is clean).
   std::vector<NodeId> focal_list;
+  // egolint: no-checkpoint(O(N) focal-list build during Init)
   for (NodeId n = 0; n < num_nodes; ++n) {
     if (focal_[n]) focal_list.push_back(n);
   }

@@ -90,12 +90,12 @@ class IncrementalCensus {
   /// returns a maintainer. `graph` must outlive the returned object;
   /// `pattern` must be prepared. Patterns with edge-attribute predicates
   /// are not supported by the dynamic layer.
-  static Result<IncrementalCensus> Create(DynamicGraph* graph,
+  [[nodiscard]] static Result<IncrementalCensus> Create(DynamicGraph* graph,
                                           Pattern pattern, Options options);
 
   /// As above, restricted to an explicit focal set (removed and
   /// out-of-range ids are rejected). Nodes added later are not focal.
-  static Result<IncrementalCensus> Create(DynamicGraph* graph,
+  [[nodiscard]] static Result<IncrementalCensus> Create(DynamicGraph* graph,
                                           Pattern pattern, Options options,
                                           std::vector<NodeId> focal);
 
@@ -120,7 +120,7 @@ class IncrementalCensus {
   /// Count deltas are aggregated across the batch, delivered to listeners,
   /// and optionally returned via `deltas_out`. Invalid updates abort the
   /// batch with an error (already-applied prefix updates stay applied).
-  Result<MaintenanceStats> ApplyBatch(
+  [[nodiscard]] Result<MaintenanceStats> ApplyBatch(
       std::span<const GraphUpdate> updates,
       std::vector<CountDelta>* deltas_out = nullptr);
 
@@ -140,7 +140,7 @@ class IncrementalCensus {
     bool Contains(NodeId n) const;
   };
 
-  Status InitCounts(std::vector<NodeId> focal, bool all_nodes);
+  [[nodiscard]] Status InitCounts(std::vector<NodeId> focal, bool all_nodes);
   Ball MakeBall(NodeId source, std::uint32_t depth, BfsWorkspace* bfs) const;
 
   /// Enumerates the matches in the current topology whose validity depends
@@ -165,7 +165,7 @@ class IncrementalCensus {
 
   /// Maintains counts for one edge insert/delete. Returns whether the graph
   /// changed (false = no-op duplicate/missing edge).
-  Result<bool> ProcessEdgeUpdate(NodeId u, NodeId v, bool insert,
+  [[nodiscard]] Result<bool> ProcessEdgeUpdate(NodeId u, NodeId v, bool insert,
                                  DynamicSubgraphExtractor* extractor,
                                  BfsWorkspace* bfs,
                                  std::unordered_map<NodeId, std::int64_t>* acc,

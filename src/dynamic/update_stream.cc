@@ -6,7 +6,7 @@
 namespace egocensus {
 namespace {
 
-Status LineError(std::size_t line_no, const std::string& what) {
+[[nodiscard]] Status LineError(std::size_t line_no, const std::string& what) {
   return Status::ParseError("update stream line " + std::to_string(line_no) +
                             ": " + what);
 }
@@ -25,10 +25,11 @@ bool ParseNodeId(const std::string& token, NodeId* out) {
 
 }  // namespace
 
-Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
+[[nodiscard]] Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
   std::vector<GraphUpdate> updates;
   std::string line;
   std::size_t line_no = 0;
+  // egolint: no-checkpoint(I/O-bound parse, constant work per input line)
   while (std::getline(in, line)) {
     ++line_no;
     std::istringstream tokens(line);
@@ -92,7 +93,7 @@ Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in) {
   return updates;
 }
 
-Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path) {
+[[nodiscard]] Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open update stream: " + path);
   return ParseUpdateStream(in);

@@ -20,10 +20,10 @@ namespace egocensus {
 /// Blank lines and lines starting with '#' or '%' are skipped. Node ids are
 /// non-negative integers (ids beyond the current graph are validated at
 /// apply time, not parse time, so streams may reference nodes they add).
-Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in);
+[[nodiscard]] Result<std::vector<GraphUpdate>> ParseUpdateStream(std::istream& in);
 
 /// Reads and parses an update-stream file.
-Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path);
+[[nodiscard]] Result<std::vector<GraphUpdate>> LoadUpdateStream(const std::string& path);
 
 }  // namespace egocensus
 

@@ -182,7 +182,7 @@ class Governor {
   /// OK while running; otherwise the stop rendered as
   /// kCancelled / kDeadlineExceeded / kResourceExhausted with `context`
   /// naming the interrupted operation.
-  Status ToStatus(std::string_view context) const;
+  [[nodiscard]] Status ToStatus(std::string_view context) const;
 
  private:
   /// Records `r` if no stop is recorded yet (first writer wins) and bumps

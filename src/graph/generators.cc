@@ -30,7 +30,7 @@ Graph GeneratePreferentialAttachment(const GeneratorOptions& options) {
     graph.AddNode(RandomLabel(&rng, options.num_labels));
   }
   if (n == 0) {
-    graph.Finalize();
+    CheckOk(graph.Finalize(), "generator-built graph");
     return graph;
   }
 
@@ -81,7 +81,7 @@ Graph GeneratePreferentialAttachment(const GeneratorOptions& options) {
       endpoint_pool.push_back(t);
     }
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "generator-built graph");
   return graph;
 }
 
@@ -94,7 +94,7 @@ Graph GenerateErdosRenyi(std::uint32_t num_nodes, std::uint64_t num_edges,
     graph.AddNode(RandomLabel(&rng, num_labels));
   }
   if (num_nodes < 2) {
-    graph.Finalize();
+    CheckOk(graph.Finalize(), "generator-built graph");
     return graph;
   }
   const std::uint64_t max_edges =
@@ -112,7 +112,7 @@ Graph GenerateErdosRenyi(std::uint32_t num_nodes, std::uint64_t num_edges,
     graph.AddEdge(u, v);
     ++added;
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "generator-built graph");
   return graph;
 }
 
@@ -126,7 +126,7 @@ Graph GenerateWattsStrogatz(std::uint32_t num_nodes,
     graph.AddNode(RandomLabel(&rng, num_labels));
   }
   if (num_nodes < 2) {
-    graph.Finalize();
+    CheckOk(graph.Finalize(), "generator-built graph");
     return graph;
   }
   neighbors_each_side =
@@ -150,7 +150,7 @@ Graph GenerateWattsStrogatz(std::uint32_t num_nodes,
       graph.AddEdge(u, v);
     }
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "generator-built graph");
   return graph;
 }
 
@@ -164,7 +164,7 @@ Graph GenerateRmat(std::uint32_t scale_log2, std::uint64_t num_edges,
     graph.AddNode(RandomLabel(&rng, num_labels));
   }
   if (num_nodes < 2) {
-    graph.Finalize();
+    CheckOk(graph.Finalize(), "generator-built graph");
     return graph;
   }
   const std::uint64_t max_edges =
@@ -198,7 +198,7 @@ Graph GenerateRmat(std::uint32_t scale_log2, std::uint64_t num_edges,
     graph.AddEdge(u, v);
     ++added;
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "generator-built graph");
   return graph;
 }
 

@@ -58,14 +58,14 @@ class Graph {
   EdgeId AddEdge(NodeId u, NodeId v);
 
   /// Overrides the label of a node. Only valid before Finalize().
-  Status SetLabel(NodeId n, Label label);
+  [[nodiscard]] Status SetLabel(NodeId n, Label label);
 
   /// Sorts adjacency lists, flattens to CSR, and freezes the topology.
   /// Calling Finalize() twice returns an error and leaves the graph intact.
   /// `release_build_buffers` (default) frees the build-phase adjacency;
   /// graph objects recycled through Reset() pass false so the per-node
   /// buffers keep their capacity across populate/finalize cycles.
-  Status Finalize(bool release_build_buffers = true);
+  [[nodiscard]] Status Finalize(bool release_build_buffers = true);
 
   /// Returns the graph to the empty, un-finalized state while keeping
   /// every allocated buffer (labels, edge list, CSR arrays, and — when the

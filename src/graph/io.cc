@@ -6,7 +6,7 @@
 
 namespace egocensus {
 
-Status SaveGraph(const Graph& graph, const std::string& path) {
+[[nodiscard]] Status SaveGraph(const Graph& graph, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::InvalidArgument("cannot open for write: " + path);
   out << "egocensus-graph 1 " << (graph.directed() ? 1 : 0) << ' '
@@ -56,13 +56,13 @@ class LineReader {
     return static_cast<bool>(tokens_ >> *out);
   }
 
-  Status Error(const std::string& what) const {
+  [[nodiscard]] Status Error(const std::string& what) const {
     return Status::ParseError(source_ + " line " + std::to_string(line_no_) +
                               ": " + what);
   }
 
   /// Rejects trailing tokens on the current line, naming the first one.
-  Status ExpectEndOfLine() {
+  [[nodiscard]] Status ExpectEndOfLine() {
     std::string extra;
     if (tokens_ >> extra) {
       return Error("trailing token '" + extra + "'");
@@ -79,7 +79,7 @@ class LineReader {
 };
 
 /// Reads one unsigned decimal token <= max from the current line.
-Status ReadUint(LineReader& reader, const std::string& what,
+[[nodiscard]] Status ReadUint(LineReader& reader, const std::string& what,
                 std::uint64_t max, std::uint64_t* out) {
   std::string token;
   if (!reader.NextToken(&token)) {
@@ -103,7 +103,7 @@ Status ReadUint(LineReader& reader, const std::string& what,
 
 }  // namespace
 
-Result<Graph> ReadGraph(std::istream& in, const std::string& source) {
+[[nodiscard]] Result<Graph> ReadGraph(std::istream& in, const std::string& source) {
   LineReader reader(in, source);
 
   // Header: egocensus-graph 1 <directed> <num_nodes> <num_edges>
@@ -165,7 +165,11 @@ Result<Graph> ReadGraph(std::istream& in, const std::string& source) {
           !s.ok()) {
         return s;
       }
-      graph.SetLabel(static_cast<NodeId>(n), static_cast<Label>(label));
+      if (Status s =
+              graph.SetLabel(static_cast<NodeId>(n), static_cast<Label>(label));
+          !s.ok()) {
+        return s;
+      }
     }
     if (Status s = reader.ExpectEndOfLine(); !s.ok()) return s;
   }
@@ -210,17 +214,17 @@ Result<Graph> ReadGraph(std::istream& in, const std::string& source) {
     }
   }
 
-  graph.Finalize();
+  if (Status s = graph.Finalize(); !s.ok()) return s;
   return graph;
 }
 
-Result<Graph> LoadGraph(const std::string& path) {
+[[nodiscard]] Result<Graph> LoadGraph(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open: " + path);
   return ReadGraph(in, path);
 }
 
-Status WriteDot(const Graph& graph, std::ostream& out,
+[[nodiscard]] Status WriteDot(const Graph& graph, std::ostream& out,
                 std::uint32_t max_nodes) {
   if (!graph.finalized()) {
     return Status::InvalidArgument("graph must be finalized");

@@ -17,22 +17,22 @@ namespace egocensus {
 ///   one "u v" line per edge, in edge-id order
 /// Dynamic attributes are not persisted (the evaluation workloads assign
 /// them programmatically).
-Status SaveGraph(const Graph& graph, const std::string& path);
+[[nodiscard]] Status SaveGraph(const Graph& graph, const std::string& path);
 
 /// Loads a graph written by SaveGraph. The returned graph is finalized.
 /// Malformed input fails with a ParseError naming the 1-based line number
 /// and the offending token; trailing content after the edge list is an
 /// error, never silently ignored.
-Result<Graph> LoadGraph(const std::string& path);
+[[nodiscard]] Result<Graph> LoadGraph(const std::string& path);
 
 /// Stream-based core of LoadGraph; `source` names the input in errors.
-Result<Graph> ReadGraph(std::istream& in,
+[[nodiscard]] Result<Graph> ReadGraph(std::istream& in,
                         const std::string& source = "<stream>");
 
 /// Writes the graph in Graphviz DOT format (for visualization of small
 /// graphs / ego subgraphs). Nodes are annotated with their label when the
 /// graph is labeled; at most `max_nodes` nodes are emitted.
-Status WriteDot(const Graph& graph, std::ostream& out,
+[[nodiscard]] Status WriteDot(const Graph& graph, std::ostream& out,
                 std::uint32_t max_nodes = 500);
 
 }  // namespace egocensus

@@ -48,7 +48,7 @@ void SubgraphExtractor::ExtractInto(std::span<const NodeId> nodes,
                                             local_of_[g]);
     }
   }
-  out->graph.Finalize(/*release_build_buffers=*/false);
+  CheckOk(out->graph.Finalize(/*release_build_buffers=*/false), "extracted subgraph");
 }
 
 EgoSubgraph SubgraphExtractor::Extract(std::span<const NodeId> nodes,

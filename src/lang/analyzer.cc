@@ -23,7 +23,7 @@ const Pattern* ResolvePattern(const Query& query,
   return nullptr;
 }
 
-Status ValidateWhere(const Query& query, const WhereExpr* expr) {
+[[nodiscard]] Status ValidateWhere(const Query& query, const WhereExpr* expr) {
   if (expr == nullptr) return Status::Ok();
   switch (expr->kind) {
     case WhereExpr::Kind::kAnd:
@@ -50,7 +50,7 @@ Status ValidateWhere(const Query& query, const WhereExpr* expr) {
 
 }  // namespace
 
-Result<AnalyzedQuery> AnalyzeQuery(const Query& query,
+[[nodiscard]] Result<AnalyzedQuery> AnalyzeQuery(const Query& query,
                                    std::span<const Pattern> registered) {
   AnalyzedQuery analyzed;
   analyzed.query = &query;

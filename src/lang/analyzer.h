@@ -29,7 +29,7 @@ struct AnalyzedQuery {
 ///    queries use only SUBGRAPH-INTERSECTION/UNION referencing both aliases;
 ///  - pattern names resolve (inline patterns shadow registered ones);
 ///  - COUNTSP subpatterns exist in their patterns.
-Result<AnalyzedQuery> AnalyzeQuery(const Query& query,
+[[nodiscard]] Result<AnalyzedQuery> AnalyzeQuery(const Query& query,
                                    std::span<const Pattern> registered);
 
 }  // namespace egocensus

@@ -59,14 +59,14 @@ class QueryEngine {
     bool interrupted() const { return !status.ok(); }
   };
 
-  Result<ResultTable> Execute(std::string_view query_text,
+  [[nodiscard]] Result<ResultTable> Execute(std::string_view query_text,
                               const Options& options);
-  Result<ResultTable> Execute(std::string_view query_text) {
+  [[nodiscard]] Result<ResultTable> Execute(std::string_view query_text) {
     return Execute(query_text, Options());
   }
-  Result<ResultTable> ExecuteParsed(const Query& query,
+  [[nodiscard]] Result<ResultTable> ExecuteParsed(const Query& query,
                                     const Options& options);
-  Result<ResultTable> ExecuteParsed(const Query& query) {
+  [[nodiscard]] Result<ResultTable> ExecuteParsed(const Query& query) {
     return ExecuteParsed(query, Options());
   }
 
@@ -80,7 +80,7 @@ class QueryEngine {
 
   /// First non-OK aggregate exec status of the last query, or OK. The CLI
   /// exits non-zero on this even though Execute returned a (partial) table.
-  Status last_exec_status() const {
+  [[nodiscard]] Status last_exec_status() const {
     for (const AggregateExec& exec : last_exec_) {
       if (!exec.status.ok()) return exec.status;
     }
@@ -88,9 +88,9 @@ class QueryEngine {
   }
 
  private:
-  Result<ResultTable> ExecuteSingle(const AnalyzedQuery& analyzed,
+  [[nodiscard]] Result<ResultTable> ExecuteSingle(const AnalyzedQuery& analyzed,
                                     const Options& options);
-  Result<ResultTable> ExecutePairwise(const AnalyzedQuery& analyzed,
+  [[nodiscard]] Result<ResultTable> ExecutePairwise(const AnalyzedQuery& analyzed,
                                       const Options& options);
 
   /// Lazily built per-graph indexes, shared across queries on this engine:

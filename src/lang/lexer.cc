@@ -30,7 +30,7 @@ constexpr std::string_view kSinglePunct = "-=<>{}[](),;.*!+/%";
 
 }  // namespace
 
-Result<std::vector<Token>> Tokenize(std::string_view source) {
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view source) {
   std::vector<Token> tokens;
   std::size_t i = 0;
   const std::size_t n = source.size();

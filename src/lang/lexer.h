@@ -40,7 +40,7 @@ struct Token {
 /// pattern edge operators (-, ->, <-, !-, !->, !<-), comparison operators
 /// (=, !=, <>, <, <=, >, >=), and structural characters ({}[](),;.*).
 /// Comments: "--" to end of line.
-Result<std::vector<Token>> Tokenize(std::string_view source);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view source);
 
 }  // namespace egocensus
 

@@ -43,16 +43,16 @@ class MaintainSession {
   /// and returns a live session. `registered` supplies library patterns
   /// usable by name (inline PATTERN blocks shadow them). `graph` must
   /// outlive the session.
-  static Result<MaintainSession> Create(DynamicGraph* graph,
+  [[nodiscard]] static Result<MaintainSession> Create(DynamicGraph* graph,
                                         std::string_view query_text,
                                         const Options& options,
                                         std::span<const Pattern> registered);
-  static Result<MaintainSession> Create(DynamicGraph* graph,
+  [[nodiscard]] static Result<MaintainSession> Create(DynamicGraph* graph,
                                         std::string_view query_text,
                                         const Options& options) {
     return Create(graph, query_text, options, {});
   }
-  static Result<MaintainSession> Create(DynamicGraph* graph,
+  [[nodiscard]] static Result<MaintainSession> Create(DynamicGraph* graph,
                                         std::string_view query_text) {
     return Create(graph, query_text, Options(), {});
   }
@@ -60,7 +60,7 @@ class MaintainSession {
   /// Applies the updates and returns the count changes as a table with
   /// columns ID | OLD | NEW | DELTA (one row per focal node whose count
   /// changed, ascending by id).
-  Result<ResultTable> ApplyBatch(std::span<const GraphUpdate> updates);
+  [[nodiscard]] Result<ResultTable> ApplyBatch(std::span<const GraphUpdate> updates);
 
   /// Current maintained result: ID | <aggregate> rows for every focal
   /// node, ascending by id.

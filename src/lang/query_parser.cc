@@ -13,7 +13,7 @@ class QueryParser {
  public:
   explicit QueryParser(const std::vector<Token>& tokens) : tokens_(tokens) {}
 
-  Result<Query> Parse() {
+  [[nodiscard]] Result<Query> Parse() {
     Query query;
     while (tokens_[pos_].IsKeyword("PATTERN")) {
       auto pattern = ParsePatternAt(tokens_, &pos_);
@@ -96,17 +96,17 @@ class QueryParser {
     }
     return false;
   }
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     return Status::ParseError(message + " at offset " +
                               std::to_string(Peek().offset));
   }
-  Status Expect(std::string_view p) {
+  [[nodiscard]] Status Expect(std::string_view p) {
     if (!ConsumePunct(p)) return Error("expected '" + std::string(p) + "'");
     return Status::Ok();
   }
 
   /// Parses `ID` or `alias.ID`; returns the alias ("" for bare ID).
-  Result<std::string> ParseNodeRef() {
+  [[nodiscard]] Result<std::string> ParseNodeRef() {
     if (Peek().IsKeyword("ID")) {
       Next();
       return std::string();
@@ -121,7 +121,7 @@ class QueryParser {
     return alias;
   }
 
-  Result<NeighborhoodSpec> ParseNeighborhood() {
+  [[nodiscard]] Result<NeighborhoodSpec> ParseNeighborhood() {
     NeighborhoodSpec spec;
     if (ConsumeKeyword("SUBGRAPH")) {
       spec.kind = NeighborhoodSpec::Kind::kSubgraph;
@@ -155,7 +155,7 @@ class QueryParser {
     return spec;
   }
 
-  Result<SelectItem> ParseSelectItem() {
+  [[nodiscard]] Result<SelectItem> ParseSelectItem() {
     SelectItem item;
     if (Peek().IsKeyword("COUNTP") || Peek().IsKeyword("COUNTSP")) {
       bool subpattern = Peek().IsKeyword("COUNTSP");
@@ -194,7 +194,7 @@ class QueryParser {
 
   // ---- WHERE expression, precedence OR < AND < NOT < comparison ----
 
-  Result<WhereExprPtr> ParseOr() {
+  [[nodiscard]] Result<WhereExprPtr> ParseOr() {
     auto left = ParseAnd();
     if (!left.ok()) return left.status();
     WhereExprPtr node = std::move(left).value();
@@ -210,7 +210,7 @@ class QueryParser {
     return node;
   }
 
-  Result<WhereExprPtr> ParseAnd() {
+  [[nodiscard]] Result<WhereExprPtr> ParseAnd() {
     auto left = ParseUnary();
     if (!left.ok()) return left.status();
     WhereExprPtr node = std::move(left).value();
@@ -226,7 +226,7 @@ class QueryParser {
     return node;
   }
 
-  Result<WhereExprPtr> ParseUnary() {
+  [[nodiscard]] Result<WhereExprPtr> ParseUnary() {
     if (ConsumeKeyword("NOT")) {
       auto inner = ParseUnary();
       if (!inner.ok()) return inner.status();
@@ -245,7 +245,7 @@ class QueryParser {
     return ParseComparison();
   }
 
-  Result<WhereExprPtr> ParseComparison() {
+  [[nodiscard]] Result<WhereExprPtr> ParseComparison() {
     auto lhs = ParseWhereOperand();
     if (!lhs.ok()) return lhs.status();
     std::optional<PredicateOp> op = ParseComparisonOp();
@@ -283,7 +283,7 @@ class QueryParser {
     return op;
   }
 
-  Result<WhereOperand> ParseWhereOperand() {
+  [[nodiscard]] Result<WhereOperand> ParseWhereOperand() {
     WhereOperand operand;
     const Token& tok = Peek();
     if (tok.IsKeyword("RND")) {
@@ -336,7 +336,7 @@ class QueryParser {
 
 }  // namespace
 
-Result<Query> ParseQuery(std::string_view text) {
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text) {
   auto tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
   QueryParser parser(*tokens);

@@ -22,7 +22,7 @@ namespace egocensus {
 /// (alias.ATTR or bare ATTR), constants and RND() (a per-evaluation uniform
 /// draw in [0,1), the paper's focal-node selectivity construct), combined
 /// with AND / OR / NOT and parentheses.
-Result<Query> ParseQuery(std::string_view text);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text);
 
 }  // namespace egocensus
 

@@ -47,6 +47,10 @@ MatchSet CnMatcher::DoFindMatches(const Graph& graph,
       EnumerateCandidates(graph, *profiles, pattern);
   std::vector<CandidateState> state(arity);
   for (int v = 0; v < arity; ++v) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      interrupted_ = true;
+      return matches;
+    }
     state[v].cands = std::move(initial[v]);
     EGO_HIST_RECORD("match/cn/candidate_set_size", state[v].cands.size());
     stats_.initial_candidates += state[v].cands.size();

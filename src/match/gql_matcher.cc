@@ -69,6 +69,10 @@ MatchSet GqlMatcher::DoFindMatches(const Graph& graph,
       EnumerateCandidates(graph, *profiles, pattern);
   std::vector<std::vector<char>> is_cand(arity);
   for (int v = 0; v < arity; ++v) {
+    if (gov != nullptr && gov->Checkpoint() != StopReason::kNone) {
+      interrupted_ = true;
+      return matches;
+    }
     EGO_HIST_RECORD("match/gql/candidate_set_size", cands[v].size());
     stats_.initial_candidates += cands[v].size();
     if (cands[v].empty()) return matches;
@@ -175,9 +179,14 @@ MatchSet GqlMatcher::DoFindMatches(const Graph& graph,
     // candidate-neighbor lists avoid; its size distribution is the
     // observable half of the Fig. 4(a)/(b) gap.
     EGO_HIST_RECORD("match/gql/scan_set_size", cands[v].size());
+    // Each accepted candidate re-enters extend through self(self, i + 1),
+    // which polls Checkpoint per search-tree node; that recursion is
+    // invisible to name-level call analysis.
+    // egolint: no-checkpoint(recursion via self() polls per tree node)
     for (NodeId x : cands[v]) {
       ++stats_.extension_checks;
       bool ok = true;
+      // egolint: no-checkpoint(bounded by the pattern backward-edge count)
       for (const auto& adj : backward[i]) {
         NodeId matched = assignment[adj.node];
         if (directed) {

@@ -89,11 +89,11 @@ class Pattern {
   void AddPredicate(PatternPredicate predicate);
 
   /// Declares a named subpattern over a subset of the variables.
-  Status AddSubpattern(const std::string& name,
+  [[nodiscard]] Status AddSubpattern(const std::string& name,
                        const std::vector<std::string>& vars);
 
   /// Validates and precomputes. Must be called exactly once, before use.
-  Status Prepare();
+  [[nodiscard]] Status Prepare();
 
   // --- Accessors (require Prepare()) -------------------------------------
 
@@ -178,7 +178,7 @@ class Pattern {
   std::string ToString() const;
 
  private:
-  Status ValidateStructure() const;
+  [[nodiscard]] Status ValidateStructure() const;
   void ComputeDistances();
   void ComputeSearchOrder();
   void ComputeSymmetryConditions();

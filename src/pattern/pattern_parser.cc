@@ -34,14 +34,14 @@ class Cursor {
     return false;
   }
 
-  Status Expect(std::string_view punct) {
+  [[nodiscard]] Status Expect(std::string_view punct) {
     if (!ConsumePunct(punct)) {
       return Error("expected '" + std::string(punct) + "'");
     }
     return Status::Ok();
   }
 
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     return Status::ParseError(message + " at offset " +
                               std::to_string(Peek().offset));
   }
@@ -90,7 +90,7 @@ std::optional<PredicateOp> ParsePredicateOp(Cursor* cur) {
   return op;
 }
 
-Result<PredicateOperand> ParseOperand(Cursor* cur, Pattern* pattern) {
+[[nodiscard]] Result<PredicateOperand> ParseOperand(Cursor* cur, Pattern* pattern) {
   const Token& tok = cur->Peek();
   if (tok.type == Token::Type::kVariable) {
     std::string var = cur->Next().text;
@@ -169,7 +169,7 @@ bool TryCompileLabelConstraint(const PatternPredicate& pred,
   return true;
 }
 
-Status ParsePatternBody(Cursor* cur, Pattern* pattern) {
+[[nodiscard]] Status ParsePatternBody(Cursor* cur, Pattern* pattern) {
   Status s = cur->Expect("{");
   if (!s.ok()) return s;
   while (!cur->ConsumePunct("}")) {
@@ -254,7 +254,7 @@ Status ParsePatternBody(Cursor* cur, Pattern* pattern) {
 
 }  // namespace
 
-Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
+[[nodiscard]] Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
                                std::size_t* cursor) {
   Cursor cur(tokens, *cursor);
   if (!cur.ConsumeKeyword("PATTERN")) {
@@ -272,7 +272,7 @@ Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
   return pattern;
 }
 
-Result<Pattern> ParsePattern(std::string_view text) {
+[[nodiscard]] Result<Pattern> ParsePattern(std::string_view text) {
   auto tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
   std::size_t cursor = 0;
@@ -284,7 +284,7 @@ Result<Pattern> ParsePattern(std::string_view text) {
   return pattern;
 }
 
-Result<std::vector<Pattern>> ParsePatterns(std::string_view text) {
+[[nodiscard]] Result<std::vector<Pattern>> ParsePatterns(std::string_view text) {
   auto tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
   std::vector<Pattern> patterns;

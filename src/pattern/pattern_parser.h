@@ -28,15 +28,15 @@ namespace egocensus {
 /// Predicates of the form [?X.LABEL = <integer>] are compiled into label
 /// constraints (the selection-predicate optimization of footnote 1).
 /// The returned pattern is validated and Prepare()d.
-Result<Pattern> ParsePattern(std::string_view text);
+[[nodiscard]] Result<Pattern> ParsePattern(std::string_view text);
 
 /// Parses a sequence of PATTERN blocks.
-Result<std::vector<Pattern>> ParsePatterns(std::string_view text);
+[[nodiscard]] Result<std::vector<Pattern>> ParsePatterns(std::string_view text);
 
 /// Internal entry point shared with the query parser: parses one PATTERN
 /// block starting at token index *cursor (which must point at the PATTERN
 /// keyword); advances *cursor past the closing brace.
-Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
+[[nodiscard]] Result<Pattern> ParsePatternAt(const std::vector<Token>& tokens,
                                std::size_t* cursor);
 
 }  // namespace egocensus

@@ -1,6 +1,16 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace egocensus {
+
+void CheckOk(const Status& status, const char* context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "CheckOk failed (%s): %s\n", context,
+               status.ToString().c_str());
+  std::abort();
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -25,40 +25,54 @@ enum class StatusCode {
 /// Uppercase wire/CSV name of a code ("OK", "DEADLINE_EXCEEDED", ...).
 const char* StatusCodeName(StatusCode code);
 
+class Status;
+
+/// Aborts the process (after printing `context` and the status to stderr)
+/// when `status` is not OK. For consuming a Status at sites where failure is
+/// a programming error rather than an input error — builder calls on freshly
+/// constructed graphs, test fixtures — so the result is handled explicitly
+/// instead of silently discarded (egolint: status-discipline).
+void CheckOk(const Status& status, const char* context);
+
 /// Lightweight status object carrying a code and a human-readable message.
-class Status {
+/// The type itself is [[nodiscard]]: any call that returns a Status by value
+/// and ignores it is a compile error under -Werror and an egolint
+/// status-discipline finding (see docs/STATIC_ANALYSIS.md). Call sites that
+/// genuinely cannot fail discard explicitly with a reasoned
+/// `// egolint: allow-discard(...)` suppression.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
@@ -75,9 +89,10 @@ class Status {
 };
 
 /// Holds either a value of type T or an error Status. Mirrors the common
-/// StatusOr / std::expected idiom.
+/// StatusOr / std::expected idiom. [[nodiscard]] like Status: dropping a
+/// Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status, so `return value;` and
   /// `return Status::ParseError(...)` both work.

@@ -26,17 +26,17 @@ TEST(BrokerageTest, RolesClassifiedCorrectly) {
   // Orgs: 0 -> org0, 1 -> org0, 2 -> org0, 3 -> org1, 4 -> org2.
   Graph g(true);
   g.AddNodes(5);
-  g.SetLabel(0, 0);
-  g.SetLabel(1, 0);
-  g.SetLabel(2, 0);
-  g.SetLabel(3, 1);
-  g.SetLabel(4, 2);
+  CheckOk(g.SetLabel(0, 0), "test fixture setup");
+  CheckOk(g.SetLabel(1, 0), "test fixture setup");
+  CheckOk(g.SetLabel(2, 0), "test fixture setup");
+  CheckOk(g.SetLabel(3, 1), "test fixture setup");
+  CheckOk(g.SetLabel(4, 2), "test fixture setup");
   g.AddEdge(0, 1);  // org0 -> org0
   g.AddEdge(1, 2);  // 0->1->2: coordinator at 1 (all org0)
   g.AddEdge(3, 1);  // org1 -> org0; 3->1->2: gatekeeper at 1
   g.AddEdge(1, 3);  // 0->1->3: representative at 1 (A,B org0; C org1)
   g.AddEdge(3, 4);  // 1->3->4: liaison at 3 (org0, org1, org2)
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
 
   auto result = ComputeBrokerage(g, CensusOptions());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -54,12 +54,12 @@ TEST(BrokerageTest, ConsultantRole) {
   // A and C in org 0, broker B in org 1: consultant.
   Graph g(true);
   g.AddNodes(3);
-  g.SetLabel(0, 0);
-  g.SetLabel(1, 1);
-  g.SetLabel(2, 0);
+  CheckOk(g.SetLabel(0, 0), "test fixture setup");
+  CheckOk(g.SetLabel(1, 1), "test fixture setup");
+  CheckOk(g.SetLabel(2, 0), "test fixture setup");
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto result = ComputeBrokerage(g, CensusOptions());
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->counts[1][static_cast<int>(BrokerageRole::kConsultant)],
@@ -71,11 +71,11 @@ TEST(BrokerageTest, ClosedTriadNotBrokered) {
   // A -> C shortcut closes the triad: no brokerage.
   Graph g(true);
   g.AddNodes(3);
-  for (NodeId n = 0; n < 3; ++n) g.SetLabel(n, 0);
+  for (NodeId n = 0; n < 3; ++n) CheckOk(g.SetLabel(n, 0), "test fixture setup");
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
   g.AddEdge(0, 2);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto result = ComputeBrokerage(g, CensusOptions());
   ASSERT_TRUE(result.ok());
   for (int r = 0; r < kNumBrokerageRoles; ++r) {

@@ -101,7 +101,7 @@ TEST(JaccardTest, SimpleWedge) {
   g.AddNodes(3);
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto scores = ComputeJaccardScores(g);
   ASSERT_EQ(scores.size(), 1u);
   EXPECT_EQ(scores[0].first, PackPair(0, 2));

@@ -167,7 +167,7 @@ TEST(SubgraphTest, EdgeAttributesCopied) {
   EdgeId e = g.AddEdge(0, 1);
   g.AddEdge(1, 2);
   g.edge_attributes().Set(e, "SIGN", std::int64_t{-1});
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   SubgraphExtractor extractor(g);
   EgoSubgraph sub = extractor.ExtractKHop(0, 1);
   ASSERT_EQ(sub.graph.NumEdges(), 1u);

@@ -101,12 +101,12 @@ TEST(CensusTest, SubpatternCoordinatorAtKZero) {
   // Table I row 4: count triads in which the focal node is the coordinator.
   Graph g(true);
   g.AddNodes(5);
-  for (NodeId n = 0; n < 5; ++n) g.SetLabel(n, 1);
+  for (NodeId n = 0; n < 5; ++n) CheckOk(g.SetLabel(n, 1), "test fixture setup");
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);  // triad 0->1->2, coordinator 1
   g.AddEdge(1, 3);  // triad 0->1->3, coordinator 1
   g.AddEdge(3, 4);  // triad 1->3->4, coordinator 3
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   Pattern triad = MakeCoordinatorTriad();
   auto focal = AllNodes(g);
   for (auto algorithm : kAllAlgorithms) {

@@ -165,7 +165,7 @@ TEST(DynamicGraphTest, DirectedViewsTrackReverseArcs) {
   Graph base(true);
   base.AddNodes(3);
   base.AddEdge(0, 1);
-  base.Finalize();
+  CheckOk(base.Finalize(), "test fixture setup");
   DynamicGraph dg(std::move(base));
 
   // Adding the reverse arc must not duplicate the undirected view entry.

@@ -1,0 +1,394 @@
+// egolint over fixture snippets: one positive and one suppressed case per
+// check, with exact finding counts and exit codes, plus the structural
+// rules (ambiguous names, driven functions, directory scoping) that keep
+// the checks useful on the real tree — and a full-repo smoke run asserting
+// the tree lints clean inside the CI time budget.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "egolint.h"
+
+namespace egolint {
+namespace {
+
+std::vector<Finding> Lint(std::vector<SourceFile> files) {
+  return RunLint(files, LintOptions{});
+}
+
+// ---- status-discipline -------------------------------------------------
+
+TEST(EgolintStatusTest, FlagsStatusFunctionWithoutNodiscard) {
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h", "class Status;\nStatus Load();\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "status-discipline");
+  EXPECT_EQ(findings[0].file, "src/util/thing.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("Load"), std::string::npos);
+  EXPECT_EQ(ExitCodeFor(findings), 1);
+}
+
+TEST(EgolintStatusTest, NodiscardSuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h",
+       "class Status;\n"
+       "// egolint: no-nodiscard(kept source-compatible for plugins)\n"
+       "Status Load();\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+  EXPECT_EQ(ExitCodeFor(findings), 0);
+}
+
+TEST(EgolintStatusTest, FlagsDiscardedStatusCall) {
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h", "class Status;\n[[nodiscard]] Status Save();\n"},
+      {"src/util/user.cc", "void F() {\n  Save();\n}\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "status-discipline");
+  EXPECT_EQ(findings[0].file, "src/util/user.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(EgolintStatusTest, VoidCastIsStillADiscard) {
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h", "class Status;\n[[nodiscard]] Status Save();\n"},
+      {"src/util/user.cc", "void F() {\n  (void)Save();\n}\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("(void)"), std::string::npos);
+}
+
+TEST(EgolintStatusTest, DiscardSuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h", "class Status;\n[[nodiscard]] Status Save();\n"},
+      {"src/util/user.cc",
+       "void F() {\n"
+       "  Save();  // egolint: allow-discard(best-effort cache flush)\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintStatusTest, AmbiguousNameIsNotFlaggedAtCallSites) {
+  // Graph::AddNode returns NodeId while DynamicGraph::AddNode returns
+  // Result<NodeId>; a name-level pass must not guess which one a call site
+  // resolves to.
+  std::vector<Finding> findings = Lint({
+      {"src/util/thing.h",
+       "class Status;\n"
+       "template <class T> class Result;\n"
+       "[[nodiscard]] Result<int> AddNode(int label);\n"
+       "int AddNode(int label, int weight);\n"},
+      {"src/util/user.cc", "void F() {\n  AddNode(1, 2);\n}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- checkpoint-coverage -----------------------------------------------
+
+constexpr const char* kUnpolledLoop =
+    "void Run() {\n"
+    "  for (int i = 0; i < num_focal; ++i) {\n"
+    "    Work(focal[i]);\n"
+    "  }\n"
+    "}\n";
+
+TEST(EgolintCheckpointTest, FlagsUnpolledFocalLoopInCheckedDir) {
+  std::vector<Finding> findings =
+      Lint({{"src/census/fake_engine.cc", kUnpolledLoop}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "checkpoint-coverage");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(ExitCodeFor(findings), 1);
+}
+
+TEST(EgolintCheckpointTest, OutsideCheckedDirsIsExempt) {
+  std::vector<Finding> findings =
+      Lint({{"src/graph/fake_engine.cc", kUnpolledLoop}});
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintCheckpointTest, DirectPollPasses) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/fake_engine.cc",
+       "void Run() {\n"
+       "  for (int i = 0; i < num_focal; ++i) {\n"
+       "    if (gov->Checkpoint() != StopReason::kNone) return;\n"
+       "    Work(focal[i]);\n"
+       "  }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintCheckpointTest, LoopInsideDrivenLambdaIsCovered) {
+  // The engines' split: the driver loop polls per item and hands the item
+  // to `process`; loops inside `process` ride on the driver's poll.
+  std::vector<Finding> findings = Lint({
+      {"src/census/fake_engine.cc",
+       "void Run() {\n"
+       "  auto process = [&](int n) {\n"
+       "    for (int j = 0; j < n; ++j) Touch(matches[j]);\n"
+       "  };\n"
+       "  for (int i = 0; i < num_focal; ++i) {\n"
+       "    if (gov->Checkpoint() != StopReason::kNone) return;\n"
+       "    process(focal[i]);\n"
+       "  }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintCheckpointTest, RemovingTheDriverPollUnrootsTheDrivenChain) {
+  // Same shape as above minus the poll: both the driver loop and the loop
+  // inside `process` must fire, mirroring the CI demo of deleting a
+  // Checkpoint from an ND engine.
+  std::vector<Finding> findings = Lint({
+      {"src/census/fake_engine.cc",
+       "void Run() {\n"
+       "  auto process = [&](int n) {\n"
+       "    for (int j = 0; j < n; ++j) Touch(matches[j]);\n"
+       "  };\n"
+       "  for (int i = 0; i < num_focal; ++i) {\n"
+       "    process(focal[i]);\n"
+       "  }\n"
+       "}\n"},
+  });
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].check, "checkpoint-coverage");
+  EXPECT_EQ(findings[1].check, "checkpoint-coverage");
+}
+
+TEST(EgolintCheckpointTest, SuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/fake_engine.cc",
+       "void Run() {\n"
+       "  // egolint: no-checkpoint(O(|focal|) flag stores, no match work)\n"
+       "  for (int i = 0; i < num_focal; ++i) {\n"
+       "    Work(focal[i]);\n"
+       "  }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- obs-gating ---------------------------------------------------------
+
+TEST(EgolintObsTest, FlagsUngatedObsInternalReference) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/user.cc", "void F() {\n  obs::Registry::Global();\n}\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "obs-gating");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("Registry"), std::string::npos);
+}
+
+TEST(EgolintObsTest, PreprocessorGateSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/user.cc",
+       "void F() {\n"
+       "#if EGO_OBS_ENABLED\n"
+       "  obs::Registry::Global();\n"
+       "#endif\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintObsTest, ElseBranchOfGateIsNotGated) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/user.cc",
+       "void F() {\n"
+       "#if EGO_OBS_ENABLED\n"
+       "  Fine();\n"
+       "#else\n"
+       "  obs::Registry::Global();\n"
+       "#endif\n"
+       "}\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(EgolintObsTest, SelfGatedSurfaceIsExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/user.cc",
+       "void F() {\n"
+       "  obs::CounterAdd(\"census/runs\", 1);\n"
+       "  obs::ScopedSpan span(\"census/count\");\n"
+       "  if (obs::Enabled()) Report();\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintObsTest, ObsDirectoryItselfIsExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/obs/metrics.cc", "void F() {\n  obs::Registry::Global();\n}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintObsTest, SuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/census/user.cc",
+       "void F() {\n"
+       "  // egolint: allow-obs(export path, only reachable from the CLI)\n"
+       "  obs::Registry::Global();\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- include-hygiene ----------------------------------------------------
+
+TEST(EgolintIncludeTest, FlagsHeaderIncludeCycleOnce) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.h", "#include \"graph/b.h\"\nint A();\n"},
+      {"src/graph/b.h", "#include \"graph/a.h\"\nint B();\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "include-hygiene");
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(EgolintIncludeTest, AcyclicIncludesAreClean) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.h", "#include \"graph/b.h\"\nint A();\n"},
+      {"src/graph/b.h", "int B();\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintIncludeTest, FlagsUsingNamespaceInHeaderOnly) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.h", "using namespace std;\n"},
+      {"src/graph/a.cc", "using namespace std;\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/graph/a.h");
+  EXPECT_EQ(findings[0].check, "include-hygiene");
+}
+
+TEST(EgolintIncludeTest, SuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.h",
+       "// egolint: allow-using-namespace(test-only convenience header)\n"
+       "using namespace std;\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- suppression audit --------------------------------------------------
+
+TEST(EgolintSuppressionTest, UnknownSuppressionNameIsAFinding) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.cc", "// egolint: no-such-check(whatever)\nint x;\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "suppression");
+  EXPECT_NE(findings[0].message.find("no-such-check"), std::string::npos);
+}
+
+TEST(EgolintSuppressionTest, ReasonlessSuppressionIsAFindingAndDoesNotHide) {
+  // A reasonless no-checkpoint neither counts as an audit-clean
+  // suppression nor silences the loop it sits on.
+  std::vector<Finding> findings = Lint({
+      {"src/census/fake_engine.cc",
+       "void Run() {\n"
+       "  // egolint: no-checkpoint()\n"
+       "  for (int i = 0; i < num_focal; ++i) Work(focal[i]);\n"
+       "}\n"},
+  });
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].check, "suppression");
+  EXPECT_EQ(findings[1].check, "checkpoint-coverage");
+}
+
+TEST(EgolintSuppressionTest, ProseMentioningEgolintIsNotASuppression) {
+  std::vector<Finding> findings = Lint({
+      {"src/graph/a.cc",
+       "// This call is checked by egolint: status-discipline covers it.\n"
+       "int x;\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---- driver plumbing ----------------------------------------------------
+
+TEST(EgolintDriverTest, CheckFilterRunsOnlySelectedChecks) {
+  LintOptions options;
+  options.checks = {"obs-gating"};
+  std::vector<Finding> findings = RunLint(
+      {
+          {"src/util/thing.h", "class Status;\nStatus Load();\n"},
+          {"src/census/user.cc",
+           "void F() {\n  obs::Registry::Global();\n}\n"},
+      },
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "obs-gating");
+}
+
+TEST(EgolintDriverTest, KnownCheckNames) {
+  EXPECT_TRUE(IsKnownCheck("status-discipline"));
+  EXPECT_TRUE(IsKnownCheck("checkpoint-coverage"));
+  EXPECT_TRUE(IsKnownCheck("obs-gating"));
+  EXPECT_TRUE(IsKnownCheck("include-hygiene"));
+  EXPECT_FALSE(IsKnownCheck("made-up"));
+}
+
+TEST(EgolintDriverTest, FormatAndJsonCarryFileLineCheck) {
+  Finding f{"src/a.cc", 7, "obs-gating", "allow-obs", "msg"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cc:7: [obs-gating] msg");
+  std::string json = FindingsToJson({f});
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+// ---- full-repo smoke ----------------------------------------------------
+
+#ifdef EGOCENSUS_REPO_SRC
+TEST(EgolintRepoTest, RepoLintsCleanWithinBudget) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (auto it = fs::recursive_directory_iterator(EGOCENSUS_REPO_SRC);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    std::ifstream in(it->path());
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back(SourceFile{it->path().generic_string(), content.str()});
+  }
+  ASSERT_GT(files.size(), 50u) << "repo scan found suspiciously few files";
+
+  auto begin = std::chrono::steady_clock::now();
+  std::vector<Finding> findings = Lint(std::move(files));
+  auto elapsed = std::chrono::steady_clock::now() - begin;
+
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << FormatFinding(f);
+  }
+  EXPECT_EQ(ExitCodeFor(findings), 0);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000)
+      << "full-repo lint must stay inside the 2s CI smoke budget";
+}
+#endif  // EGOCENSUS_REPO_SRC
+
+}  // namespace
+}  // namespace egolint

@@ -96,11 +96,11 @@ TEST(EngineTest, WhereRndIsDeterministicPerSeed) {
 TEST(EngineTest, CoordinatorTriadQueryEndToEnd) {
   Graph g(true);
   g.AddNodes(4);
-  for (NodeId n = 0; n < 4; ++n) g.SetLabel(n, 2);
+  for (NodeId n = 0; n < 4; ++n) CheckOk(g.SetLabel(n, 2), "test fixture setup");
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
   g.AddEdge(1, 3);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   QueryEngine engine(g);
   auto result = engine.Execute(
       "PATTERN triad {\n"

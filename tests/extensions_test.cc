@@ -98,11 +98,11 @@ TEST(TopKCensusTest, SubpatternSupported) {
   Pattern triad = MakeCoordinatorTriad();
   Graph g(true);
   g.AddNodes(5);
-  for (NodeId n = 0; n < 5; ++n) g.SetLabel(n, 1);
+  for (NodeId n = 0; n < 5; ++n) CheckOk(g.SetLabel(n, 1), "test fixture setup");
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
   g.AddEdge(1, 3);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto focal = AllNodes(g);
   TopKOptions opts;
   opts.k = 0;

@@ -11,7 +11,7 @@ using testing::MakeGraph;
 
 TEST(GraphTest, EmptyGraph) {
   Graph g;
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   EXPECT_EQ(g.NumNodes(), 0u);
   EXPECT_EQ(g.NumEdges(), 0u);
   EXPECT_EQ(g.NumLabels(), 1u);
@@ -56,7 +56,7 @@ TEST(GraphTest, SelfLoopRejected) {
   EXPECT_EQ(g.AddEdge(0, 0), kInvalidEdge);
   EXPECT_EQ(g.AddEdge(0, 5), kInvalidEdge);
   EXPECT_NE(g.AddEdge(0, 1), kInvalidEdge);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   EXPECT_EQ(g.NumEdges(), 1u);
 }
 
@@ -113,7 +113,7 @@ TEST(GraphTest, EdgeAttributes) {
   EdgeId e1 = g.AddEdge(1, 2);
   g.edge_attributes().Set(e0, "sign", std::int64_t{1});
   g.edge_attributes().Set(e1, "sign", std::int64_t{-1});
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto found = g.FindEdge(1, 2);
   ASSERT_TRUE(found.has_value());
   auto sign = g.edge_attributes().Get(*found, "SIGN");

@@ -29,7 +29,7 @@ Graph RebuildFromScratch(const DynamicGraph& dg) {
       g.AddEdge(n, x);
     }
   }
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 

@@ -31,7 +31,7 @@ TEST(MatcherEdgeCaseTest, PatternLargerThanGraph) {
 
 TEST(MatcherEdgeCaseTest, EmptyGraph) {
   Graph g;
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   CnMatcher cn;
   EXPECT_EQ(cn.FindMatches(g, MakeSingleNode()).size(), 0u);
   EXPECT_EQ(cn.FindMatches(g, MakeTriangle(false)).size(), 0u);
@@ -163,7 +163,7 @@ TEST(MatcherEdgeCaseTest, BidirectionalPatternEdge) {
   g.AddEdge(0, 1);
   g.AddEdge(1, 0);
   g.AddEdge(1, 2);  // one-way only
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto p = ParsePattern("PATTERN mutual {?A->?B; ?B->?A;}");
   ASSERT_TRUE(p.ok());
   CnMatcher cn;
@@ -180,7 +180,7 @@ TEST(MatcherEdgeCaseTest, HighMultiplicityMatchesStoredCorrectly) {
   for (NodeId u = 0; u < 5; ++u) {
     for (NodeId v = u + 1; v < 5; ++v) g.AddEdge(u, v);
   }
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   CnMatcher cn;
   Pattern tri = MakeTriangle(false);
   MatchSet matches = cn.FindMatches(g, tri);

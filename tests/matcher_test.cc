@@ -81,14 +81,14 @@ TEST(CnMatcherTest, CoordinatorTriad) {
   // shortcut edge.
   Graph g(true);
   g.AddNodes(4);
-  g.SetLabel(0, 1);
-  g.SetLabel(1, 1);
-  g.SetLabel(2, 1);
-  g.SetLabel(3, 2);
+  CheckOk(g.SetLabel(0, 1), "test fixture setup");
+  CheckOk(g.SetLabel(1, 1), "test fixture setup");
+  CheckOk(g.SetLabel(2, 1), "test fixture setup");
+  CheckOk(g.SetLabel(3, 2), "test fixture setup");
   g.AddEdge(0, 1);  // A -> B
   g.AddEdge(1, 2);  // B -> C : coordinator triad 0->1->2
   g.AddEdge(2, 3);  // different label, breaks predicate
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   EXPECT_EQ(CnCount(g, MakeCoordinatorTriad()), 1u);
 }
 
@@ -109,7 +109,7 @@ TEST(CnMatcherTest, EdgeAttributePredicate) {
   EdgeId e1 = g.AddEdge(1, 2);
   g.edge_attributes().Set(e0, "SIGN", std::int64_t{1});
   g.edge_attributes().Set(e1, "SIGN", std::int64_t{-1});
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   auto p = ParsePattern("PATTERN neg {?A-?B; [EDGE(?A,?B).SIGN = -1];}");
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(CnCount(g, *p), 1u);

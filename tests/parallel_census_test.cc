@@ -151,13 +151,13 @@ TEST(ParallelCensusTest, SubpatternCoordinatorOnRandomDigraph) {
   const NodeId n = 300;
   graph.AddNodes(n);
   Rng rng(17);
-  for (NodeId u = 0; u < n; ++u) graph.SetLabel(u, 1);
+  for (NodeId u = 0; u < n; ++u) CheckOk(graph.SetLabel(u, 1), "test fixture setup");
   for (std::uint32_t e = 0; e < 4 * n; ++e) {
     NodeId u = static_cast<NodeId>(rng.NextBounded(n));
     NodeId v = static_cast<NodeId>(rng.NextBounded(n));
     if (u != v) graph.AddEdge(u, v);
   }
-  graph.Finalize();
+  CheckOk(graph.Finalize(), "test fixture setup");
   CensusOptions opts;
   opts.k = 1;
   opts.subpattern = "coordinator";

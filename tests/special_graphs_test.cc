@@ -31,7 +31,7 @@ Graph CompleteGraph(std::uint32_t n) {
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) g.AddEdge(u, v);
   }
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 
@@ -39,7 +39,7 @@ Graph StarGraph(std::uint32_t leaves) {
   Graph g;
   g.AddNodes(leaves + 1);
   for (NodeId leaf = 1; leaf <= leaves; ++leaf) g.AddEdge(0, leaf);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 
@@ -47,7 +47,7 @@ Graph CycleGraph(std::uint32_t n) {
   Graph g;
   g.AddNodes(n);
   for (NodeId u = 0; u < n; ++u) g.AddEdge(u, (u + 1) % n);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 
@@ -55,7 +55,7 @@ Graph PathGraph(std::uint32_t n) {
   Graph g;
   g.AddNodes(n);
   for (NodeId u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 
@@ -208,7 +208,7 @@ TEST(BipartiteTest, OddCyclesAbsent) {
   for (NodeId u = 0; u < 3; ++u) {
     for (NodeId v = 3; v < 6; ++v) g.AddEdge(u, v);
   }
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   CnMatcher matcher;
   EXPECT_EQ(matcher.FindMatches(g, MakeTriangle(false)).size(), 0u);
   EXPECT_EQ(matcher.FindMatches(g, MakeSquare(false)).size(), 9u);
@@ -252,7 +252,7 @@ TEST(GridGraphTest, SquaresInGrid) {
       if (y + 1 < w) g.AddEdge(n, n + w);
     }
   }
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   CnMatcher matcher;
   EXPECT_EQ(matcher.FindMatches(g, MakeSquare(false)).size(), 9u);
   EXPECT_EQ(matcher.FindMatches(g, MakeTriangle(false)).size(), 0u);

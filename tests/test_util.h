@@ -17,9 +17,9 @@ inline Graph MakeGraph(std::uint32_t num_nodes,
                        bool directed = false) {
   Graph g(directed);
   g.AddNodes(num_nodes);
-  for (std::uint32_t i = 0; i < labels.size(); ++i) g.SetLabel(i, labels[i]);
+  for (std::uint32_t i = 0; i < labels.size(); ++i) CheckOk(g.SetLabel(i, labels[i]), "test fixture setup");
   for (const auto& [u, v] : edges) g.AddEdge(u, v);
-  g.Finalize();
+  CheckOk(g.Finalize(), "test fixture setup");
   return g;
 }
 

@@ -232,7 +232,7 @@ TEST(TablePrinterTest, ShortRowsPadded) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3 - 1e3);
 }
@@ -240,7 +240,7 @@ TEST(TimerTest, MeasuresElapsed) {
 TEST(TimerTest, MicrosConsistentWithSeconds) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   double micros = t.ElapsedMicros();
   double seconds = t.ElapsedSeconds();
   EXPECT_GE(micros, 0.0);
@@ -252,7 +252,7 @@ TEST(TimerTest, MicrosConsistentWithSeconds) {
 TEST(TimerTest, NowMicrosMonotone) {
   std::uint64_t a = Timer::NowMicros();
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   std::uint64_t b = Timer::NowMicros();
   EXPECT_GE(b, a);
 }

@@ -12,10 +12,10 @@
 //
 // Examples:
 //   ecensus generate --type pa --nodes 100000 --labels 4 --out g.graph
-//   ecensus query --graph g.graph \
+//   ecensus query --graph g.graph
 //     --query "PATTERN t {?A-?B; ?B-?C; ?C-?A;}
 //              SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes" --top 10
-//   ecensus update --graph g.graph --updates stream.txt \
+//   ecensus update --graph g.graph --updates stream.txt
 //     --query "PATTERN t {?A-?B; ?B-?C; ?C-?A;}
 //              SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"
 

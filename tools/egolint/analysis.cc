@@ -1,0 +1,173 @@
+#include "analysis.h"
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace egolint::internal {
+
+namespace {
+
+bool IsClassKey(std::string_view t) {
+  return t == "class" || t == "struct" || t == "union" || t == "enum";
+}
+
+/// Tokens allowed between a parameter list's `)` and a function body's `{`:
+/// cv/ref qualifiers, noexcept/override/final, trailing return types, and
+/// constructor initializer lists.
+bool IsFunctionTrailer(const Token& t) {
+  if (t.kind == TokenKind::kIdent) return true;
+  return TokIs(t, "->") || TokIs(t, "::") || TokIs(t, "<") ||
+         TokIs(t, ">") || TokIs(t, "&") || TokIs(t, "*") || TokIs(t, ":") ||
+         TokIs(t, ",") || TokIs(t, "(") || TokIs(t, ")") || TokIs(t, "{") ||
+         TokIs(t, "}");
+}
+
+}  // namespace
+
+int MatchForward(const std::vector<Token>& tokens, int open_index,
+                 std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (std::size_t i = open_index; i < tokens.size(); ++i) {
+    if (tokens[i].text == open) {
+      ++depth;
+    } else if (tokens[i].text == close) {
+      if (--depth == 0) return static_cast<int>(i) + 1;
+    }
+  }
+  return static_cast<int>(tokens.size());
+}
+
+ScopeInfo AnalyzeScopes(const FileModel& model) {
+  const std::vector<Token>& toks = model.tokens;
+  ScopeInfo info;
+  info.scope.assign(toks.size(), Scope::kDecl);
+  info.paren_depth.assign(toks.size(), 0);
+
+  // Pre-pass: named lambdas. `name = [...](...) ... {` maps the body's `{`
+  // token index to the lambda's name so the main walk opens a function
+  // scope for it.
+  std::map<int, std::string> lambda_brace;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (!TokIs(toks[i], "[") || !TokIs(toks[i - 1], "=") ||
+        toks[i - 2].kind != TokenKind::kIdent) {
+      continue;
+    }
+    int after_capture = MatchForward(toks, static_cast<int>(i), "[", "]");
+    if (after_capture >= static_cast<int>(toks.size())) continue;
+    int j = after_capture;
+    if (j < static_cast<int>(toks.size()) && TokIs(toks[j], "(")) {
+      j = MatchForward(toks, j, "(", ")");
+    }
+    // Skip mutable/noexcept/trailing-return tokens up to the body brace.
+    while (j < static_cast<int>(toks.size()) && !TokIs(toks[j], "{") &&
+           !TokIs(toks[j], ";")) {
+      ++j;
+    }
+    if (j < static_cast<int>(toks.size()) && TokIs(toks[j], "{")) {
+      lambda_brace[j] = std::string(toks[i - 2].text);
+    }
+  }
+
+  struct Frame {
+    Scope scope;
+    bool is_function = false;
+    int open_index = 0;
+    std::string name;
+  };
+  std::vector<Frame> stack;
+  int paren = 0;
+
+  auto current_scope = [&stack] {
+    return stack.empty() ? Scope::kDecl : stack.back().scope;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    info.scope[i] = current_scope();
+    info.paren_depth[i] = paren;
+    const Token& t = toks[i];
+    if (TokIs(t, "(")) {
+      ++paren;
+      continue;
+    }
+    if (TokIs(t, ")")) {
+      if (paren > 0) --paren;
+      continue;
+    }
+    if (TokIs(t, "{")) {
+      Frame frame;
+      frame.open_index = static_cast<int>(i);
+      auto named = lambda_brace.find(static_cast<int>(i));
+      if (named != lambda_brace.end()) {
+        frame.scope = Scope::kBody;
+        frame.is_function = true;
+        frame.name = named->second;
+      } else if (current_scope() == Scope::kBody) {
+        frame.scope = Scope::kBody;
+      } else {
+        // Declaration scope: classify by the tokens since the last
+        // boundary. A `)` followed only by trailer tokens means a function
+        // body; a class-key or `namespace` keeps declaration scope;
+        // anything else (braced initializers) is an opaque body.
+        int begin = static_cast<int>(i) - 1;
+        while (begin >= 0 && !TokIs(toks[begin], ";") &&
+               !TokIs(toks[begin], "{") && !TokIs(toks[begin], "}") &&
+               static_cast<int>(i) - begin < 400) {
+          --begin;
+        }
+        ++begin;
+        int last_close = -1;
+        bool has_class_key = false, has_namespace = false;
+        for (int j = begin; j < static_cast<int>(i); ++j) {
+          if (TokIs(toks[j], ")")) last_close = j;
+          if (toks[j].kind == TokenKind::kIdent) {
+            if (IsClassKey(toks[j].text)) has_class_key = true;
+            if (TokIs(toks[j], "namespace")) has_namespace = true;
+          }
+        }
+        bool function_like = last_close >= 0;
+        for (int j = last_close + 1; function_like && j < static_cast<int>(i);
+             ++j) {
+          if (!IsFunctionTrailer(toks[j])) function_like = false;
+        }
+        // `template <class T> Status f() {` contains a class-key, so the
+        // function test wins when both apply.
+        if (function_like) {
+          frame.scope = Scope::kBody;
+          frame.is_function = true;
+          for (int j = begin; j + 1 < static_cast<int>(i); ++j) {
+            if (TokIs(toks[j + 1], "(") &&
+                toks[j].kind == TokenKind::kIdent) {
+              frame.name = std::string(toks[j].text);
+              break;
+            }
+          }
+        } else if (has_class_key || has_namespace) {
+          frame.scope = Scope::kDecl;
+        } else {
+          frame.scope = Scope::kBody;
+        }
+      }
+      stack.push_back(frame);
+      continue;
+    }
+    if (TokIs(t, "}")) {
+      if (!stack.empty()) {
+        Frame frame = stack.back();
+        stack.pop_back();
+        if (frame.is_function && !frame.name.empty()) {
+          info.defs.push_back(FunctionDef{frame.name, frame.open_index + 1,
+                                          static_cast<int>(i)});
+        }
+      }
+      continue;
+    }
+  }
+  return info;
+}
+
+std::vector<FunctionDef> ExtractFunctions(const FileModel& model) {
+  return AnalyzeScopes(model).defs;
+}
+
+}  // namespace egolint::internal

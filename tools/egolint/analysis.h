@@ -1,0 +1,41 @@
+#ifndef EGOCENSUS_TOOLS_EGOLINT_ANALYSIS_H_
+#define EGOCENSUS_TOOLS_EGOLINT_ANALYSIS_H_
+
+// Internal shared analysis for the egolint checks: a single walk over a
+// file's tokens that classifies every brace scope (declaration context vs
+// function/block body), tracks parenthesis depth, and extracts function and
+// named-lambda definitions with their body token ranges.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "egolint.h"
+
+namespace egolint::internal {
+
+/// Per-token scope classification: kDecl = namespace/class/global scope
+/// (where a `Status f(...)` sequence is a declaration), kBody = inside a
+/// function body, statement block, or braced initializer.
+enum class Scope : char { kDecl, kBody };
+
+struct ScopeInfo {
+  std::vector<Scope> scope;      // parallel to model.tokens
+  std::vector<int> paren_depth;  // parallel to model.tokens
+  std::vector<FunctionDef> defs;
+};
+
+ScopeInfo AnalyzeScopes(const FileModel& model);
+
+inline bool TokIs(const Token& t, std::string_view text) {
+  return t.text == text;
+}
+
+/// Index just past the token matching the opener at `open_index` (tokens
+/// [open_index] must be `open`). Returns tokens.size() when unbalanced.
+int MatchForward(const std::vector<Token>& tokens, int open_index,
+                 std::string_view open, std::string_view close);
+
+}  // namespace egolint::internal
+
+#endif  // EGOCENSUS_TOOLS_EGOLINT_ANALYSIS_H_

@@ -1,0 +1,223 @@
+// checkpoint-coverage: loops in the census/match/dynamic execution paths
+// that can iterate over focal nodes, matches, clusters, or update streams
+// must reach a Governor checkpoint. "Reach" is deliberately one hop deep:
+// a loop passes when its header or body polls directly (`Checkpoint`,
+// `ParallelFor`, `stopped`), calls a function or named lambda whose own
+// body polls directly, or sits lexically inside a loop that passes. A poll
+// buried two calls deep bounds nothing about this loop's iteration latency,
+// so it needs an audited `// egolint: no-checkpoint(reason)` instead.
+//
+// One structural exemption: loops inside a *driven* function. The engines
+// split work as `driver loop { Checkpoint(); process(item); }`, so the
+// per-item loops inside `process` are bounded by the driver's per-item
+// poll. Driven-ness seeds from calls made lexically inside a loop that
+// polls and propagates through calls in driven bodies; it deliberately
+// does NOT seed from ParallelFor arguments — ParallelFor polls once per
+// chunk, and the explicit in-loop Checkpoint inside the chunk callback is
+// what tightens that to per-item, which is exactly what this check
+// defends. Removing that poll unroots the whole driven chain.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "analysis.h"
+#include "egolint.h"
+
+namespace egolint::internal {
+
+namespace {
+
+const char* const kWatchedStems[] = {"focal",    "match",   "cluster",
+                                     "update",   "frontier", "pending"};
+
+bool IsWatchedIdent(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const char* stem : kWatchedStems) {
+    if (lower.find(stem) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool InCheckedDir(const std::string& path) {
+  if (path.size() < 3 || path.compare(path.size() - 3, 3, ".cc") != 0) {
+    return false;
+  }
+  return path.find("src/census/") != std::string::npos ||
+         path.find("src/match/") != std::string::npos ||
+         path.find("src/dynamic/") != std::string::npos;
+}
+
+struct Loop {
+  int kw_index = 0;      // the for/while/do token
+  int range_begin = 0;   // header + body token range (inclusive begin)
+  int range_end = 0;     // exclusive end
+  bool passes = false;   // polls directly or via a one-hop call
+};
+
+/// Token range [begin, end) polls when it names Checkpoint / ParallelFor /
+/// stopped, or calls a function in `polling`.
+bool RangePolls(const std::vector<Token>& toks, int begin, int end,
+                const std::set<std::string>& polling) {
+  for (int i = begin; i < end; ++i) {
+    if (toks[i].kind != TokenKind::kIdent) continue;
+    if (toks[i].text == "Checkpoint" || toks[i].text == "ParallelFor" ||
+        toks[i].text == "stopped") {
+      return true;
+    }
+    if (i + 1 < end && TokIs(toks[i + 1], "(") &&
+        polling.count(std::string(toks[i].text)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RangeWatched(const std::vector<Token>& toks, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    if (toks[i].kind == TokenKind::kIdent && IsWatchedIdent(toks[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Statement end for a brace-less loop body: the first `;` at relative
+/// parenthesis depth zero.
+int SkipStatement(const std::vector<Token>& toks, int i) {
+  int depth = 0;
+  for (; i < static_cast<int>(toks.size()); ++i) {
+    if (TokIs(toks[i], "(")) ++depth;
+    if (TokIs(toks[i], ")")) --depth;
+    if (TokIs(toks[i], "{")) return MatchForward(toks, i, "{", "}");
+    if (TokIs(toks[i], ";") && depth <= 0) return i + 1;
+  }
+  return i;
+}
+
+}  // namespace
+
+void CheckCheckpointCoverage(const std::vector<FileModel>& models,
+                             std::vector<Finding>* findings) {
+  // Directly-polling functions, collected across every scanned file so an
+  // engine loop calling a matcher entry point defined elsewhere is covered.
+  std::set<std::string> polling;
+  std::vector<std::pair<const FileModel*, std::vector<FunctionDef>>> defs;
+  defs.reserve(models.size());
+  for (const FileModel& model : models) {
+    defs.emplace_back(&model, ExtractFunctions(model));
+    for (const FunctionDef& def : defs.back().second) {
+      if (RangePolls(model.tokens, def.body_begin, def.body_end, {})) {
+        polling.insert(def.name);
+      }
+    }
+  }
+
+  // Per-file loop extraction, shared by driven-ness seeding and the
+  // findings pass below.
+  auto extract_loops = [](const std::vector<Token>& toks) {
+    std::vector<Loop> loops;
+    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+      if (toks[i].kind != TokenKind::kIdent) continue;
+      bool is_do = toks[i].text == "do";
+      bool is_loop = is_do || toks[i].text == "for" || toks[i].text == "while";
+      if (!is_loop) continue;
+      Loop loop;
+      loop.kw_index = i;
+      if (is_do) {
+        loop.range_begin = i + 1;
+        loop.range_end = SkipStatement(toks, i + 1);
+      } else {
+        if (i + 1 >= static_cast<int>(toks.size()) ||
+            !TokIs(toks[i + 1], "(")) {
+          continue;  // do-while's trailing `while` was already consumed
+        }
+        loop.range_begin = i + 1;
+        int after_header = MatchForward(toks, i + 1, "(", ")");
+        loop.range_end = SkipStatement(toks, after_header);
+      }
+      loops.push_back(loop);
+    }
+    return loops;
+  };
+
+  // Driven functions: seed with every call made lexically inside a polling
+  // loop, then close over calls made inside driven bodies (name-level,
+  // cross-file — pt_opt's driven `process` calling Expand covers the loops
+  // in pt_expander.cc).
+  std::set<std::string> driven;
+  for (const auto& [model, file_defs] : defs) {
+    const std::vector<Token>& toks = model->tokens;
+    for (const Loop& loop : extract_loops(toks)) {
+      if (!RangePolls(toks, loop.range_begin, loop.range_end, polling)) {
+        continue;
+      }
+      for (int i = loop.range_begin; i + 1 < loop.range_end; ++i) {
+        if (toks[i].kind == TokenKind::kIdent && TokIs(toks[i + 1], "(")) {
+          driven.insert(std::string(toks[i].text));
+        }
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [model, file_defs] : defs) {
+      const std::vector<Token>& toks = model->tokens;
+      for (const FunctionDef& def : file_defs) {
+        if (driven.count(def.name) == 0) continue;
+        for (int i = def.body_begin; i + 1 < def.body_end; ++i) {
+          if (toks[i].kind == TokenKind::kIdent && TokIs(toks[i + 1], "(") &&
+              driven.insert(std::string(toks[i].text)).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [model_ptr, file_defs] : defs) {
+    const FileModel& model = *model_ptr;
+    if (!InCheckedDir(model.source->path)) continue;
+    const std::vector<Token>& toks = model.tokens;
+    std::vector<Loop> loops = extract_loops(toks);
+    for (Loop& loop : loops) {
+      loop.passes = RangePolls(toks, loop.range_begin, loop.range_end, polling);
+    }
+    for (const Loop& loop : loops) {
+      if (loop.passes) continue;
+      if (!RangeWatched(toks, loop.range_begin, loop.range_end)) continue;
+      bool covered_by_ancestor = false;
+      for (const Loop& outer : loops) {
+        if (outer.passes && outer.range_begin <= loop.kw_index &&
+            loop.range_end <= outer.range_end) {
+          covered_by_ancestor = true;
+          break;
+        }
+      }
+      if (covered_by_ancestor) continue;
+      bool in_driven_fn = false;
+      for (const FunctionDef& def : file_defs) {
+        if (def.body_begin <= loop.kw_index && loop.kw_index < def.body_end &&
+            driven.count(def.name) != 0) {
+          in_driven_fn = true;
+          break;
+        }
+      }
+      if (in_driven_fn) continue;
+      findings->push_back(Finding{
+          model.source->path, toks[loop.kw_index].line, "checkpoint-coverage",
+          "no-checkpoint",
+          "loop iterates over focal nodes/matches/clusters/updates without "
+          "reaching a Governor Checkpoint() poll"});
+    }
+  }
+}
+
+}  // namespace egolint::internal

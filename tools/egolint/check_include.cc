@@ -1,0 +1,105 @@
+// include-hygiene: no include cycles among src/ headers, and no
+// `using namespace` at header scope (it leaks into every includer).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "egolint.h"
+
+namespace egolint::internal {
+
+namespace {
+
+bool IsHeader(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+/// "src/graph/io.h" -> "graph/io.h" (the include-path form); other paths
+/// are returned unchanged.
+std::string IncludeName(const std::string& path) {
+  std::size_t at = path.find("src/");
+  return at == std::string::npos ? path : path.substr(at + 4);
+}
+
+}  // namespace
+
+void CheckIncludeHygiene(const std::vector<FileModel>& models,
+                         std::vector<Finding>* findings) {
+  // `using namespace` in headers.
+  for (const FileModel& model : models) {
+    if (!IsHeader(model.source->path)) continue;
+    const std::vector<Token>& toks = model.tokens;
+    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+      if (TokIs(toks[i], "using") && TokIs(toks[i + 1], "namespace")) {
+        findings->push_back(Finding{
+            model.source->path, toks[i].line, "include-hygiene",
+            "allow-using-namespace",
+            "`using namespace` in a header leaks into every includer"});
+      }
+    }
+  }
+
+  // Header include cycles. Nodes are include-path names; edges come from
+  // quoted includes that resolve to another scanned header.
+  std::map<std::string, const FileModel*> headers;
+  for (const FileModel& model : models) {
+    if (IsHeader(model.source->path)) {
+      headers[IncludeName(model.source->path)] = &model;
+    }
+  }
+  std::set<std::string> reported;  // canonical cycle keys, dedup
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+
+  struct Dfs {
+    std::map<std::string, const FileModel*>& headers;
+    std::set<std::string>& reported;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::vector<Finding>* findings;
+
+    void Visit(const std::string& node) {
+      color[node] = 1;
+      stack.push_back(node);
+      const FileModel* model = headers[node];
+      for (const IncludeEdge& inc : model->includes) {
+        auto it = headers.find(inc.target);
+        if (it == headers.end()) continue;
+        int c = color[inc.target];
+        if (c == 0) {
+          Visit(inc.target);
+        } else if (c == 1) {
+          // Cycle: slice of the DFS stack from the target to here.
+          auto at = std::find(stack.begin(), stack.end(), inc.target);
+          std::vector<std::string> cycle(at, stack.end());
+          std::vector<std::string> key = cycle;
+          std::sort(key.begin(), key.end());
+          std::string canon;
+          for (const std::string& k : key) canon += k + "|";
+          if (reported.insert(canon).second) {
+            std::string path;
+            for (const std::string& h : cycle) path += h + " -> ";
+            path += inc.target;
+            findings->push_back(Finding{model->source->path, inc.line,
+                                        "include-hygiene", "allow-include",
+                                        "header include cycle: " + path});
+          }
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+    }
+  };
+
+  Dfs dfs{headers, reported, color, stack, findings};
+  for (const auto& [name, model] : headers) {
+    (void)model;
+    if (color[name] == 0) dfs.Visit(name);
+  }
+}
+
+}  // namespace egolint::internal

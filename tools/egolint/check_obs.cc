@@ -1,0 +1,60 @@
+// obs-gating: outside src/obs/ the observability layer may only be reached
+// through its self-gated call-site surface (EGO_* macros, the handle
+// classes, and the free helpers — each checks Enabled(), which is constexpr
+// false when EGO_OBS_ENABLED=0) or under an explicit EGO_OBS_ENABLED
+// preprocessor gate. Direct obs:: references to anything else — the
+// Registry, the Tracer, interning, exporters — are findings: those are the
+// internals the EGOCENSUS_OBS=OFF kill-switch build must never reach.
+
+#include <string>
+
+#include "analysis.h"
+#include "egolint.h"
+
+namespace egolint::internal {
+
+namespace {
+
+/// The self-gated call-site surface of obs/metrics.h, obs/trace.h, and
+/// obs/obs.h: every entry here compiles to a no-op (or a relaxed load plus
+/// an untaken branch) when EGO_OBS_ENABLED=0, so ungated use is safe.
+bool IsStubbedEntryPoint(std::string_view name) {
+  return name == "Enabled" || name == "SetEnabled" || name == "CounterAdd" ||
+         name == "GaugeMax" || name == "HistogramRecord" ||
+         name == "CounterHandle" || name == "GaugeHandle" ||
+         name == "HistogramHandle" || name == "ScopedSpan";
+}
+
+}  // namespace
+
+void CheckObsGating(const std::vector<FileModel>& models,
+                    std::vector<Finding>* findings) {
+  for (const FileModel& model : models) {
+    if (model.source->path.find("src/obs/") != std::string::npos) continue;
+    const std::vector<Token>& toks = model.tokens;
+    for (int i = 0; i + 1 < static_cast<int>(toks.size()); ++i) {
+      if (toks[i].kind != TokenKind::kIdent || toks[i].text != "obs") {
+        continue;
+      }
+      if (!TokIs(toks[i + 1], "::")) continue;
+      // `egocensus::obs` chains land on the same `obs ::` pair.
+      if (toks[i].obs_gated) continue;
+      if (i + 2 < static_cast<int>(toks.size()) &&
+          toks[i + 2].kind == TokenKind::kIdent &&
+          IsStubbedEntryPoint(toks[i + 2].text)) {
+        continue;
+      }
+      std::string target =
+          i + 2 < static_cast<int>(toks.size())
+              ? std::string(toks[i + 2].text)
+              : std::string();
+      findings->push_back(Finding{
+          model.source->path, toks[i].line, "obs-gating", "allow-obs",
+          "obs::" + target +
+              " referenced outside src/obs/ without an EGO_OBS_ENABLED "
+              "gate (would break the EGOCENSUS_OBS=OFF kill-switch build)"});
+    }
+  }
+}
+
+}  // namespace egolint::internal

@@ -1,0 +1,196 @@
+// status-discipline: every function returning Status / Result<...> carries
+// [[nodiscard]], and no statement discards such a call's result. Function
+// names are collected across every scanned file first, so call sites in one
+// translation unit see Status-returning APIs declared in another.
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "analysis.h"
+#include "egolint.h"
+
+namespace egolint::internal {
+
+namespace {
+
+bool IsStatusType(const Token& t) {
+  return t.kind == TokenKind::kIdent &&
+         (t.text == "Status" || t.text == "Result");
+}
+
+/// True when the token before a candidate return type rules out a function
+/// declaration (expression or parameter contexts).
+bool RulesOutDeclaration(const Token& prev) {
+  return TokIs(prev, "return") || TokIs(prev, "=") || TokIs(prev, "(") ||
+         TokIs(prev, ",") || TokIs(prev, "<") || TokIs(prev, ".") ||
+         TokIs(prev, "->") || TokIs(prev, "new") || TokIs(prev, "case") ||
+         TokIs(prev, "using") || TokIs(prev, "typename") ||
+         TokIs(prev, "const");
+}
+
+/// Index just past `Result<...>`'s closing angle (or type_index + 1 for a
+/// plain Status). Angle depth counts naively; `>>` lexes as two `>`.
+int SkipType(const std::vector<Token>& toks, int type_index) {
+  int i = type_index + 1;
+  if (i >= static_cast<int>(toks.size()) || !TokIs(toks[i], "<")) return i;
+  int depth = 0;
+  for (; i < static_cast<int>(toks.size()); ++i) {
+    if (TokIs(toks[i], "<")) ++depth;
+    if (TokIs(toks[i], ">") && --depth == 0) return i + 1;
+    if (TokIs(toks[i], ";") || TokIs(toks[i], "{")) break;  // unbalanced
+  }
+  return i;
+}
+
+/// Looks for `nodiscard` between the previous declaration boundary and the
+/// return type token.
+bool HasNodiscardBefore(const std::vector<Token>& toks, int type_index) {
+  for (int j = type_index - 1; j >= 0 && type_index - j < 40; --j) {
+    const Token& t = toks[j];
+    if (TokIs(t, ";") || TokIs(t, "{") || TokIs(t, "}") || TokIs(t, ":")) {
+      break;
+    }
+    if (t.kind == TokenKind::kIdent && t.text == "nodiscard") return true;
+  }
+  return false;
+}
+
+bool IsStatementStart(const Token& prev) {
+  return TokIs(prev, ";") || TokIs(prev, "{") || TokIs(prev, "}") ||
+         TokIs(prev, ")") || TokIs(prev, "else") || TokIs(prev, "do");
+}
+
+}  // namespace
+
+void CheckStatusDiscipline(const std::vector<FileModel>& models,
+                           std::vector<Finding>* findings) {
+  // Pass 1: declarations. Collect every Status/Result-returning function
+  // name and flag declarations missing [[nodiscard]]. Names that also have
+  // a declaration with some other return type (Graph::AddNode -> NodeId vs
+  // DynamicGraph::AddNode -> Result) are ambiguous at token level and are
+  // excluded from the discard pass rather than guessed at.
+  std::set<std::string> status_fns;
+  std::set<std::string> ambiguous_fns;
+  std::vector<std::pair<const FileModel*, ScopeInfo>> scoped;
+  scoped.reserve(models.size());
+  for (const FileModel& model : models) {
+    scoped.emplace_back(&model, AnalyzeScopes(model));
+  }
+  for (const auto& [model, info] : scoped) {
+    const std::vector<Token>& toks = model->tokens;
+    for (int i = 1; i + 1 < static_cast<int>(toks.size()); ++i) {
+      if (toks[i].kind != TokenKind::kIdent || !TokIs(toks[i + 1], "(")) {
+        continue;
+      }
+      if (info.scope[i] != Scope::kDecl || info.paren_depth[i] != 0) continue;
+      // Return-type region: back to the previous declaration boundary.
+      bool has_status = false;
+      bool has_type = false;
+      for (int j = i - 1; j >= 0 && i - j < 40; --j) {
+        const Token& t = toks[j];
+        if (TokIs(t, ";") || TokIs(t, "{") || TokIs(t, "}") ||
+            TokIs(t, ":") || TokIs(t, "(") || TokIs(t, ",")) {
+          break;
+        }
+        if (t.kind == TokenKind::kIdent) {
+          if (t.text == "Status" || t.text == "Result") has_status = true;
+          if (t.text != "static" && t.text != "inline" &&
+              t.text != "virtual" && t.text != "constexpr" &&
+              t.text != "explicit" && t.text != "friend" &&
+              t.text != "nodiscard" && t.text != "const") {
+            has_type = true;
+          }
+        }
+      }
+      if (has_type && !has_status) {
+        ambiguous_fns.insert(std::string(toks[i].text));
+      }
+    }
+  }
+  for (const auto& [model, info] : scoped) {
+    const std::vector<Token>& toks = model->tokens;
+    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+      if (!IsStatusType(toks[i])) continue;
+      if (info.scope[i] != Scope::kDecl || info.paren_depth[i] != 0) continue;
+      if (i > 0 && RulesOutDeclaration(toks[i - 1])) continue;
+      int name_index = SkipType(toks, i);
+      if (name_index + 1 >= static_cast<int>(toks.size())) continue;
+      const Token& name = toks[name_index];
+      if (name.kind != TokenKind::kIdent || name.text == "operator") continue;
+      if (!TokIs(toks[name_index + 1], "(")) continue;
+      status_fns.insert(std::string(name.text));
+      if (!HasNodiscardBefore(toks, i)) {
+        findings->push_back(Finding{
+            model->source->path, toks[i].line, "status-discipline",
+            "no-nodiscard",
+            "function '" + std::string(name.text) + "' returns " +
+                std::string(toks[i].text) +
+                " but is not marked [[nodiscard]]"});
+      }
+    }
+  }
+
+  // Pass 2: discarded results. A statement of the form
+  // `obj.Name(...);` / `Name(...);` whose final callee is a collected
+  // Status-returning function drops the Status on the floor. An explicit
+  // `(void)` cast is still a discard here: intentional drops carry an
+  // `// egolint: allow-discard(reason)` instead.
+  for (const auto& [model, info] : scoped) {
+    const std::vector<Token>& toks = model->tokens;
+    for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+      if (info.scope[i] != Scope::kBody || info.paren_depth[i] != 0) continue;
+      if (i > 0 && !IsStatementStart(toks[i - 1])) continue;
+      // `(void)Foo();` matches twice: at `(` (void-cast arm) and at `Foo`
+      // (its previous token is `)`, a legal statement start after
+      // `if (...)`). Report it once, from the `(`.
+      if (i >= 3 && TokIs(toks[i - 1], ")") && TokIs(toks[i - 2], "void") &&
+          TokIs(toks[i - 3], "(")) {
+        continue;
+      }
+      int j = i;
+      bool void_cast = false;
+      if (TokIs(toks[j], "(") && j + 2 < static_cast<int>(toks.size()) &&
+          TokIs(toks[j + 1], "void") && TokIs(toks[j + 2], ")")) {
+        void_cast = true;
+        j += 3;
+      }
+      // Member/namespace chain ending in the callee.
+      if (j >= static_cast<int>(toks.size()) ||
+          toks[j].kind != TokenKind::kIdent) {
+        continue;
+      }
+      int last_ident = j;
+      while (j + 2 < static_cast<int>(toks.size()) &&
+             (TokIs(toks[j + 1], ".") || TokIs(toks[j + 1], "->") ||
+              TokIs(toks[j + 1], "::")) &&
+             toks[j + 2].kind == TokenKind::kIdent) {
+        j += 2;
+        last_ident = j;
+      }
+      if (j + 1 >= static_cast<int>(toks.size()) ||
+          !TokIs(toks[j + 1], "(")) {
+        continue;
+      }
+      std::string callee(toks[last_ident].text);
+      if (status_fns.find(callee) == status_fns.end() ||
+          ambiguous_fns.find(callee) != ambiguous_fns.end()) {
+        continue;
+      }
+      int after = MatchForward(toks, j + 1, "(", ")");
+      if (after >= static_cast<int>(toks.size()) ||
+          !TokIs(toks[after], ";")) {
+        continue;
+      }
+      findings->push_back(Finding{
+          model->source->path, toks[last_ident].line, "status-discipline",
+          "allow-discard",
+          std::string(void_cast ? "(void)-cast still discards"
+                                : "call discards") +
+              " the Status/Result returned by '" +
+              std::string(toks[last_ident].text) + "'"});
+    }
+  }
+}
+
+}  // namespace egolint::internal
