@@ -1,0 +1,113 @@
+// server_throughput: the latency case for the daemon. An interactive
+// ego-centric drill-down (a handful of focal nodes on a large resident
+// graph) pays three costs: graph load, index build, and the census itself.
+// The per-invocation CLI pays all three every time; ecensusd pays the
+// first two once at LOAD and amortizes them across every request, so the
+// per-request cost collapses to the census plus one framed round trip.
+// This bench measures both paths on the same query and reports the
+// speedup; the cold path is even conservative, since it skips the process
+// fork/exec a real `ecensus query` invocation adds on top.
+//
+// Usage: server_throughput [nodes] [iters]   (defaults 150000, 15)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "lang/engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/timer.h"
+
+using namespace egocensus;
+
+namespace {
+
+// 100 focal nodes (WHERE pushes down to focal selection), label counting
+// in their 1-hop ego networks — seconds of load for milliseconds of query.
+constexpr const char* kQuery =
+    "PATTERN p {?A; [?A.LABEL=1];} "
+    "SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 100";
+
+QueryEngine::Options EngineOptions() {
+  QueryEngine::Options options;
+  options.auto_algorithm = false;
+  options.census.algorithm = CensusAlgorithm::kNdPvot;
+  return options;
+}
+
+double ColdQueryMicros(const std::string& path) {
+  Timer timer;
+  auto graph = LoadGraph(path);
+  CheckOk(graph.status(), "bench graph load");
+  QueryEngine engine(*graph);
+  auto table = engine.Execute(kQuery, EngineOptions());
+  CheckOk(table.status(), "bench cold query");
+  return timer.ElapsedMicros();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t nodes = argc > 1 ? static_cast<std::uint32_t>(
+                                       std::strtoul(argv[1], nullptr, 10))
+                                 : 150000;
+  int iters = argc > 2 ? std::atoi(argv[2]) : 15;
+
+  GeneratorOptions gen;
+  gen.num_nodes = nodes;
+  gen.edges_per_node = 8;
+  gen.num_labels = 4;
+  gen.seed = 42;
+  Graph graph = GeneratePreferentialAttachment(gen);
+  std::string path = "/tmp/server_throughput.graph";
+  CheckOk(SaveGraph(graph, path), "bench graph save");
+
+  std::printf("server_throughput: %u nodes, %llu edges, %d iters\n", nodes,
+              static_cast<unsigned long long>(graph.NumEdges()), iters);
+
+  // Cold path: what every per-process `ecensus query` invocation pays.
+  double cold_total = 0;
+  ColdQueryMicros(path);  // warm the page cache so I/O jitter cancels
+  for (int i = 0; i < iters; ++i) cold_total += ColdQueryMicros(path);
+  double cold_us = cold_total / iters;
+
+  // Warm path: graph resident in a daemon, one framed round trip per query.
+  net::CensusServer::Options options;
+  options.listen.port = 0;
+  net::CensusServer server(options);
+  CheckOk(server.registry().LoadFromFile("g", path), "bench registry load");
+  CheckOk(server.Start(), "bench server start");
+  net::Endpoint endpoint;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = server.port();
+  auto client = net::Client::Connect(endpoint);
+  CheckOk(client.status(), "bench client connect");
+
+  auto request = net::Client::QueryRequest("g", kQuery);
+  request.headers["algorithm"] = "nd-pvot";
+  double warm_total = 0;
+  {
+    auto first = client->Call(request);  // connection warmup
+    CheckOk(first.status(), "bench warm query");
+  }
+  for (int i = 0; i < iters; ++i) {
+    Timer timer;
+    auto response = client->Call(request);
+    CheckOk(response.status(), "bench warm query");
+    warm_total += timer.ElapsedMicros();
+  }
+  double warm_us = warm_total / iters;
+  server.RequestShutdown();
+  server.Wait();
+
+  std::printf("  per-process (load + index + census): %10.0f us/query\n",
+              cold_us);
+  std::printf("  graph-resident (daemon round trip):  %10.0f us/query\n",
+              warm_us);
+  std::printf("  speedup: %.1fx\n", cold_us / warm_us);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,164 @@
+// ecensusd — the census daemon: loads graphs once, then serves QUERY /
+// UPDATE / STATUS / LOAD / UNLOAD / SHUTDOWN frames to concurrent clients
+// over the net/frame protocol (docs/SERVER.md).
+//
+//   ecensusd --listen HOST:PORT [--graph NAME=FILE]... [--max-inflight N]
+//            [--max-deadline-ms MS] [--max-memory-budget-mb MB]
+//            [--max-threads T] [--obs] [--version]
+//
+// Exit codes follow the ecensus contract: 2 for usage errors, 1 for
+// everything else (port in use, unreadable graph file). SIGINT/SIGTERM
+// shut down cleanly: stop accepting, hang up clients, join workers, exit 0.
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "obs/obs.h"
+#include "util/build_info.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace egocensus;
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this and runs the actual (lock-taking) shutdown.
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signum) { g_signal = signum; }
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ecensusd --listen HOST:PORT [--graph NAME=FILE]...\n"
+      "           [--max-inflight N (default 8)]\n"
+      "           [--max-deadline-ms MS] [--max-memory-budget-mb MB]\n"
+      "           [--max-threads T] [--ring N] [--obs]\n"
+      "  ecensusd --version\n"
+      "\n"
+      "Serves census queries over TCP (protocol: docs/SERVER.md). Graphs\n"
+      "load once at startup (--graph) or at runtime (LOAD frames); QUERY\n"
+      "and UPDATE requests run under per-request governors clamped by the\n"
+      "--max-* caps and are rejected with BUSY beyond --max-inflight.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::CensusServer::Options options;
+  std::vector<std::pair<std::string, std::string>> graphs;  // name, path
+  bool have_listen = false;
+  bool obs_on = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      std::cout << BuildInfoString() << "\n";
+      return 0;
+    } else if (arg == "--listen") {
+      const char* v = value("--listen");
+      if (v == nullptr) return Usage();
+      auto endpoint = net::ParseEndpoint(v);
+      if (!endpoint.ok()) {
+        std::cerr << endpoint.status().ToString() << "\n";
+        return Usage();
+      }
+      options.listen = *endpoint;
+      have_listen = true;
+    } else if (arg == "--graph") {
+      const char* v = value("--graph");
+      if (v == nullptr) return Usage();
+      std::string spec = v;
+      std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::cerr << "--graph expects NAME=FILE, got '" << spec << "'\n";
+        return Usage();
+      }
+      graphs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--max-inflight") {
+      const char* v = value("--max-inflight");
+      if (v == nullptr) return Usage();
+      options.max_inflight = static_cast<std::uint32_t>(std::stoul(v));
+      if (options.max_inflight == 0) {
+        std::cerr << "--max-inflight must be >= 1\n";
+        return Usage();
+      }
+    } else if (arg == "--max-deadline-ms") {
+      const char* v = value("--max-deadline-ms");
+      if (v == nullptr) return Usage();
+      options.max_deadline_ms = std::stoull(v);
+    } else if (arg == "--max-memory-budget-mb") {
+      const char* v = value("--max-memory-budget-mb");
+      if (v == nullptr) return Usage();
+      options.max_memory_budget_mb = std::stoull(v);
+    } else if (arg == "--max-threads") {
+      const char* v = value("--max-threads");
+      if (v == nullptr) return Usage();
+      options.max_threads = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--ring") {
+      const char* v = value("--ring");
+      if (v == nullptr) return Usage();
+      options.ring_capacity = static_cast<std::size_t>(std::stoull(v));
+    } else if (arg == "--obs") {
+      obs_on = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (!have_listen) {
+    std::cerr << "--listen is required\n";
+    return Usage();
+  }
+  if (obs_on) obs::SetEnabled(true);
+
+  net::CensusServer server(options);
+  for (const auto& [name, path] : graphs) {
+    Status loaded = server.registry().LoadFromFile(name, path);
+    if (!loaded.ok()) {
+      std::cerr << loaded.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "loaded graph '" << name << "' from " << path << "\n";
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The smoke job and scripts wait for this exact line (stdout, flushed)
+  // before connecting; the printed port resolves ephemeral binds.
+  std::cout << BuildInfoString() << " listening on " << options.listen.host
+            << ":" << server.port() << " (" << graphs.size()
+            << " graphs resident, max-inflight=" << options.max_inflight
+            << ")" << std::endl;
+
+  while (!server.ShutdownRequested() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (g_signal != 0) {
+    std::cerr << "signal " << g_signal << ": shutting down\n";
+  }
+  server.RequestShutdown();
+  server.Wait();
+  std::cout << "ecensusd: clean shutdown\n";
+  return 0;
+}

@@ -45,7 +45,16 @@ Result<ResultTable> QueryEngine::Execute(std::string_view query_text,
   return ExecuteParsed(*query, options);
 }
 
+GraphIndexes GraphIndexes::Build(const Graph& graph) {
+  GraphIndexes indexes;
+  indexes.profiles = ProfileIndex::Build(graph);
+  indexes.centers = CenterDistanceIndex::Build(
+      graph, PickHighestDegreeCenters(graph, 24));
+  return indexes;
+}
+
 const ProfileIndex& QueryEngine::CachedProfiles() {
+  if (shared_indexes_ != nullptr) return shared_indexes_->profiles;
   if (!profiles_cache_.has_value()) {
     profiles_cache_ = ProfileIndex::Build(graph_);
   }
@@ -53,6 +62,7 @@ const ProfileIndex& QueryEngine::CachedProfiles() {
 }
 
 const CenterDistanceIndex& QueryEngine::CachedCenters() {
+  if (shared_indexes_ != nullptr) return shared_indexes_->centers;
   if (!centers_cache_.has_value()) {
     centers_cache_ = CenterDistanceIndex::Build(
         graph_, PickHighestDegreeCenters(graph_, 24));

@@ -7,13 +7,29 @@
 
 #include "census/census.h"
 #include "census/pairwise.h"
+#include "graph/distance_index.h"
 #include "graph/graph.h"
+#include "graph/profile_index.h"
 #include "lang/analyzer.h"
 #include "lang/ast.h"
 #include "lang/result_table.h"
 #include "util/status.h"
 
 namespace egocensus {
+
+/// The expensive per-graph indexes a QueryEngine consults: the node profile
+/// index (matcher candidate filtering) and the 24-degree-center distance
+/// index (PT-OPT seeding/clustering). Building them costs O(V + C*(V+E));
+/// a long-running service builds them once per resident graph and hands a
+/// const pointer to every per-request engine, so concurrent requests share
+/// the indexes without sharing any mutable engine state (the daemon's
+/// re-entrancy model, docs/SERVER.md). Immutable after Build.
+struct GraphIndexes {
+  ProfileIndex profiles;
+  CenterDistanceIndex centers;
+
+  static GraphIndexes Build(const Graph& graph);
+};
 
 /// Executes pattern census queries against a graph: parse -> analyze ->
 /// plan (algorithm selection) -> evaluate.
@@ -32,6 +48,15 @@ namespace egocensus {
 class QueryEngine {
  public:
   explicit QueryEngine(const Graph& graph) : graph_(graph) {}
+
+  /// Engine borrowing pre-built shared indexes instead of lazily building
+  /// its own. `shared` (and `graph`) must outlive the engine and must have
+  /// been built over this exact graph. One engine still serves one request
+  /// at a time (Execute mutates last_stats_/last_exec_); re-entrancy comes
+  /// from constructing one cheap engine per request over the same shared
+  /// indexes.
+  QueryEngine(const Graph& graph, const GraphIndexes* shared)
+      : graph_(graph), shared_indexes_(shared) {}
 
   /// Registers a library pattern usable by name in queries (inline PATTERN
   /// blocks shadow registered ones). The pattern must be prepared.
@@ -100,6 +125,7 @@ class QueryEngine {
   const CenterDistanceIndex& CachedCenters();
 
   const Graph& graph_;
+  const GraphIndexes* shared_indexes_ = nullptr;
   std::vector<Pattern> registered_;
   std::vector<CensusStats> last_stats_;
   std::vector<AggregateExec> last_exec_;

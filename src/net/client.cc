@@ -1,0 +1,108 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace egocensus::net {
+
+Result<Client> Client::Connect(const Endpoint& endpoint) {
+  auto socket = Socket::ConnectTcp(endpoint);
+  if (!socket.ok()) return socket.status();
+  return Client(std::move(*socket));
+}
+
+Result<Message> Client::Call(const Message& request) {
+  Status sent = socket_.SendFrame(request);
+  if (!sent.ok()) return sent;
+  return socket_.RecvFrame();
+}
+
+Message Client::QueryRequest(const std::string& graph,
+                             const std::string& query_text) {
+  Message request;
+  request.type = FrameType::kQuery;
+  request.headers["graph"] = graph;
+  request.body = query_text;
+  return request;
+}
+
+Message Client::UpdateRequest(const std::string& graph,
+                              const std::string& updates_text) {
+  Message request;
+  request.type = FrameType::kUpdate;
+  request.headers["graph"] = graph;
+  request.body = updates_text;
+  return request;
+}
+
+Message Client::StatusRequest() {
+  Message request;
+  request.type = FrameType::kStatus;
+  return request;
+}
+
+Message Client::LoadRequest(const std::string& name, const std::string& path) {
+  Message request;
+  request.type = FrameType::kLoad;
+  request.headers["name"] = name;
+  request.headers["path"] = path;
+  return request;
+}
+
+Message Client::UnloadRequest(const std::string& name) {
+  Message request;
+  request.type = FrameType::kUnload;
+  request.headers["name"] = name;
+  return request;
+}
+
+Message Client::ShutdownRequest() {
+  Message request;
+  request.type = FrameType::kShutdown;
+  return request;
+}
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  static const struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"OK", StatusCode::kOk},
+      {"INVALID_ARGUMENT", StatusCode::kInvalidArgument},
+      {"NOT_FOUND", StatusCode::kNotFound},
+      {"PARSE_ERROR", StatusCode::kParseError},
+      {"OUT_OF_RANGE", StatusCode::kOutOfRange},
+      {"INTERNAL", StatusCode::kInternal},
+      {"UNIMPLEMENTED", StatusCode::kUnimplemented},
+      {"DEADLINE_EXCEEDED", StatusCode::kDeadlineExceeded},
+      {"RESOURCE_EXHAUSTED", StatusCode::kResourceExhausted},
+      {"CANCELLED", StatusCode::kCancelled},
+  };
+  for (const auto& entry : kCodes) {
+    if (name == entry.name) return entry.code;
+  }
+  return StatusCode::kInternal;
+}
+
+[[nodiscard]] Status ResponseToStatus(const Message& response) {
+  switch (response.type) {
+    case FrameType::kResult: {
+      std::string exec = response.Header("exec_status", "OK");
+      if (exec == "OK") return Status::Ok();
+      return Status(StatusCodeFromName(exec),
+                    response.Header("exec_message",
+                                    "census stopped early (" + exec + ")"));
+    }
+    case FrameType::kBusy:
+      return Status::ResourceExhausted(
+          response.body.empty() ? "server busy (admission control)"
+                                : response.body);
+    case FrameType::kError:
+      return Status(StatusCodeFromName(response.Header("code", "INTERNAL")),
+                    response.body);
+    default:
+      return Status::Internal(std::string("unexpected response frame ") +
+                              FrameTypeName(response.type));
+  }
+}
+
+}  // namespace egocensus::net

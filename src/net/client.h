@@ -1,0 +1,70 @@
+#ifndef EGOCENSUS_NET_CLIENT_H_
+#define EGOCENSUS_NET_CLIENT_H_
+
+// Client side of the daemon protocol: one connection, synchronous
+// request/response calls. Used by `ecensus remote`, the server tests, and
+// bench/server_throughput — all three speak through exactly this surface,
+// so the protocol has one encoder/decoder pair in the whole tree.
+
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace egocensus::net {
+
+class Client {
+ public:
+  /// Connects to a running ecensusd.
+  [[nodiscard]] static Result<Client> Connect(const Endpoint& endpoint);
+
+  /// Sends one request frame and blocks for the response. Fails only on
+  /// transport problems (send/recv); a server-side failure comes back as a
+  /// successful Call whose message has type kError or kBusy.
+  [[nodiscard]] Result<Message> Call(const Message& request);
+
+  /// The connection's fd (tests use it to kill the link mid-request).
+  int fd() const { return socket_.fd(); }
+
+  /// Hard-closes the connection (the disconnect the server watches for).
+  void Close() { socket_.Close(); }
+
+  // -- Request builders (the header names of docs/SERVER.md) --------------
+
+  /// QUERY against a loaded graph; `query_text` rides as the body. Optional
+  /// census-shaping headers (deadline_ms, memory_budget_mb, threads,
+  /// algorithm, matcher, top, seed, format, degrade-approx) are added by
+  /// the caller before Call.
+  static Message QueryRequest(const std::string& graph,
+                              const std::string& query_text);
+
+  /// UPDATE: an update stream (dynamic/update_stream.h text format) as the
+  /// body.
+  static Message UpdateRequest(const std::string& graph,
+                               const std::string& updates_text);
+
+  static Message StatusRequest();
+  static Message LoadRequest(const std::string& name, const std::string& path);
+  static Message UnloadRequest(const std::string& name);
+  static Message ShutdownRequest();
+
+ private:
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+/// Maps a response back to a Status using its exec_status/code headers, so
+/// the remote CLI exits with the same codes the local CLI would (2 for
+/// kInvalidArgument usage errors, 1 for governed stops and everything
+/// else). kResult with exec_status OK maps to Ok.
+[[nodiscard]] Status ResponseToStatus(const Message& response);
+
+/// Inverse of StatusCodeName, for statuses that crossed the wire as text.
+/// Unknown names map to kInternal.
+StatusCode StatusCodeFromName(const std::string& name);
+
+}  // namespace egocensus::net
+
+#endif  // EGOCENSUS_NET_CLIENT_H_

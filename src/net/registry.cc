@@ -1,0 +1,80 @@
+#include "net/registry.h"
+
+#include <utility>
+
+#include "graph/io.h"
+
+namespace egocensus::net {
+
+Status GraphRegistry::LoadFromFile(const std::string& name,
+                                   const std::string& path) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) return graph.status();
+  return Add(name, std::move(*graph));
+}
+
+Status GraphRegistry::Add(const std::string& name, Graph graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must not be empty");
+  }
+  auto entry = std::make_shared<GraphEntry>(name, std::move(graph));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' is already loaded (unload it first)");
+  }
+  return Status::Ok();
+}
+
+Status GraphRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("graph '" + name + "' is not loaded");
+  }
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<GraphEntry>> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return it->second;
+  std::string known;
+  for (const auto& [known_name, entry] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += known_name;
+  }
+  return Status::NotFound("graph '" + name + "' is not loaded (loaded: " +
+                          (known.empty() ? "none" : known) + ")");
+}
+
+std::vector<GraphSummary> GraphRegistry::Summaries() const {
+  std::vector<std::shared_ptr<GraphEntry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  }
+  std::vector<GraphSummary> summaries;
+  summaries.reserve(entries.size());
+  for (const auto& entry : entries) {
+    std::shared_lock<std::shared_mutex> lock(entry->mutex);
+    GraphSummary summary;
+    summary.name = entry->name;
+    summary.nodes = entry->dynamic.NumNodes();
+    summary.edges = entry->dynamic.NumEdges();
+    summary.version = entry->dynamic.version();
+    summary.updates_applied = entry->updates_applied;
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+std::size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace egocensus::net

@@ -1,0 +1,112 @@
+#ifndef EGOCENSUS_NET_REGISTRY_H_
+#define EGOCENSUS_NET_REGISTRY_H_
+
+// Named registry of resident graphs — the state the daemon exists to keep
+// warm. Each entry holds the mutable DynamicGraph, a materialized immutable
+// snapshot for queries, and the pre-built GraphIndexes over that snapshot,
+// so a QUERY costs zero load/index work (the 10x the bench measures against
+// per-process execution).
+//
+// Locking, two levels:
+//  * The registry map itself is guarded by a plain mutex held only for
+//    lookup/insert/erase — never across a census.
+//  * Each entry carries a std::shared_mutex: QUERY holds it shared for the
+//    whole census (any number in parallel), UPDATE holds it exclusive while
+//    mutating + re-materializing + re-indexing. UPDATE therefore serializes
+//    against in-flight QUERYs per graph and queries never observe a
+//    half-applied batch.
+//
+// Entries are handed out as shared_ptr, so UNLOAD only removes the name:
+// requests already inside the entry finish against the old snapshot and the
+// memory dies with the last reference.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "graph/graph.h"
+#include "lang/engine.h"
+#include "util/status.h"
+
+namespace egocensus::net {
+
+/// One resident graph. Fields guarded by `mutex` as documented; `name` is
+/// immutable after construction.
+struct GraphEntry {
+  std::string name;
+
+  /// Guards everything below: shared for QUERY, exclusive for UPDATE.
+  std::shared_mutex mutex;
+
+  /// Ground truth under updates.
+  DynamicGraph dynamic;
+
+  /// Materialized immutable view of `dynamic` + indexes over it. Rebuilt
+  /// under the exclusive lock after every UPDATE batch; QueryEngines borrow
+  /// both for the duration of a shared lock.
+  Graph snapshot;
+  GraphIndexes indexes;
+
+  /// Monotone update-batch counter (0 = as loaded).
+  std::uint64_t updates_applied = 0;
+
+  GraphEntry(std::string graph_name, Graph loaded)
+      : name(std::move(graph_name)), dynamic(std::move(loaded)) {
+    RefreshSnapshot();
+  }
+
+  /// Re-materializes `snapshot` + `indexes` from `dynamic`. Caller holds
+  /// the exclusive lock (or is the constructor).
+  void RefreshSnapshot() {
+    snapshot = dynamic.Materialize();
+    indexes = GraphIndexes::Build(snapshot);
+  }
+};
+
+/// Summary row for STATUS.
+struct GraphSummary {
+  std::string name;
+  std::uint32_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t version = 0;          // DynamicGraph mutation counter
+  std::uint64_t updates_applied = 0;  // applied UPDATE batches
+};
+
+class GraphRegistry {
+ public:
+  /// Loads `path` and registers it as `name`. Fails with kInvalidArgument
+  /// if the name is taken (unload first; silent replacement would yank a
+  /// graph out from under concurrent clients by surprise).
+  [[nodiscard]] Status LoadFromFile(const std::string& name,
+                                    const std::string& path);
+
+  /// Registers an already-built graph (tests, bench).
+  [[nodiscard]] Status Add(const std::string& name, Graph graph);
+
+  /// Removes `name` from the registry. In-flight requests holding the
+  /// entry finish normally.
+  [[nodiscard]] Status Unload(const std::string& name);
+
+  /// Looks up `name`. kNotFound names the known graphs so clients can
+  /// self-diagnose a typo from the error alone.
+  [[nodiscard]] Result<std::shared_ptr<GraphEntry>> Get(
+      const std::string& name) const;
+
+  /// Snapshot of every entry (locks each entry shared, briefly).
+  std::vector<GraphSummary> Summaries() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<GraphEntry>> entries_;
+};
+
+}  // namespace egocensus::net
+
+#endif  // EGOCENSUS_NET_REGISTRY_H_

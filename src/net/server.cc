@@ -1,0 +1,639 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "dynamic/update_stream.h"
+#include "exec/governor.h"
+#include "lang/engine.h"
+#include "obs/obs.h"
+#include "util/build_info.h"
+#include "util/strings.h"
+#include "util/timer.h"
+#if EGO_OBS_ENABLED
+#include "obs/metrics.h"
+#endif
+
+namespace egocensus::net {
+
+namespace {
+
+/// Applies a server-wide cap to a per-request limit. 0 means "uncapped" on
+/// both sides: no cap passes the request through, no request limit adopts
+/// the cap (a server with caps never runs an unbounded request).
+std::uint64_t ClampLimit(std::uint64_t requested, std::uint64_t cap) {
+  if (cap == 0) return requested;
+  if (requested == 0) return cap;
+  return std::min(requested, cap);
+}
+
+/// Payload bytes a message encodes to (headers + separators + body), for
+/// the ring buffer's bytes_in/bytes_out without re-encoding the frame.
+std::uint64_t PayloadBytes(const Message& message) {
+  std::uint64_t bytes = 1 + message.body.size();  // blank separator line
+  for (const auto& [key, value] : message.headers) {
+    bytes += key.size() + 2 + value.size() + 1;  // "key: value\n"
+  }
+  return bytes;
+}
+
+Message ErrorResponse(const Status& status) {
+  Message response;
+  response.type = FrameType::kError;
+  response.headers["code"] = StatusCodeName(status.code());
+  response.body = status.message();
+  return response;
+}
+
+/// Watches a client socket while its request executes; a hangup cancels
+/// the request's governor at the next cooperative checkpoint. Polls with
+/// POLLRDHUP (half-close detection) plus a zero-byte MSG_PEEK probe on
+/// POLLIN so pipelined request bytes are not mistaken for a disconnect.
+class DisconnectWatcher {
+ public:
+  DisconnectWatcher(int fd, Governor* governor, int poll_ms,
+                    std::atomic<std::uint64_t>* cancel_counter)
+      : fd_(fd), governor_(governor), poll_ms_(poll_ms),
+        cancel_counter_(cancel_counter) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~DisconnectWatcher() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+  DisconnectWatcher(const DisconnectWatcher&) = delete;
+  DisconnectWatcher& operator=(const DisconnectWatcher&) = delete;
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      pollfd pfd{fd_, POLLIN | POLLRDHUP, 0};
+      int rc = ::poll(&pfd, 1, poll_ms_);
+      if (rc < 0) continue;  // EINTR: retry
+      if (rc == 0) continue;  // tick: re-check stop flag
+      if ((pfd.revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        Cancel();
+        return;
+      }
+      if ((pfd.revents & POLLIN) != 0) {
+        char probe;
+        ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (n == 0) {  // orderly EOF
+          Cancel();
+          return;
+        }
+        // n > 0: the client pipelined its next request; keep watching but
+        // back off to plain hangup polling (POLLIN would spin otherwise).
+        if (n > 0) {
+          pollfd hup{fd_, POLLRDHUP, 0};
+          ::poll(&hup, 1, poll_ms_);
+        }
+      }
+    }
+  }
+
+  void Cancel() {
+    governor_->RequestCancel();
+    cancel_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int fd_;
+  Governor* governor_;
+  int poll_ms_;
+  std::atomic<std::uint64_t>* cancel_counter_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// RAII slot in the admission gate.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(std::atomic<std::uint32_t>* inflight, std::uint32_t cap)
+      : inflight_(inflight) {
+    std::uint32_t now = inflight_->fetch_add(1, std::memory_order_relaxed);
+    admitted_ = now < cap;
+    if (!admitted_) inflight_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  ~AdmissionSlot() {
+    if (admitted_) inflight_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<std::uint32_t>* inflight_;
+  bool admitted_ = false;
+};
+
+/// Parses the census-shaping headers shared by the CLI and the wire
+/// protocol into QueryEngine options. Returns the first invalid header as
+/// a status.
+[[nodiscard]] Status QueryOptionsFromHeaders(const Message& request,
+                                             QueryEngine::Options* options) {
+  options->rnd_seed = request.HeaderInt("seed", 99);
+  options->census.num_threads =
+      static_cast<std::uint32_t>(request.HeaderInt("threads", 1));
+  std::string algorithm = request.Header("algorithm", "");
+  if (!algorithm.empty()) {
+    options->auto_algorithm = false;
+    static const std::map<std::string, CensusAlgorithm> kNames = {
+        {"nd-bas", CensusAlgorithm::kNdBas},
+        {"nd-pvot", CensusAlgorithm::kNdPvot},
+        {"nd-diff", CensusAlgorithm::kNdDiff},
+        {"pt-bas", CensusAlgorithm::kPtBas},
+        {"pt-opt", CensusAlgorithm::kPtOpt},
+        {"pt-rnd", CensusAlgorithm::kPtRnd},
+    };
+    auto it = kNames.find(ToLower(algorithm));
+    if (it == kNames.end()) {
+      return Status::InvalidArgument("unknown algorithm " + algorithm);
+    }
+    options->census.algorithm = it->second;
+  }
+  std::string matcher = ToLower(request.Header("matcher", "cn"));
+  if (matcher == "gql") {
+    options->census.use_gql_matcher = true;
+  } else if (matcher != "cn") {
+    return Status::InvalidArgument("unknown matcher " + matcher +
+                                   " (expected cn or gql)");
+  }
+  if (request.HasHeader("degrade-approx")) {
+    options->census.degrade_to_approx = true;
+    std::uint64_t permille = request.HeaderInt("degrade-approx", 0);
+    if (permille > 0 && permille <= 1000) {
+      options->census.degrade_sample_rate =
+          static_cast<double>(permille) / 1000.0;
+    }
+  }
+  return Status::Ok();
+}
+
+/// Highest sortable column for top-N (mirrors the CLI: trailing .state
+/// columns of interrupted governed runs do not sort).
+std::size_t TopSortColumn(const ResultTable& table) {
+  std::size_t cols = table.NumColumns();
+  while (cols > 0 && EndsWith(table.columns()[cols - 1], ".state")) --cols;
+  return cols;
+}
+
+}  // namespace
+
+CensusServer::CensusServer(Options options) : options_(std::move(options)) {}
+
+CensusServer::~CensusServer() {
+  RequestShutdown();
+  Wait();
+}
+
+Status CensusServer::Start() {
+  Status listening = listener_.Listen(options_.listen);
+  if (!listening.ok()) return listening;
+  started_micros_ = Timer::NowMicros();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void CensusServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void CensusServer::RequestShutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+}
+
+CensusServer::Counters CensusServer::counters() const {
+  Counters counters;
+  counters.connections = connections_count_.load(std::memory_order_relaxed);
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+  counters.protocol_errors =
+      protocol_errors_.load(std::memory_order_relaxed);
+  counters.disconnect_cancels =
+      disconnect_cancels_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::deque<CensusServer::RequestRecord> CensusServer::RecentRequests() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  return ring_;
+}
+
+void CensusServer::AcceptLoop() {
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.AcceptOnce(/*timeout_ms=*/100);
+    // Reap finished connections so a long-lived daemon's list stays small.
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          (*it)->thread.join();
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!accepted.ok()) continue;  // timeout tick or transient error
+    connections_count_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(*accepted);
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+  // Shutdown: hang up every live connection so blocked RecvFrames return,
+  // then join the workers.
+  std::list<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    ::shutdown(connection->socket.fd(), SHUT_RDWR);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  listener_.Close();
+}
+
+void CensusServer::ServeConnection(Connection* connection) {
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    auto request = connection->socket.RecvFrame();
+    if (!request.ok()) {
+      if (request.status().code() == StatusCode::kParseError) {
+        // Corrupt framing: report once (best effort), then drop the
+        // connection — a byte stream cannot resynchronize mid-garbage.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Status sent = connection->socket.SendFrame(
+            ErrorResponse(request.status()));
+        (void)sent;  // the peer may already be gone
+      }
+      break;  // clean EOF, corrupt stream, or socket error
+    }
+    if (!IsRequestType(request->type)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      Status sent = connection->socket.SendFrame(ErrorResponse(
+          Status::InvalidArgument(std::string("frame type ") +
+                                  FrameTypeName(request->type) +
+                                  " is a response type")));
+      (void)sent;
+      break;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    bool close_after = false;
+    Message response =
+        Dispatch(*request, connection->socket.fd(), &close_after);
+    Status sent = connection->socket.SendFrame(response);
+    if (sent.ok()) completed_.fetch_add(1, std::memory_order_relaxed);
+    if (close_after || !sent.ok()) break;
+  }
+  // Leave the socket open: the accept loop joins this thread and destroys
+  // the connection (closing the fd) when it reaps. Closing here would race
+  // with the shutdown path, which hangs up every fd still in the list — and
+  // a concurrently recycled fd number could hijack an unrelated descriptor.
+  connection->done.store(true, std::memory_order_release);
+}
+
+Message CensusServer::Dispatch(const Message& request, int client_fd,
+                               bool* close_after) {
+  Timer timer;
+  Message response;
+  std::string stop_reason = "none";
+  switch (request.type) {
+    case FrameType::kQuery:
+    case FrameType::kUpdate: {
+      AdmissionSlot slot(&inflight_, options_.max_inflight);
+      if (!slot.admitted()) {
+        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+        response.type = FrameType::kBusy;
+        response.headers["inflight"] = std::to_string(inflight());
+        response.headers["capacity"] = std::to_string(options_.max_inflight);
+        response.body = "admission control: " +
+                        std::to_string(options_.max_inflight) +
+                        " requests already in flight; retry later";
+        break;
+      }
+      response = request.type == FrameType::kQuery
+                     ? HandleQuery(request, client_fd)
+                     : HandleUpdate(request, client_fd);
+      stop_reason = response.Header("stop_reason", "none");
+      break;
+    }
+    case FrameType::kStatus:
+      response = HandleStatus(request);
+      break;
+    case FrameType::kLoad:
+      response = HandleLoad(request);
+      break;
+    case FrameType::kUnload:
+      response = HandleUnload(request);
+      break;
+    case FrameType::kShutdown:
+      response.type = FrameType::kResult;
+      response.body = "shutting down\n";
+      RequestShutdown();
+      *close_after = true;
+      break;
+    default:
+      response = ErrorResponse(Status::InvalidArgument(
+          std::string("unhandled frame type ") +
+          FrameTypeName(request.type)));
+      break;
+  }
+  response.headers["server"] = BuildInfoString();
+  Record(request, response,
+         static_cast<std::uint64_t>(timer.ElapsedMicros()), stop_reason);
+  return response;
+}
+
+Message CensusServer::HandleQuery(const Message& request, int client_fd) {
+  std::string graph_name = request.Header("graph", "");
+  if (graph_name.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("QUERY requires a 'graph' header"));
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "QUERY requires the query text as the frame body"));
+  }
+  auto entry = registry_.Get(graph_name);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  QueryEngine::Options options;
+  Status parsed = QueryOptionsFromHeaders(request, &options);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+  options.census.num_threads = static_cast<std::uint32_t>(ClampLimit(
+      options.census.num_threads, options_.max_threads));
+
+  // Every remote query is governed: even without explicit limits the
+  // governor carries the cancel-on-disconnect token, and the server caps
+  // apply regardless of what the client asked for.
+  Governor governor;
+  std::uint64_t deadline_ms =
+      ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
+  if (deadline_ms > 0) {
+    governor.SetDeadline(Deadline::AfterMillis(deadline_ms));
+  }
+  std::uint64_t budget_mb = ClampLimit(request.HeaderInt("memory_budget_mb", 0),
+                                       options_.max_memory_budget_mb);
+  if (budget_mb > 0) {
+    governor.SetMemoryLimitBytes(budget_mb * 1024ull * 1024ull);
+  }
+  options.census.governor = &governor;
+
+  // Shared lock: concurrent QUERYs run together; UPDATE waits for all of
+  // them and vice versa.
+  std::shared_lock<std::shared_mutex> lock((*entry)->mutex);
+  Message response;
+  {
+    DisconnectWatcher watcher(client_fd, &governor,
+                              options_.disconnect_poll_ms,
+                              &disconnect_cancels_);
+    QueryEngine engine((*entry)->snapshot, &(*entry)->indexes);
+    auto table = engine.Execute(request.body, options);
+    if (!table.ok()) return ErrorResponse(table.status());
+
+    Status exec_status = engine.last_exec_status();
+    std::uint64_t complete = 0, approx = 0, pending = 0;
+    for (const QueryEngine::AggregateExec& exec : engine.last_exec()) {
+      complete += exec.complete;
+      approx += exec.approx;
+      pending += exec.pending;
+    }
+    if (request.HasHeader("top") && TopSortColumn(*table) >= 2) {
+      table->SortByColumnDesc(TopSortColumn(*table) - 1);
+    }
+    response.type = FrameType::kResult;
+    response.headers["exec_status"] = StatusCodeName(exec_status.code());
+    if (!exec_status.ok()) {
+      response.headers["exec_message"] = exec_status.message();
+    }
+    response.headers["stop_reason"] = StopReasonName(governor.reason());
+    response.headers["rows"] = std::to_string(table->NumRows());
+    response.headers["focal_complete"] = std::to_string(complete);
+    response.headers["focal_approx"] = std::to_string(approx);
+    response.headers["focal_pending"] = std::to_string(pending);
+    response.headers["graph_version"] =
+        std::to_string((*entry)->dynamic.version());
+    std::ostringstream body;
+    if (request.Header("format", "csv") == "text") {
+      std::size_t limit = request.HasHeader("top")
+                              ? static_cast<std::size_t>(
+                                    request.HeaderInt("top", 20))
+                              : table->NumRows();
+      body << table->ToString(limit);
+    } else {
+      table->WriteCsv(body);
+    }
+    response.body = body.str();
+  }
+  return response;
+}
+
+Message CensusServer::HandleUpdate(const Message& request, int client_fd) {
+  std::string graph_name = request.Header("graph", "");
+  if (graph_name.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("UPDATE requires a 'graph' header"));
+  }
+  auto entry = registry_.Get(graph_name);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  std::istringstream body(request.body);
+  auto updates = ParseUpdateStream(body);
+  if (!updates.ok()) return ErrorResponse(updates.status());
+
+  Governor governor;
+  std::uint64_t deadline_ms =
+      ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
+  if (deadline_ms > 0) {
+    governor.SetDeadline(Deadline::AfterMillis(deadline_ms));
+  }
+
+  // Exclusive lock: the batch is atomic with respect to queries — they see
+  // the graph before it or after it, never between two of its updates.
+  std::unique_lock<std::shared_mutex> lock((*entry)->mutex);
+  std::uint64_t applied = 0, noop = 0;
+  Status exec_status = Status::Ok();
+  {
+    DisconnectWatcher watcher(client_fd, &governor,
+                              options_.disconnect_poll_ms,
+                              &disconnect_cancels_);
+    for (const GraphUpdate& update : *updates) {
+      if (governor.Checkpoint() != StopReason::kNone) {
+        exec_status = governor.ToStatus("update batch");
+        break;
+      }
+      auto result = (*entry)->dynamic.Apply(update);
+      if (!result.ok()) {
+        exec_status = result.status();
+        break;
+      }
+      if (*result) {
+        ++applied;
+      } else {
+        ++noop;
+      }
+    }
+  }
+  if (applied > 0) {
+    if ((*entry)->dynamic.DeltaFraction() > 0.25) (*entry)->dynamic.Compact();
+    (*entry)->RefreshSnapshot();
+    ++(*entry)->updates_applied;
+  }
+
+  Message response;
+  response.type = FrameType::kResult;
+  response.headers["exec_status"] = StatusCodeName(exec_status.code());
+  if (!exec_status.ok()) {
+    response.headers["exec_message"] = exec_status.message();
+  }
+  response.headers["stop_reason"] = StopReasonName(governor.reason());
+  response.headers["applied"] = std::to_string(applied);
+  response.headers["noop"] = std::to_string(noop);
+  response.headers["nodes"] = std::to_string((*entry)->dynamic.NumNodes());
+  response.headers["edges"] = std::to_string((*entry)->dynamic.NumEdges());
+  response.headers["graph_version"] =
+      std::to_string((*entry)->dynamic.version());
+  response.body = "applied " + std::to_string(applied) + " updates (" +
+                  std::to_string(noop) + " no-ops)\n";
+  return response;
+}
+
+Message CensusServer::HandleStatus(const Message& request) {
+  Message response;
+  response.type = FrameType::kResult;
+  response.headers["content"] = "application/json";
+  response.body = StatusJson();
+  return response;
+}
+
+Message CensusServer::HandleLoad(const Message& request) {
+  std::string name = request.Header("name", "");
+  std::string path = request.Header("path", "");
+  if (name.empty() || path.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "LOAD requires 'name' and 'path' headers"));
+  }
+  Status loaded = registry_.LoadFromFile(name, path);
+  if (!loaded.ok()) return ErrorResponse(loaded);
+  Message response;
+  response.type = FrameType::kResult;
+  response.body = "loaded '" + name + "' from " + path + "\n";
+  return response;
+}
+
+Message CensusServer::HandleUnload(const Message& request) {
+  std::string name = request.Header("name", "");
+  if (name.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("UNLOAD requires a 'name' header"));
+  }
+  Status unloaded = registry_.Unload(name);
+  if (!unloaded.ok()) return ErrorResponse(unloaded);
+  Message response;
+  response.type = FrameType::kResult;
+  response.body = "unloaded '" + name + "'\n";
+  return response;
+}
+
+std::string CensusServer::StatusJson() const {
+  BuildInfo build = GetBuildInfo();
+  Counters counters = this->counters();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"server\": {\"build\": \"" << JsonEscape(BuildInfoString())
+     << "\", \"git\": \"" << JsonEscape(build.git_describe)
+     << "\", \"build_type\": \"" << JsonEscape(build.build_type)
+     << "\", \"obs\": " << (build.obs_enabled ? "true" : "false")
+     << ", \"failpoints\": " << (build.failpoints_enabled ? "true" : "false")
+     << ", \"protocol\": " << kProtocolVersion
+     << ", \"pid\": " << ::getpid()
+     << ", \"uptime_us\": " << (Timer::NowMicros() - started_micros_)
+     << "},\n";
+  os << "  \"admission\": {\"inflight\": " << inflight()
+     << ", \"capacity\": " << options_.max_inflight
+     << ", \"busy_rejected\": " << counters.busy_rejected << "},\n";
+  os << "  \"caps\": {\"max_deadline_ms\": " << options_.max_deadline_ms
+     << ", \"max_memory_budget_mb\": " << options_.max_memory_budget_mb
+     << ", \"max_threads\": " << options_.max_threads << "},\n";
+  os << "  \"counters\": {\"connections\": " << counters.connections
+     << ", \"requests\": " << counters.requests
+     << ", \"completed\": " << counters.completed
+     << ", \"protocol_errors\": " << counters.protocol_errors
+     << ", \"disconnect_cancels\": " << counters.disconnect_cancels
+     << "},\n";
+  os << "  \"graphs\": [";
+  bool first = true;
+  for (const GraphSummary& graph : registry_.Summaries()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": \"" << JsonEscape(graph.name)
+       << "\", \"nodes\": " << graph.nodes << ", \"edges\": " << graph.edges
+       << ", \"version\": " << graph.version
+       << ", \"updates_applied\": " << graph.updates_applied << "}";
+  }
+  os << "],\n";
+  os << "  \"recent\": [";
+  first = true;
+  for (const RequestRecord& record : RecentRequests()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"type\": \"" << JsonEscape(record.type) << "\", \"graph\": \""
+       << JsonEscape(record.graph) << "\", \"exec_status\": \""
+       << JsonEscape(record.exec_status) << "\", \"stop_reason\": \""
+       << JsonEscape(record.stop_reason)
+       << "\", \"latency_us\": " << record.latency_us
+       << ", \"bytes_in\": " << record.bytes_in
+       << ", \"bytes_out\": " << record.bytes_out << "}";
+  }
+  os << "]";
+#if EGO_OBS_ENABLED
+  if (obs::Enabled()) {
+    os << ",\n  \"metrics\": ";
+    obs::Registry::Global().Snapshot().WriteJson(os);
+  }
+#endif
+  os << "\n}\n";
+  return os.str();
+}
+
+void CensusServer::Record(const Message& request, const Message& response,
+                          std::uint64_t latency_us,
+                          const std::string& stop_reason) {
+  RequestRecord record;
+  record.type = FrameTypeName(request.type);
+  record.graph = request.Header("graph", request.Header("name", ""));
+  record.exec_status =
+      response.type == FrameType::kBusy
+          ? "BUSY"
+          : response.Header(
+                "exec_status",
+                response.Header("code",
+                                response.type == FrameType::kError
+                                    ? "INTERNAL"
+                                    : "OK"));
+  record.stop_reason = stop_reason;
+  record.latency_us = latency_us;
+  record.bytes_in = PayloadBytes(request);
+  record.bytes_out = PayloadBytes(response);
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  ring_.push_front(std::move(record));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_back();
+}
+
+}  // namespace egocensus::net

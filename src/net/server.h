@@ -1,0 +1,183 @@
+#ifndef EGOCENSUS_NET_SERVER_H_
+#define EGOCENSUS_NET_SERVER_H_
+
+// ecensusd's engine room: a multi-client census server over the net/frame
+// protocol (docs/SERVER.md).
+//
+// Threading model: one accept thread plus one thread per live connection —
+// not an event loop, because a census request is seconds of CPU, not
+// microseconds of I/O, so the bound that matters is admission control on
+// in-flight work, not descriptor fan-in. Heavy requests (QUERY/UPDATE)
+// pass an admission gate capped at Options::max_inflight and are rejected
+// with a structured BUSY response beyond it — the daemon never queues
+// unboundedly. Cheap requests (STATUS/LOAD/UNLOAD/SHUTDOWN) bypass the
+// gate so the daemon stays observable and administrable while saturated.
+//
+// Every QUERY/UPDATE runs under its own exec::Governor built from the
+// request's deadline_ms / memory_budget_mb / threads headers, each clamped
+// by the server-wide caps, with a disconnect watcher polling the client
+// socket: a client that vanishes mid-request cancels its census at the
+// next cooperative checkpoint instead of burning the server for nothing.
+//
+// Graph state lives in the GraphRegistry (net/registry.h): QUERY holds an
+// entry's lock shared, UPDATE exclusive, so updates serialize against
+// in-flight queries per graph and queries always see a consistent
+// snapshot + indexes.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+#include "net/registry.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace egocensus::net {
+
+class CensusServer {
+ public:
+  struct Options {
+    /// Listen endpoint; port 0 binds an ephemeral port (read via port()).
+    Endpoint listen;
+
+    /// Admission cap: QUERY/UPDATE requests executing at once. Beyond it,
+    /// requests get an immediate BUSY response.
+    std::uint32_t max_inflight = 8;
+
+    // Server-wide caps clamping the per-request limits. 0 = uncapped: the
+    // request's own header applies verbatim (and an uncapped request stays
+    // uncapped).
+    std::uint64_t max_deadline_ms = 0;
+    std::uint64_t max_memory_budget_mb = 0;
+    std::uint32_t max_threads = 0;
+
+    /// Entries kept in the recent-request ring surfaced by STATUS.
+    std::size_t ring_capacity = 64;
+
+    /// Disconnect-watcher poll period. Small: this bounds how long a
+    /// cancelled client's census keeps running.
+    int disconnect_poll_ms = 5;
+  };
+
+  /// Execution counters (monotone since Start), surfaced by STATUS and by
+  /// tests asserting on server behavior without scraping JSON.
+  struct Counters {
+    std::uint64_t connections = 0;        // accepted sockets
+    std::uint64_t requests = 0;           // frames dispatched
+    std::uint64_t completed = 0;          // responses sent
+    std::uint64_t busy_rejected = 0;      // admission-control rejections
+    std::uint64_t protocol_errors = 0;    // corrupt/truncated frames
+    std::uint64_t disconnect_cancels = 0; // censuses cancelled by hangup
+  };
+
+  /// One recent request, as surfaced in STATUS "recent" (newest first).
+  struct RequestRecord {
+    std::string type;         // frame-type name
+    std::string graph;        // graph header ("" for STATUS/SHUTDOWN)
+    std::string exec_status;  // StatusCodeName of the outcome
+    std::string stop_reason;  // StopReasonName ("none" unless governed stop)
+    std::uint64_t latency_us = 0;
+    std::uint64_t bytes_in = 0;   // request payload bytes
+    std::uint64_t bytes_out = 0;  // response payload bytes
+  };
+
+  explicit CensusServer(Options options);
+  ~CensusServer();
+
+  CensusServer(const CensusServer&) = delete;
+  CensusServer& operator=(const CensusServer&) = delete;
+
+  /// Binds + listens + spawns the accept thread. Fails (without leaking a
+  /// thread) when the port is taken or the host does not resolve.
+  [[nodiscard]] Status Start();
+
+  /// Blocks until the server has fully shut down (RequestShutdown from any
+  /// thread, or a SHUTDOWN frame).
+  void Wait();
+
+  /// Initiates shutdown: stop accepting, hang up live connections, join
+  /// workers. Safe from any thread; idempotent. (Not async-signal-safe —
+  /// signal handlers should set a flag and let the main thread call this;
+  /// see ecensusd.)
+  void RequestShutdown();
+
+  bool ShutdownRequested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound port (valid after Start; resolves ephemeral binds).
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Graph registry; pre-load graphs before Start or via LOAD frames after.
+  GraphRegistry& registry() { return registry_; }
+
+  Counters counters() const;
+
+  /// Currently executing QUERY/UPDATE requests.
+  std::uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// The STATUS response body (tests call this directly; the daemon's
+  /// monitoring surface is exactly this JSON).
+  std::string StatusJson() const;
+
+  /// Recent requests, newest first (the STATUS ring).
+  std::deque<RequestRecord> RecentRequests() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+
+  /// Dispatches one request frame; returns the response to send.
+  /// `client_fd` powers the disconnect watcher; `*close_after` is set by
+  /// SHUTDOWN.
+  Message Dispatch(const Message& request, int client_fd, bool* close_after);
+
+  Message HandleQuery(const Message& request, int client_fd);
+  Message HandleUpdate(const Message& request, int client_fd);
+  Message HandleStatus(const Message& request);
+  Message HandleLoad(const Message& request);
+  Message HandleUnload(const Message& request);
+
+  void Record(const Message& request, const Message& response,
+              std::uint64_t latency_us, const std::string& stop_reason);
+
+  Options options_;
+  Listener listener_;
+  GraphRegistry registry_;
+  std::uint64_t started_micros_ = 0;
+
+  std::thread accept_thread_;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint32_t> inflight_{0};
+  std::atomic<std::uint64_t> connections_count_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> busy_rejected_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> disconnect_cancels_{0};
+
+  mutable std::mutex ring_mutex_;
+  std::deque<RequestRecord> ring_;
+};
+
+}  // namespace egocensus::net
+
+#endif  // EGOCENSUS_NET_SERVER_H_

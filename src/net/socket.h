@@ -1,0 +1,119 @@
+#ifndef EGOCENSUS_NET_SOCKET_H_
+#define EGOCENSUS_NET_SOCKET_H_
+
+// Thin Status-returning RAII wrappers over POSIX TCP sockets: exactly the
+// surface the daemon and its client need (connect, listen/accept, framed
+// send/receive, disconnect detection) and nothing more. All blocking; the
+// server gets concurrency from threads, not an event loop — census
+// requests are seconds of CPU, so reactor-style multiplexing would buy
+// nothing over a thread per connection bounded by admission control.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace egocensus::net {
+
+/// A "host:port" endpoint. Parse accepts "127.0.0.1:7471", ":7471"
+/// (wildcard host) and "localhost:7471".
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses HOST:PORT. Fails with kInvalidArgument on a missing/garbage port
+/// (the CLI maps that to exit code 2).
+[[nodiscard]] Result<Endpoint> ParseEndpoint(const std::string& text);
+
+/// One connected stream socket (owning the fd). Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to a TCP endpoint (with TCP_NODELAY: frames are whole
+  /// requests, Nagle only adds latency).
+  [[nodiscard]] static Result<Socket> ConnectTcp(const Endpoint& endpoint);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one complete frame. Partial writes are retried until done.
+  [[nodiscard]] Status SendFrame(const Message& message);
+
+  /// Receives one complete frame, buffering across short reads. Fails with
+  /// kNotFound on clean EOF before any byte of a frame (peer closed),
+  /// kParseError on corrupt framing or EOF inside a frame (truncation),
+  /// kInternal on socket errors.
+  [[nodiscard]] Result<Message> RecvFrame();
+
+  /// Sends raw bytes (tests use this to write deliberately broken frames).
+  [[nodiscard]] Status SendRaw(const void* data, std::size_t size);
+
+  /// Half-closes the write side (sends FIN; reads still drain).
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;  // bytes received past the last frame
+};
+
+/// Listening TCP socket. Binding port 0 picks an ephemeral port, readable
+/// via port() afterwards — tests and the smoke job never race on a fixed
+/// port that way.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens. Fails with kResourceExhausted when the port is in
+  /// use (EADDRINUSE), kInvalidArgument on an unresolvable host.
+  [[nodiscard]] Status Listen(const Endpoint& endpoint, int backlog = 64);
+
+  /// Accepts one connection, blocking at most `timeout_ms` (-1 = forever).
+  /// Returns kNotFound on timeout (the accept loop's poll tick), kCancelled
+  /// after Close() from another thread.
+  [[nodiscard]] Result<Socket> AcceptOnce(int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Owner-thread close. Not safe concurrently with AcceptOnce: the accept
+  /// loop polls with a finite timeout and re-checks its stop flag each
+  /// tick, so shutdown never needs a cross-thread close.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace egocensus::net
+
+#endif  // EGOCENSUS_NET_SOCKET_H_

@@ -30,6 +30,11 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// True if `s` ends with `suffix`.
 bool EndsWith(std::string_view s, std::string_view suffix);
 
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters as \uXXXX). Used by the daemon's STATUS endpoint and
+/// other hand-rolled JSON writers.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace egocensus
 
 #endif  // EGOCENSUS_UTIL_STRINGS_H_

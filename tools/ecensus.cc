@@ -34,8 +34,11 @@
 #include "graph/io.h"
 #include "lang/engine.h"
 #include "lang/maintain.h"
+#include "net/client.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/build_info.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 
@@ -106,6 +109,14 @@ int Usage() {
       "                 [--batch-size N] [--top N] [--csv] [--seed S]\n"
       "                 [--timeout-ms MS] [--memory-budget-mb MB]\n"
       "                 [--trace FILE.json] [--metrics FILE.json|.csv]\n"
+      "  ecensus remote query --connect HOST:PORT --graph NAME\n"
+      "                 (--query SQL | --query-file FILE) [query options]\n"
+      "  ecensus remote update --connect HOST:PORT --graph NAME\n"
+      "                 --updates FILE [--timeout-ms MS]\n"
+      "  ecensus remote status|shutdown --connect HOST:PORT\n"
+      "  ecensus remote load --connect HOST:PORT --name NAME --path FILE\n"
+      "  ecensus remote unload --connect HOST:PORT --name NAME\n"
+      "  ecensus --version\n"
       "\n"
       "Governed runs (--timeout-ms / --memory-budget-mb) that stop early\n"
       "still print their partial results — with per-focal .state columns on\n"
@@ -543,16 +554,155 @@ int RunUpdate(const Args& args) {
   return WriteObsExports(obs_export);
 }
 
+/// `ecensus remote ACTION --connect HOST:PORT ...` — the same verbs against
+/// a running ecensusd instead of a local graph file. Exit codes mirror the
+/// local contract: the response's status crosses the wire as text and maps
+/// back through the same Fail() (2 for usage errors, 1 for everything else,
+/// including governed stops reported in exec_status).
+int RunRemote(const std::string& action, const Args& args) {
+  std::string connect = args.Get("connect", "");
+  if (connect.empty()) {
+    std::cerr << "remote: --connect HOST:PORT is required\n";
+    return Usage();
+  }
+  auto endpoint = net::ParseEndpoint(connect);
+  if (!endpoint.ok()) {
+    std::cerr << endpoint.status().ToString() << "\n";
+    return Usage();
+  }
+
+  net::Message request;
+  if (action == "query") {
+    std::string graph = args.Get("graph", "");
+    if (graph.empty()) {
+      return Fail(Status::InvalidArgument("remote query: --graph NAME names "
+                                          "a graph loaded in the daemon"));
+    }
+    auto query = ReadQueryArg(args);
+    if (!query.ok()) return Fail(query.status());
+    request = net::Client::QueryRequest(graph, *query);
+    if (args.Has("timeout-ms")) {
+      request.headers["deadline_ms"] =
+          std::to_string(args.GetInt("timeout-ms", 0));
+    }
+    if (args.Has("memory-budget-mb")) {
+      request.headers["memory_budget_mb"] =
+          std::to_string(args.GetInt("memory-budget-mb", 0));
+    }
+    if (args.Has("threads")) {
+      request.headers["threads"] = std::to_string(args.GetInt("threads", 1));
+    }
+    if (args.Has("algorithm")) {
+      request.headers["algorithm"] = args.Get("algorithm", "");
+    }
+    if (args.Has("matcher")) {
+      request.headers["matcher"] = args.Get("matcher", "cn");
+    }
+    if (args.Has("top")) {
+      request.headers["top"] = std::to_string(args.GetInt("top", 20));
+    }
+    if (args.Has("seed")) {
+      request.headers["seed"] = std::to_string(args.GetInt("seed", 99));
+    }
+    if (args.Has("degrade-approx")) {
+      // Wire format is integer permille (headers are integers); the CLI's
+      // fractional RATE is converted here.
+      double rate = args.GetDouble("degrade-approx", 0.0);
+      request.headers["degrade-approx"] = std::to_string(
+          rate > 0.0 && rate <= 1.0
+              ? static_cast<std::uint64_t>(rate * 1000.0)
+              : 0);
+    }
+    if (!args.Has("csv")) request.headers["format"] = "text";
+  } else if (action == "update") {
+    std::string graph = args.Get("graph", "");
+    std::string updates_path = args.Get("updates", "");
+    if (graph.empty() || updates_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "remote update: --graph NAME and --updates FILE are required"));
+    }
+    std::ifstream in(updates_path);
+    if (!in) {
+      return Fail(Status::NotFound("cannot open update stream: " +
+                                   updates_path));
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    request = net::Client::UpdateRequest(graph, ss.str());
+    if (args.Has("timeout-ms")) {
+      request.headers["deadline_ms"] =
+          std::to_string(args.GetInt("timeout-ms", 0));
+    }
+  } else if (action == "status") {
+    request = net::Client::StatusRequest();
+  } else if (action == "load") {
+    std::string name = args.Get("name", "");
+    std::string path = args.Get("path", "");
+    if (name.empty() || path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "remote load: --name NAME and --path FILE are required"));
+    }
+    request = net::Client::LoadRequest(name, path);
+  } else if (action == "unload") {
+    std::string name = args.Get("name", "");
+    if (name.empty()) {
+      return Fail(
+          Status::InvalidArgument("remote unload: --name NAME is required"));
+    }
+    request = net::Client::UnloadRequest(name);
+  } else if (action == "shutdown") {
+    request = net::Client::ShutdownRequest();
+  } else {
+    std::cerr << "remote: unknown action '" << action << "'\n";
+    return Usage();
+  }
+
+  auto client = net::Client::Connect(*endpoint);
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+
+  // The RESULT body is the payload (result table, JSON, or confirmation);
+  // side data (stop_reason, focal tallies) goes to stderr so stdout stays
+  // pipeable, exactly like the local verbs. ERROR/BUSY bodies reach stderr
+  // through Fail below instead.
+  if (response->type == net::FrameType::kResult) std::cout << response->body;
+  if (response->HasHeader("stop_reason") &&
+      response->Header("stop_reason", "none") != "none") {
+    std::cerr << "stop_reason: " << response->Header("stop_reason", "none")
+              << " (focal complete=" << response->Header("focal_complete", "0")
+              << " approx=" << response->Header("focal_approx", "0")
+              << " pending=" << response->Header("focal_pending", "0")
+              << ")\n";
+  }
+  Status outcome = net::ResponseToStatus(*response);
+  if (!outcome.ok()) return Fail(outcome);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::cout << BuildInfoString() << "\n";
+    return 0;
+  }
+  if (command == "remote") {
+    if (argc < 3) {
+      std::cerr << "remote: an action is required "
+                   "(query|update|status|load|unload|shutdown)\n";
+      return Usage();
+    }
+    return RunRemote(argv[2], Args(argc, argv, 3));
+  }
   Args args(argc, argv, 2);
   if (command == "generate") return RunGenerate(args);
   if (command == "info") return RunInfo(args);
   if (command == "query") return RunQuery(args, /*stats_mode=*/false);
   if (command == "stats") return RunQuery(args, /*stats_mode=*/true);
   if (command == "update") return RunUpdate(args);
+  std::cerr << "unknown subcommand: " << command << "\n";
   return Usage();
 }
