@@ -7,6 +7,7 @@
 
 #include "census/approx.h"
 #include "census/engines.h"
+#include "census/fastpath/fastpath.h"
 #include "census/pmi.h"
 #include "match/cn_matcher.h"
 #include "match/gql_matcher.h"
@@ -31,6 +32,18 @@ const char* CensusAlgorithmName(CensusAlgorithm algorithm) {
       return "PT-OPT";
     case CensusAlgorithm::kPtRnd:
       return "PT-RND";
+  }
+  return "?";
+}
+
+const char* FastPathModeName(FastPathMode mode) {
+  switch (mode) {
+    case FastPathMode::kAuto:
+      return "auto";
+    case FastPathMode::kForce:
+      return "force";
+    case FastPathMode::kOff:
+      return "off";
   }
   return "?";
 }
@@ -125,6 +138,36 @@ MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
   ctx.anchor_nodes = std::move(anchors).value();
   ctx.options = &options;
 
+  // Fast-path routing (docs/FAST_PATH.md): eligible <= 4-node censuses go
+  // to the combinatorial kernels instead of options.algorithm. The
+  // decision is observable (routed-vs-generic counters, per-shape and
+  // per-reason breakdowns) so operators can audit hit rates.
+  internal::FastPathDecision route;
+  if (options.fast_path == FastPathMode::kOff) {
+    route.reject_reason = "fast path off";
+  } else {
+    route = internal::DecideFastPath(graph, pattern, options);
+  }
+  if (!route.routed && options.fast_path == FastPathMode::kForce) {
+    return Status::InvalidArgument(
+        std::string("fast-path forced but census is ineligible: ") +
+        route.reject_reason);
+  }
+  if (obs::Enabled()) {
+    if (route.routed) {
+      obs::CounterAdd("census/fastpath/routed", 1);
+      obs::CounterAdd(
+          std::string("census/fastpath/shape/") + ShapeName(route.shape.id),
+          1);
+      obs::HistogramRecord("census/fastpath/routed_focal", focal.size());
+    } else {
+      obs::CounterAdd("census/fastpath/generic", 1);
+      obs::CounterAdd(std::string("census/fastpath/skip/") +
+                          route.reject_reason,
+                      1);
+    }
+  }
+
   // The counting phase is embarrassingly parallel across focal nodes /
   // match clusters; the pool lives for exactly one census so a caller's
   // requested width (including widths beyond the core count, which tests
@@ -180,10 +223,13 @@ MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
     }
     if (obs::Enabled()) {
       // Route the per-census totals through the registry under
-      // census/<algorithm>/ so repeated censuses accumulate and the
+      // census/<engine>/ so repeated censuses accumulate and the
       // exporters see the same numbers CensusStats reports.
       const std::string prefix =
-          "census/" + ToLower(CensusAlgorithmName(options.algorithm)) + "/";
+          "census/" +
+          (route.routed ? std::string("fastpath")
+                        : ToLower(CensusAlgorithmName(options.algorithm))) +
+          "/";
       const CensusStats& s = result.stats;
       obs::CounterAdd(prefix + "runs", 1);
       obs::CounterAdd(prefix + "num_matches", s.num_matches);
@@ -195,6 +241,11 @@ MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
     }
     return result;
   };
+  if (route.routed) {
+    CensusResult fast = internal::RunFastPath(ctx, route.shape);
+    fast.stats.fastpath_routed = 1;
+    return finish(std::move(fast));
+  }
   switch (options.algorithm) {
     case CensusAlgorithm::kNdBas:
       return finish(internal::RunNdBas(ctx));

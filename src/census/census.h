@@ -27,6 +27,16 @@ enum class CensusAlgorithm {
 
 const char* CensusAlgorithmName(CensusAlgorithm algorithm);
 
+/// Routing of the combinatorial fast path for <= 4-node unlabeled patterns
+/// (src/census/fastpath/, docs/FAST_PATH.md). kAuto routes eligible
+/// censuses to the closed-form kernels (counts stay bit-identical to the
+/// generic engines; stats.num_matches is 0 because no matcher runs);
+/// kForce errors with InvalidArgument when the census is ineligible;
+/// kOff always dispatches CensusOptions::algorithm.
+enum class FastPathMode : std::uint8_t { kAuto = 0, kForce, kOff };
+
+const char* FastPathModeName(FastPathMode mode);
+
 /// Pattern-match clustering mode for the pattern-driven algorithms
 /// (Section IV-B5 / Fig. 4(g)).
 enum class ClusteringMode {
@@ -37,6 +47,10 @@ enum class ClusteringMode {
 
 struct CensusOptions {
   CensusAlgorithm algorithm = CensusAlgorithm::kNdPvot;
+
+  /// Combinatorial fast-path routing (see FastPathMode). `algorithm` is
+  /// the engine used when the fast path does not take the census.
+  FastPathMode fast_path = FastPathMode::kAuto;
 
   /// Neighborhood radius k of SUBGRAPH(ID, k).
   std::uint32_t k = 1;
@@ -141,6 +155,11 @@ struct CensusStats {
                                      // node (the cost best-first minimizes)
   std::uint64_t containment_checks = 0;
 
+  /// Censuses answered by the combinatorial fast path (0 or 1 per run;
+  /// sums across aggregates/merges). Lets callers — the daemon's per-graph
+  /// routing counters, the stats CSV — see which engine actually ran.
+  std::uint64_t fastpath_routed = 0;
+
   // ---- Peak metrics (max-merged, not summed) ----
 
   /// Worker threads used by the counting phase.
@@ -165,6 +184,7 @@ struct CensusStats {
     nodes_expanded += other.nodes_expanded;
     reinsertions += other.reinsertions;
     containment_checks += other.containment_checks;
+    fastpath_routed += other.fastpath_routed;
     if (other.threads_used > threads_used) threads_used = other.threads_used;
     if (other.peak_neighborhood > peak_neighborhood) {
       peak_neighborhood = other.peak_neighborhood;

@@ -1,0 +1,39 @@
+#ifndef EGOCENSUS_CENSUS_FASTPATH_FASTPATH_H_
+#define EGOCENSUS_CENSUS_FASTPATH_FASTPATH_H_
+
+// Internal header: fast-path routing decision + engine entry point,
+// dispatched by RunCensus ahead of the generic algorithms
+// (docs/FAST_PATH.md).
+
+#include "census/engines.h"
+#include "pattern/shape.h"
+
+namespace egocensus::internal {
+
+/// Outcome of the routing check RunCensus makes before dispatching.
+struct FastPathDecision {
+  bool routed = false;
+  PatternShape shape;
+  /// Why the census stays on the generic engines (static string, set when
+  /// !routed): the pattern's reject reason or a graph/options condition.
+  const char* reject_reason = "";
+};
+
+/// True when the fast path can answer this census bit-identically: the
+/// pattern classifies to a <= 4-node shape, the census covers the whole
+/// pattern with the CN match semantics, and the graph is undirected with
+/// no parallel edges (the formulas assume simple adjacency). Does not
+/// consult options.fast_path — the caller applies the tri-state.
+FastPathDecision DecideFastPath(const Graph& graph, const Pattern& pattern,
+                                const CensusOptions& options);
+
+/// Combinatorial census engine: per focal node, builds the induced
+/// ego-network and evaluates the shape's closed-form count. Same
+/// parallelization, governance, and partial-result contract as the
+/// node-driven engines (per-focal checkpoints; counts recorded only on
+/// clean completion). stats.num_matches stays 0: no matcher runs.
+CensusResult RunFastPath(const CensusContext& ctx, const PatternShape& shape);
+
+}  // namespace egocensus::internal
+
+#endif  // EGOCENSUS_CENSUS_FASTPATH_FASTPATH_H_

@@ -1,0 +1,268 @@
+#include "census/fastpath/kernels.h"
+
+#include <algorithm>
+#include <span>
+
+namespace egocensus::internal::fastpath {
+namespace {
+
+std::uint64_t Choose2(std::uint64_t d) { return d * (d - 1) / 2; }
+std::uint64_t Choose3(std::uint64_t d) {
+  return d < 3 ? 0 : d * (d - 1) * (d - 2) / 6;
+}
+
+/// Size of the intersection of two sorted rows (standard merge).
+std::uint32_t IntersectCount(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b) {
+  std::uint32_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Intersection of two sorted rows restricted to values > floor.
+void IntersectAbove(std::span<const std::uint32_t> a,
+                    std::span<const std::uint32_t> b, std::uint32_t floor,
+                    std::vector<std::uint32_t>* out) {
+  out->clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      if (a[i] > floor) out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+CountLevel LevelForShape(const PatternShape& shape) {
+  switch (shape.id) {
+    case ShapeId::kSingleton:
+      return CountLevel::kNodes;
+    case ShapeId::kEdge:
+      return CountLevel::kDegrees;
+    case ShapeId::kWedge:
+      return shape.induced ? CountLevel::kTriangles : CountLevel::kDegrees;
+    case ShapeId::kTriangle:
+      return CountLevel::kTriangles;
+    default:
+      return CountLevel::kFour;
+  }
+}
+
+std::uint64_t ShapeCount(const MotifCounts& c, const PatternShape& shape) {
+  if (!shape.induced) {
+    switch (shape.id) {
+      case ShapeId::kSingleton:
+        return c.nodes;
+      case ShapeId::kEdge:
+        return c.edges;
+      case ShapeId::kWedge:
+        return c.wedge;
+      case ShapeId::kTriangle:
+        return c.triangle;
+      case ShapeId::kPath4:
+        return c.path4;
+      case ShapeId::kClaw:
+        return c.claw;
+      case ShapeId::kPaw:
+        return c.paw;
+      case ShapeId::kCycle4:
+        return c.cycle4;
+      case ShapeId::kDiamond:
+        return c.diamond;
+      case ShapeId::kClique4:
+        return c.clique4;
+      case ShapeId::kGeneric:
+        return 0;
+    }
+    return 0;
+  }
+  // Induced counts by inclusion-exclusion: subtract, for each strictly
+  // denser shape on the same node count, (copies of this shape inside it)
+  // x (its induced count). Derivations in docs/FAST_PATH.md.
+  const std::uint64_t k4 = c.clique4;
+  const std::uint64_t diamond = c.diamond - 6 * k4;
+  const std::uint64_t cycle4 = c.cycle4 - diamond - 3 * k4;
+  const std::uint64_t paw = c.paw - 4 * diamond - 12 * k4;
+  const std::uint64_t claw = c.claw - paw - 2 * diamond - 4 * k4;
+  const std::uint64_t path4 =
+      c.path4 - 2 * paw - 4 * cycle4 - 6 * diamond - 12 * k4;
+  switch (shape.id) {
+    case ShapeId::kWedge:
+      return c.wedge - 3 * c.triangle;
+    case ShapeId::kPath4:
+      return path4;
+    case ShapeId::kClaw:
+      return claw;
+    case ShapeId::kPaw:
+      return paw;
+    case ShapeId::kCycle4:
+      return cycle4;
+    case ShapeId::kDiamond:
+      return diamond;
+    // Complete skeletons canonicalize to non-induced in AnalyzeShape, but
+    // answer them anyway (the counts coincide).
+    case ShapeId::kSingleton:
+      return c.nodes;
+    case ShapeId::kEdge:
+      return c.edges;
+    case ShapeId::kTriangle:
+      return c.triangle;
+    case ShapeId::kClique4:
+      return k4;
+    case ShapeId::kGeneric:
+      return 0;
+  }
+  return 0;
+}
+
+void EgoKernel::Build(NodeId focal, std::uint32_t k) {
+  const std::vector<NodeId>& visited = bfs_.Run(*graph_, focal, k);
+  nodes_.assign(visited.begin(), visited.end());
+  // Local ids in increasing global-id order: the parent's sorted neighbor
+  // rows then map to sorted local rows for free.
+  std::sort(nodes_.begin(), nodes_.end());
+
+  if (local_of_.size() < graph_->NumNodes()) {
+    local_of_.resize(graph_->NumNodes(), 0);
+    stamp_.resize(graph_->NumNodes(), 0);
+  }
+  if (++epoch_ == 0) {  // stamp wraparound: invalidate everything once
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    local_of_[nodes_[i]] = static_cast<std::uint32_t>(i);
+    stamp_[nodes_[i]] = epoch_;
+  }
+
+  offsets_.clear();
+  adj_.clear();
+  offsets_.push_back(0);
+  for (NodeId member : nodes_) {
+    for (NodeId g : graph_->Neighbors(member)) {
+      if (stamp_[g] == epoch_) adj_.push_back(local_of_[g]);
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(adj_.size()));
+  }
+}
+
+MotifCounts EgoKernel::Count(CountLevel level) {
+  MotifCounts c;
+  const std::uint32_t n = NumLocalNodes();
+  c.nodes = n;
+  if (level == CountLevel::kNodes) return c;
+
+  auto deg = [this](std::uint32_t v) { return offsets_[v + 1] - offsets_[v]; };
+  auto row = [this, &deg](std::uint32_t v) {
+    return std::span<const std::uint32_t>(adj_.data() + offsets_[v], deg(v));
+  };
+
+  std::uint64_t degree_sum = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint64_t d = deg(v);
+    degree_sum += d;
+    c.wedge += Choose2(d);
+    if (level == CountLevel::kFour) c.claw += Choose3(d);
+  }
+  c.edges = degree_sum / 2;
+  if (level == CountLevel::kDegrees) return c;
+
+  // Per-edge triangle counts tri_e = |N(u) cap N(v)|; each triangle is
+  // seen by its three edges, so sum_e tri_e = 3T and sum_{e at v} = 2 t_v.
+  tri_of_node_.assign(n, 0);
+  std::uint64_t tri_sum = 0;   // 3T
+  std::uint64_t mid_pairs = 0; // sum_e (d_u - 1)(d_v - 1)
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v : row(u)) {
+      if (v <= u) continue;  // one visit per unordered edge
+      const std::uint64_t tri = IntersectCount(row(u), row(v));
+      tri_sum += tri;
+      tri_of_node_[u] += tri;
+      tri_of_node_[v] += tri;
+      if (level == CountLevel::kFour) {
+        c.diamond += Choose2(tri);
+        mid_pairs += static_cast<std::uint64_t>(deg(u) - 1) * (deg(v) - 1);
+      }
+    }
+  }
+  c.triangle = tri_sum / 3;
+  if (level == CountLevel::kTriangles) return c;
+
+  // Paw = triangle + pendant edge, rooted at the triangle vertex carrying
+  // the tail; P4 counted at its middle edge (subtract the closed 2-paths).
+  c.path4 = mid_pairs - tri_sum;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint64_t d = deg(v);
+    if (d > 2) c.paw += (tri_of_node_[v] / 2) * (d - 2);
+  }
+
+  // 4-cycles (Chiba-Nishizeki): for each u, count 2-paths u-v-w with
+  // w > u; C(L[w], 2) pairs of distinct middles close a cycle. Each cycle
+  // is found at both of its diagonals' smaller endpoints, hence / 2. The
+  // sum of C(L, 2) accumulates incrementally: raising L by one adds L.
+  paths_to_.assign(n, 0);
+  std::uint64_t cycle_pairs = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    touched_.clear();
+    for (std::uint32_t v : row(u)) {
+      for (std::uint32_t w : row(v)) {
+        if (w <= u) continue;
+        if (paths_to_[w] == 0) touched_.push_back(w);
+        cycle_pairs += paths_to_[w]++;
+      }
+    }
+    for (std::uint32_t w : touched_) paths_to_[w] = 0;
+  }
+  c.cycle4 = cycle_pairs / 2;
+
+  // 4-cliques by per-edge DFS: for the edge (u, v), u < v, mark the common
+  // neighbors above v; every adjacent marked pair completes a clique. Each
+  // K4 is counted exactly once, at its two smallest vertices.
+  mark_.assign(n, 0);
+  std::uint32_t token = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v : row(u)) {
+      if (v <= u) continue;
+      IntersectAbove(row(u), row(v), v, &common_);
+      if (common_.size() < 2) continue;
+      ++token;
+      for (std::uint32_t w : common_) mark_[w] = token;
+      for (std::uint32_t w : common_) {
+        for (std::uint32_t x : row(w)) {
+          if (x > w && mark_[x] == token) ++c.clique4;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+std::uint64_t EgoKernel::ScratchBytes() const {
+  auto bytes = [](const auto& vec) {
+    return vec.capacity() * sizeof(vec[0]);
+  };
+  return bytes(nodes_) + bytes(local_of_) + bytes(stamp_) + bytes(offsets_) +
+         bytes(adj_) + bytes(tri_of_node_) + bytes(paths_to_) +
+         bytes(touched_) + bytes(mark_) + bytes(common_) +
+         graph_->NumNodes() * sizeof(std::uint32_t);  // BFS dist array
+}
+
+}  // namespace egocensus::internal::fastpath

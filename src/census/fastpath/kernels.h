@@ -1,0 +1,104 @@
+#ifndef EGOCENSUS_CENSUS_FASTPATH_KERNELS_H_
+#define EGOCENSUS_CENSUS_FASTPATH_KERNELS_H_
+
+// Per-ego-network motif counting kernels (docs/FAST_PATH.md).
+//
+// For one focal node the kernel materializes the induced subgraph of
+// S(n, k) as a local sorted CSR (reusing its buffers across focal nodes,
+// like SubgraphExtractor) and counts every connected <= 4-node shape with
+// closed-form formulas over degrees, per-edge triangle counts, and one
+// per-edge DFS for 4-cliques — no backtracking matcher. Matching a pattern
+// whose anchor images must lie inside S(n, k) is equivalent to matching in
+// the induced subgraph G[S(n, k)], so the local counts are bit-identical
+// to the generic engines' per-focal counts (the property tests assert
+// this at 1/2/8 threads).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "pattern/shape.h"
+
+namespace egocensus::internal::fastpath {
+
+/// How much of the cascade a shape needs: degrees only, per-edge triangle
+/// counts, or the full 4-node suite.
+enum class CountLevel : std::uint8_t {
+  kNodes = 0,     // singleton
+  kDegrees = 1,   // edge, non-induced wedge
+  kTriangles = 2, // triangle, induced wedge
+  kFour = 3,      // every 4-node shape
+};
+
+CountLevel LevelForShape(const PatternShape& shape);
+
+/// Subgraph-copy counts (not necessarily induced) of each connected
+/// <= 4-node shape inside one ego-network's induced subgraph. Fields past
+/// the requested CountLevel stay zero.
+struct MotifCounts {
+  std::uint64_t nodes = 0;     // |S(n, k)|
+  std::uint64_t edges = 0;     // m
+  std::uint64_t wedge = 0;     // sum_v C(d_v, 2)
+  std::uint64_t triangle = 0;
+  std::uint64_t path4 = 0;
+  std::uint64_t claw = 0;
+  std::uint64_t paw = 0;
+  std::uint64_t cycle4 = 0;
+  std::uint64_t diamond = 0;
+  std::uint64_t clique4 = 0;
+};
+
+/// Projects MotifCounts onto one shape, applying the induced-count
+/// reconstruction (inclusion-exclusion over denser supershapes) when the
+/// pattern negates its complement.
+std::uint64_t ShapeCount(const MotifCounts& counts, const PatternShape& shape);
+
+/// Reusable per-worker kernel: Build() one ego-network, then Count() it.
+/// Not thread-safe; parallel engines keep one kernel per worker.
+class EgoKernel {
+ public:
+  explicit EgoKernel(const Graph& graph) : graph_(&graph) {}
+
+  /// BFS to depth k from `focal` and materialize the induced local CSR
+  /// (nodes relabeled in increasing global-id order, so neighbor rows stay
+  /// sorted without a per-row sort).
+  void Build(NodeId focal, std::uint32_t k);
+
+  /// Counts motifs of the built ego-network up to `level`.
+  MotifCounts Count(CountLevel level);
+
+  std::uint32_t NumLocalNodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Current footprint of the reused buffers, for ScratchCharge.
+  std::uint64_t ScratchBytes() const;
+
+ private:
+  const Graph* graph_;
+  BfsWorkspace bfs_;
+
+  // Ego membership: nodes_ holds S sorted by global id; local_of_ is a
+  // stamped global->local map reset lazily per Build (SubgraphExtractor's
+  // epoch idiom, without the Graph object).
+  std::vector<NodeId> nodes_;
+  std::vector<std::uint32_t> local_of_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+
+  // Local induced CSR; adjacency rows are sorted by local id.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> adj_;
+
+  // Counting scratch.
+  std::vector<std::uint64_t> tri_of_node_;  // 2 * (#triangles at v)
+  std::vector<std::uint32_t> paths_to_;     // Chiba-Nishizeki L[] array
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::uint32_t> mark_;         // per-edge-DFS common-neighbor marks
+  std::vector<std::uint32_t> common_;
+};
+
+}  // namespace egocensus::internal::fastpath
+
+#endif  // EGOCENSUS_CENSUS_FASTPATH_KERNELS_H_

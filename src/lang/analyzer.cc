@@ -109,7 +109,7 @@ const Pattern* ResolvePattern(const Query& query,
                                        "' in SUBGRAPH");
       }
     }
-    analyzed.counts.push_back({i, pattern, &spec});
+    analyzed.counts.push_back({i, pattern, &spec, AnalyzeShape(*pattern)});
   }
   Status s = ValidateWhere(query, query.where.get());
   if (!s.ok()) return s;

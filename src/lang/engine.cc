@@ -119,11 +119,20 @@ Result<ResultTable> QueryEngine::ExecuteSingle(const AnalyzedQuery& analyzed,
                              ? CensusAlgorithm::kPtOpt
                              : CensusAlgorithm::kNdPvot;
     }
+    // An aggregate bound for the combinatorial fast path never touches the
+    // PT center index, so don't pay its first-query build for one. The
+    // pattern/option checks here mirror DecideFastPath; the graph-level
+    // parallel-edge check is deliberately omitted (a multigraph falls back
+    // to the generic engine, which then builds its own index inline).
+    const bool fastpath_likely = census.fast_path != FastPathMode::kOff &&
+                                 item.shape.eligible() &&
+                                 census.subpattern.empty() &&
+                                 !census.use_gql_matcher && !graph_.directed();
     // Share the engine's per-graph indexes across queries.
     if (census.profile_index == nullptr) {
       census.profile_index = &CachedProfiles();
     }
-    if (census.center_index == nullptr &&
+    if (census.center_index == nullptr && !fastpath_likely &&
         (census.algorithm == CensusAlgorithm::kPtOpt ||
          census.algorithm == CensusAlgorithm::kPtRnd)) {
       census.center_index = &CachedCenters();

@@ -67,6 +67,10 @@ std::vector<GraphSummary> GraphRegistry::Summaries() const {
     summary.edges = entry->dynamic.NumEdges();
     summary.version = entry->dynamic.version();
     summary.updates_applied = entry->updates_applied;
+    summary.fastpath_routed =
+        entry->fastpath_routed.load(std::memory_order_relaxed);
+    summary.fastpath_generic =
+        entry->fastpath_generic.load(std::memory_order_relaxed);
     summaries.push_back(std::move(summary));
   }
   return summaries;

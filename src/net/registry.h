@@ -20,6 +20,7 @@
 // requests already inside the entry finish against the old snapshot and the
 // memory dies with the last reference.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +56,12 @@ struct GraphEntry {
   /// Monotone update-batch counter (0 = as loaded).
   std::uint64_t updates_applied = 0;
 
+  /// Fast-path routing outcomes per census aggregate served against this
+  /// graph (docs/FAST_PATH.md). Atomic, not mutex-guarded: concurrent
+  /// QUERYs hold the lock shared and increment these in parallel.
+  std::atomic<std::uint64_t> fastpath_routed{0};
+  std::atomic<std::uint64_t> fastpath_generic{0};
+
   GraphEntry(std::string graph_name, Graph loaded)
       : name(std::move(graph_name)), dynamic(std::move(loaded)) {
     RefreshSnapshot();
@@ -75,6 +82,8 @@ struct GraphSummary {
   std::uint64_t edges = 0;
   std::uint64_t version = 0;          // DynamicGraph mutation counter
   std::uint64_t updates_applied = 0;  // applied UPDATE batches
+  std::uint64_t fastpath_routed = 0;  // aggregates taken by the fast path
+  std::uint64_t fastpath_generic = 0;  // aggregates run by a generic engine
 };
 
 class GraphRegistry {

@@ -166,6 +166,24 @@ class AdmissionSlot {
     return Status::InvalidArgument("unknown matcher " + matcher +
                                    " (expected cn or gql)");
   }
+  // Fast-path routing, mirroring the CLI rule: an explicit algorithm or
+  // matcher header without a fast_path header pins the fast path off, so a
+  // client that picked an engine gets that engine.
+  std::string fast_path = ToLower(request.Header("fast_path", ""));
+  if (fast_path.empty()) {
+    if (request.HasHeader("algorithm") || request.HasHeader("matcher")) {
+      options->census.fast_path = FastPathMode::kOff;
+    }
+  } else if (fast_path == "auto") {
+    options->census.fast_path = FastPathMode::kAuto;
+  } else if (fast_path == "force") {
+    options->census.fast_path = FastPathMode::kForce;
+  } else if (fast_path == "off") {
+    options->census.fast_path = FastPathMode::kOff;
+  } else {
+    return Status::InvalidArgument("unknown fast_path " + fast_path +
+                                   " (expected auto, force or off)");
+  }
   if (request.HasHeader("degrade-approx")) {
     options->census.degrade_to_approx = true;
     std::uint64_t permille = request.HeaderInt("degrade-approx", 0);
@@ -414,6 +432,19 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
       approx += exec.approx;
       pending += exec.pending;
     }
+    // Per-graph routing tallies (surfaced in STATUS): one count per census
+    // aggregate, attributed to the engine that actually ran it.
+    std::uint64_t routed = 0, generic = 0;
+    for (const CensusStats& stats : engine.last_stats()) {
+      if (stats.fastpath_routed != 0) {
+        ++routed;
+      } else {
+        ++generic;
+      }
+    }
+    (*entry)->fastpath_routed.fetch_add(routed, std::memory_order_relaxed);
+    (*entry)->fastpath_generic.fetch_add(generic,
+                                         std::memory_order_relaxed);
     if (request.HasHeader("top") && TopSortColumn(*table) >= 2) {
       table->SortByColumnDesc(TopSortColumn(*table) - 1);
     }
@@ -427,6 +458,7 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
     response.headers["focal_complete"] = std::to_string(complete);
     response.headers["focal_approx"] = std::to_string(approx);
     response.headers["focal_pending"] = std::to_string(pending);
+    response.headers["fastpath_routed"] = std::to_string(routed);
     response.headers["graph_version"] =
         std::to_string((*entry)->dynamic.version());
     std::ostringstream body;
@@ -585,7 +617,9 @@ std::string CensusServer::StatusJson() const {
     os << "{\"name\": \"" << JsonEscape(graph.name)
        << "\", \"nodes\": " << graph.nodes << ", \"edges\": " << graph.edges
        << ", \"version\": " << graph.version
-       << ", \"updates_applied\": " << graph.updates_applied << "}";
+       << ", \"updates_applied\": " << graph.updates_applied
+       << ", \"fastpath\": {\"routed\": " << graph.fastpath_routed
+       << ", \"generic\": " << graph.fastpath_generic << "}}";
   }
   os << "],\n";
   os << "  \"recent\": [";

@@ -1,0 +1,136 @@
+#include "pattern/shape.h"
+
+#include <algorithm>
+#include <array>
+
+namespace egocensus {
+namespace {
+
+PatternShape Reject(const char* reason) {
+  PatternShape shape;
+  shape.reject_reason = reason;
+  return shape;
+}
+
+/// Classifies a connected undirected graph on `n` <= 4 nodes by its size
+/// and sorted degree sequence. Prepare() guarantees connectivity of the
+/// positive skeleton, so the (n, m, degrees) triple is unambiguous.
+ShapeId ClassifySkeleton(int n, int m, std::array<int, 4> degrees) {
+  std::sort(degrees.begin(), degrees.begin() + n);
+  switch (n) {
+    case 1:
+      return ShapeId::kSingleton;
+    case 2:
+      return m == 1 ? ShapeId::kEdge : ShapeId::kGeneric;
+    case 3:
+      if (m == 2) return ShapeId::kWedge;
+      if (m == 3) return ShapeId::kTriangle;
+      return ShapeId::kGeneric;
+    case 4:
+      switch (m) {
+        case 3:
+          return degrees[3] == 3 ? ShapeId::kClaw : ShapeId::kPath4;
+        case 4:
+          return degrees[3] == 3 ? ShapeId::kPaw : ShapeId::kCycle4;
+        case 5:
+          return ShapeId::kDiamond;
+        case 6:
+          return ShapeId::kClique4;
+        default:
+          return ShapeId::kGeneric;
+      }
+    default:
+      return ShapeId::kGeneric;
+  }
+}
+
+}  // namespace
+
+const char* ShapeName(ShapeId id) {
+  switch (id) {
+    case ShapeId::kGeneric:
+      return "generic";
+    case ShapeId::kSingleton:
+      return "singleton";
+    case ShapeId::kEdge:
+      return "edge";
+    case ShapeId::kWedge:
+      return "wedge";
+    case ShapeId::kTriangle:
+      return "triangle";
+    case ShapeId::kPath4:
+      return "path4";
+    case ShapeId::kClaw:
+      return "claw";
+    case ShapeId::kPaw:
+      return "paw";
+    case ShapeId::kCycle4:
+      return "cycle4";
+    case ShapeId::kDiamond:
+      return "diamond";
+    case ShapeId::kClique4:
+      return "clique4";
+  }
+  return "?";
+}
+
+PatternShape AnalyzeShape(const Pattern& pattern) {
+  const int n = pattern.NumNodes();
+  if (n < 1 || n > 4) return Reject("more than 4 pattern nodes");
+  for (int v = 0; v < n; ++v) {
+    if (pattern.LabelConstraint(v).has_value()) {
+      return Reject("label constraint");
+    }
+  }
+  if (!pattern.Predicates().empty()) return Reject("attribute predicate");
+
+  // Unordered pair -> bit index in a 4x4 upper triangle.
+  auto pair_bit = [](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return 1u << (a * 4 + b);
+  };
+  std::uint32_t positive = 0;
+  std::uint32_t negative = 0;
+  std::array<int, 4> degrees{};
+  for (const PatternEdge& e : pattern.PositiveEdges()) {
+    if (e.directed) return Reject("directed pattern edge");
+    const std::uint32_t bit = pair_bit(e.src, e.dst);
+    if ((positive & bit) != 0) return Reject("duplicate pattern edge");
+    positive |= bit;
+    ++degrees[e.src];
+    ++degrees[e.dst];
+  }
+  for (const PatternEdge& e : pattern.NegativeEdges()) {
+    if (e.directed) return Reject("directed pattern edge");
+    const std::uint32_t bit = pair_bit(e.src, e.dst);
+    if ((positive & bit) != 0) return Reject("contradictory negated edge");
+    negative |= bit;
+  }
+
+  // All non-adjacent unordered pairs of the positive skeleton.
+  std::uint32_t complement = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if ((positive & pair_bit(a, b)) == 0) complement |= pair_bit(a, b);
+    }
+  }
+
+  PatternShape shape;
+  if (negative == 0) {
+    shape.induced = false;
+  } else if (negative == complement) {
+    shape.induced = true;
+  } else {
+    return Reject("partial negation (neither none nor full complement)");
+  }
+
+  const int m = static_cast<int>(pattern.PositiveEdges().size());
+  shape.id = ClassifySkeleton(n, m, degrees);
+  if (shape.id == ShapeId::kGeneric) return Reject("unrecognized skeleton");
+  // A complete skeleton has an empty complement, so "induced" and
+  // "non-induced" coincide; canonicalize to non-induced.
+  if (complement == 0) shape.induced = false;
+  return shape;
+}
+
+}  // namespace egocensus

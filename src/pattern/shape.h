@@ -1,0 +1,60 @@
+#ifndef EGOCENSUS_PATTERN_SHAPE_H_
+#define EGOCENSUS_PATTERN_SHAPE_H_
+
+// Canonical shape classification of small patterns, feeding the
+// combinatorial fast-path census (src/census/fastpath/, docs/FAST_PATH.md).
+//
+// A pattern is fast-path countable when matching it inside an ego-network
+// reduces to closed-form motif counting: at most four nodes, undirected
+// structural edges only, no label constraints, no attribute predicates, and
+// negation that is either absent (the pattern counts arbitrary subgraph
+// copies) or exactly the complement of the positive skeleton (the pattern
+// counts vertex-induced copies). Everything else classifies as kGeneric and
+// stays on the generic matcher-based engines.
+
+#include "pattern/pattern.h"
+
+namespace egocensus {
+
+/// The ten connected unlabeled shapes on <= 4 nodes, plus kGeneric for
+/// every pattern the fast path cannot count.
+enum class ShapeId : std::uint8_t {
+  kGeneric = 0,
+  kSingleton,  // 1 node
+  kEdge,       // 2 nodes, 1 edge
+  kWedge,      // path on 3 nodes
+  kTriangle,   // 3-clique
+  kPath4,      // path on 4 nodes
+  kClaw,       // star K_{1,3}
+  kPaw,        // triangle with a pendant edge
+  kCycle4,     // 4-cycle
+  kDiamond,    // 4-clique minus one edge
+  kClique4,    // 4-clique
+};
+
+const char* ShapeName(ShapeId id);
+
+/// Result of classifying a pattern for the fast path.
+struct PatternShape {
+  ShapeId id = ShapeId::kGeneric;
+
+  /// True when the pattern's negative edges are exactly the complement of
+  /// its positive skeleton, i.e. it matches vertex-induced copies. False
+  /// (no negative edges) means arbitrary (not necessarily induced) copies.
+  bool induced = false;
+
+  /// Human-readable reason when id == kGeneric (static string; never null).
+  const char* reject_reason = "";
+
+  bool eligible() const { return id != ShapeId::kGeneric; }
+};
+
+/// Classifies `pattern` (which must be prepared) against the fast-path
+/// shape catalog. Patterns with > 4 nodes, directed edges, label
+/// constraints, predicates, duplicate structural edges, or partial
+/// negation come back as kGeneric with reject_reason set.
+PatternShape AnalyzeShape(const Pattern& pattern);
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_PATTERN_SHAPE_H_

@@ -331,6 +331,8 @@ TEST(CensusTest, StatsReportMatchesAndTimes) {
   CensusOptions opts;
   opts.k = 1;
   opts.algorithm = CensusAlgorithm::kPtOpt;
+  // num_matches comes from the matcher; pin the generic engine so it runs.
+  opts.fast_path = FastPathMode::kOff;
   auto r = RunCensus(g, tri, focal, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stats.num_matches, 0u);

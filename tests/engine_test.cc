@@ -187,11 +187,21 @@ TEST(EngineTest, LastStatsPopulated) {
   Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
   QueryEngine engine(g);
   engine.RegisterPattern(MakeTriangle(false));
+  // num_matches is a matcher stat; route to the generic engine to see it.
+  QueryEngine::Options options;
+  options.census.fast_path = FastPathMode::kOff;
   auto result = engine.Execute(
-      "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes");
+      "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes", options);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(engine.last_stats().size(), 1u);
   EXPECT_EQ(engine.last_stats()[0].num_matches, 1u);
+
+  // A routed run reports itself in stats instead.
+  auto routed = engine.Execute(
+      "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes");
+  ASSERT_TRUE(routed.ok());
+  ASSERT_EQ(engine.last_stats().size(), 1u);
+  EXPECT_EQ(engine.last_stats()[0].fastpath_routed, 1u);
 }
 
 TEST(EngineTest, SemanticErrors) {

@@ -28,6 +28,16 @@ namespace {
 
 using testing::MakeGraph;
 
+/// This file exercises the generic engines' governance contracts (their
+/// checkpoint sites, charge sizes, and all-or-nothing semantics), so the
+/// fast path — which would otherwise take these small unlabeled patterns —
+/// is pinned off. Its own governed sweeps live in fastpath_property_test.
+CensusOptions GenericOptions() {
+  CensusOptions opts;
+  opts.fast_path = FastPathMode::kOff;
+  return opts;
+}
+
 Graph SweepGraph() {
   GeneratorOptions gen;
   gen.num_nodes = 120;
@@ -58,7 +68,7 @@ TEST_F(GovernorCensusTest, UngovernedRunMarksEveryFocalComplete) {
   Graph g = SweepGraph();
   Pattern tri = MakeTriangle(false);
   auto focal = AllNodes(g);
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kNdBas;
   opts.k = 2;
   auto r = RunCensus(g, tri, focal, opts);
@@ -80,7 +90,7 @@ TEST_F(GovernorCensusTest, ExpiredDeadlineReturnsPartialResult) {
         CensusAlgorithm::kPtOpt}) {
     Governor gov;
     gov.SetDeadline(Deadline::AtMicros(1));  // long past
-    CensusOptions opts;
+    CensusOptions opts = GenericOptions();
     opts.algorithm = algorithm;
     opts.k = 2;
     opts.governor = &gov;
@@ -103,7 +113,7 @@ TEST_F(GovernorCensusTest, TinyMemoryBudgetStopsWithResourceExhausted) {
   auto focal = AllNodes(g);
   Governor gov;
   gov.SetMemoryLimitBytes(64);  // smaller than any candidate set charge
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kNdBas;
   opts.k = 2;
   opts.governor = &gov;
@@ -119,7 +129,7 @@ TEST_F(GovernorCensusTest, DegradeToApproxCoversInterruptedFocals) {
   auto focal = AllNodes(g);
   Governor gov;
   gov.SetDeadline(Deadline::AtMicros(1));
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kNdPvot;
   opts.k = 2;
   opts.governor = &gov;
@@ -141,7 +151,7 @@ TEST_F(GovernorCensusTest, ExplicitCancelDoesNotDegrade) {
   auto focal = AllNodes(g);
   Governor gov;
   gov.RequestCancel();  // the user asked out: degradation must not run
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kNdPvot;
   opts.k = 2;
   opts.governor = &gov;
@@ -164,7 +174,7 @@ TEST_F(GovernorCensusTest, CancelAtEveryCheckpointSweep) {
                          CensusAlgorithm::kPtOpt}) {
     const char* site = CheckpointSite(algorithm);
     for (std::uint32_t threads : {1u, 8u}) {
-      CensusOptions opts;
+      CensusOptions opts = GenericOptions();
       opts.algorithm = algorithm;
       opts.k = 2;
       opts.num_threads = threads;
@@ -249,7 +259,7 @@ TEST_F(GovernorCensusTest, MatcherCancellationLeavesAllFocalsPending) {
   // a partial match set would undercount every focal, so the engine must
   // skip counting entirely.
   failpoints::Arm("match/extend", 1, [&gov] { gov.RequestCancel(); });
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kPtOpt;
   opts.k = 2;
   opts.governor = &gov;
@@ -273,7 +283,7 @@ TEST_F(GovernorCensusTest, BudgetExhaustionMidMergeIsAllOrNothing) {
   // bounds) even though most of the counting work finished.
   failpoints::Arm("census/merge", 1,
                   [&gov] { gov.ChargeMemory(1ull << 31); });
-  CensusOptions opts;
+  CensusOptions opts = GenericOptions();
   opts.algorithm = CensusAlgorithm::kPtOpt;
   opts.k = 2;
   opts.num_threads = 4;
@@ -281,7 +291,7 @@ TEST_F(GovernorCensusTest, BudgetExhaustionMidMergeIsAllOrNothing) {
   auto r = RunCensus(g, tri, focal, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->exec_status.code(), StatusCode::kResourceExhausted);
-  CensusOptions ungoverned;
+  CensusOptions ungoverned = GenericOptions();
   ungoverned.algorithm = CensusAlgorithm::kPtOpt;
   ungoverned.k = 2;
   auto baseline = RunCensus(g, tri, focal, ungoverned);
@@ -340,7 +350,7 @@ TEST_F(GovernorCensusTest, DynamicBatchAbortsAtUpdateBoundary) {
   // The maintained counts equal a from-scratch census over the prefix.
   Graph expected = MakeGraph(
       6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {3, 0}, {4, 2}});
-  CensusOptions copts;
+  CensusOptions copts = GenericOptions();
   copts.algorithm = CensusAlgorithm::kNdBas;
   copts.k = 1;
   auto reference = RunCensus(expected, MakeTriangle(false),

@@ -244,6 +244,9 @@ TEST_F(ObsRuntimeTest, CensusPopulatesMetricsForBothMatchers) {
 
   CensusOptions options;
   options.algorithm = CensusAlgorithm::kPtBas;
+  // This test observes the matchers' metrics, so the fast path (which
+  // skips matching entirely) must not take the census.
+  options.fast_path = FastPathMode::kOff;
   options.k = 1;
 
   auto cn = RunCensus(graph, pattern, focal, options);

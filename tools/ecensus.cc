@@ -54,7 +54,15 @@ class Args {
       std::string arg = argv[i];
       if (StartsWith(arg, "--")) {
         std::string key = arg.substr(2);
-        if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        // --key=value binds inline; without '=' the next non-flag token is
+        // the value. Splitting matters for correctness, not just
+        // convenience: before it, "--matcher=bogus" became the key
+        // "matcher=bogus", so Get("matcher") silently fell back to its
+        // default instead of rejecting the unknown value.
+        std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          values_[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
           values_[key] = argv[++i];
         } else {
           values_[key] = "1";  // boolean flag
@@ -98,6 +106,7 @@ int Usage() {
       "  ecensus query --graph FILE (--query SQL | --query-file FILE)\n"
       "                [--algorithm nd-bas|nd-pvot|nd-diff|pt-bas|pt-opt|pt-rnd]\n"
       "                [--matcher cn|gql] [--threads T (0 = all cores)]\n"
+      "                [--fast-path auto|force|off]\n"
       "                [--top N] [--csv] [--seed S]\n"
       "                [--timeout-ms MS] [--memory-budget-mb MB]\n"
       "                [--degrade-approx [RATE]]\n"
@@ -122,7 +131,11 @@ int Usage() {
       "still print their partial results — with per-focal .state columns on\n"
       "interrupted aggregates — and exit non-zero with the stop reason.\n"
       "--degrade-approx re-covers interrupted focal nodes with sampled\n"
-      "estimates (optional RATE in (0,1], default 0.1).\n";
+      "estimates (optional RATE in (0,1], default 0.1).\n"
+      "--fast-path controls the combinatorial <= 4-node kernels\n"
+      "(docs/FAST_PATH.md): auto routes eligible censuses, force errors when\n"
+      "ineligible, off always runs the generic engine. Default: auto, or off\n"
+      "when --algorithm/--matcher picked an engine explicitly.\n";
   return 2;
 }
 
@@ -442,6 +455,24 @@ int RunQuery(const Args& args, bool stats_mode) {
     return Fail(Status::InvalidArgument("unknown --matcher " + matcher +
                                         " (expected cn or gql)"));
   }
+  // Fast-path routing. An explicit --algorithm/--matcher without
+  // --fast-path pins the fast path off: asking for a specific engine means
+  // that engine should actually run (and its matcher stats appear).
+  std::string fast_path = ToLower(args.Get("fast-path", ""));
+  if (fast_path.empty()) {
+    if (args.Has("algorithm") || args.Has("matcher")) {
+      options.census.fast_path = FastPathMode::kOff;
+    }
+  } else if (fast_path == "auto") {
+    options.census.fast_path = FastPathMode::kAuto;
+  } else if (fast_path == "force") {
+    options.census.fast_path = FastPathMode::kForce;
+  } else if (fast_path == "off") {
+    options.census.fast_path = FastPathMode::kOff;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --fast-path " + fast_path +
+                                        " (expected auto, force or off)"));
+  }
   auto result = engine.Execute(*query, options);
   if (!result.ok()) return Fail(result.status());
   // A governed run that stopped early still produced a (partial) table;
@@ -464,7 +495,9 @@ int RunQuery(const Args& args, bool stats_mode) {
     std::cout << result->ToString(limit);
     for (std::size_t i = 0; i < engine.last_stats().size(); ++i) {
       const CensusStats& s = engine.last_stats()[i];
-      std::cout << "aggregate " << i << ": threads=" << s.threads_used
+      std::cout << "aggregate " << i << ": "
+                << (s.fastpath_routed != 0 ? "engine=fastpath " : "")
+                << "threads=" << s.threads_used
                 << " matches=" << s.num_matches << " match=" << s.match_seconds
                 << "s index=" << s.index_seconds
                 << "s census=" << s.census_seconds
@@ -597,6 +630,9 @@ int RunRemote(const std::string& action, const Args& args) {
     }
     if (args.Has("matcher")) {
       request.headers["matcher"] = args.Get("matcher", "cn");
+    }
+    if (args.Has("fast-path")) {
+      request.headers["fast_path"] = args.Get("fast-path", "auto");
     }
     if (args.Has("top")) {
       request.headers["top"] = std::to_string(args.GetInt("top", 20));
