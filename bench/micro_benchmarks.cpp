@@ -20,7 +20,9 @@
 #include "graph/subgraph.h"
 #include "match/cn_matcher.h"
 #include "match/gql_matcher.h"
+#include "obs/log.h"
 #include "obs/obs.h"
+#include "obs/prometheus.h"
 #include "pattern/catalog.h"
 #include "util/bucket_queue.h"
 #include "util/rng.h"
@@ -221,6 +223,60 @@ void BM_ObsOverheadNdBas(benchmark::State& state) {
 BENCHMARK(BM_ObsOverheadNdBas)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Composing the daemon's per-request wide event (docs/OBSERVABILITY.md,
+// "Request telemetry"): one LogEvent with the full QUERY field set. This
+// runs once per request on the server's connection thread, so it needs to
+// stay far below the census work it describes (microseconds, not millis).
+void BM_WideEventCompose(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::LogEvent event("request");
+    event.Str("request_id", "r1a2b3c4d5e6f7-42")
+        .Str("verb", "QUERY")
+        .Str("graph", "bench")
+        .Str("status", "OK")
+        .Str("stop_reason", "none")
+        .Int("queue_us", 31)
+        .Int("execute_us", 18452)
+        .Int("latency_us", 18483)
+        .Int("bytes_in", 120)
+        .Int("bytes_out", 4096)
+        .Int("rows", 5000)
+        .Int("threads", 4)
+        .Int("pattern_nodes", 3)
+        .Int("k", 1);
+    benchmark::DoNotOptimize(event);
+  }
+}
+BENCHMARK(BM_WideEventCompose);
+
+// Rendering a metrics snapshot as Prometheus text exposition — the body of
+// every METRICS frame. Arg = labeled series count; the render is pure (no
+// registry access), so this prices the scrape itself.
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsSnapshot snapshot;
+  const int series = static_cast<int>(state.range(0));
+  for (int i = 0; i < series; ++i) {
+    const std::string labels =
+        "{verb=\"QUERY\",graph=\"g" + std::to_string(i) + "\"}";
+    snapshot.counters["server/requests" + labels] = 100 + i;
+    snapshot.counters["server/bytes_out" + labels] = 4096u * (i + 1);
+    auto& hist = snapshot.histograms["server/latency_us" + labels];
+    for (int b = 0; b < 16; ++b) hist.buckets[b] = b + i;
+    hist.count = 256;
+    hist.sum = 1 << 20;
+    hist.max = 1 << 15;
+  }
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    obs::WritePrometheus(snapshot, os);
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_PrometheusRender)->Arg(8)->Arg(64);
+
 // Governor overhead on the densest checkpoint path (ND-BAS k=2 checkpoints
 // per focal node and per matcher search-tree node). Arg(0) = no governor
 // (one pointer test per checkpoint; the acceptance bar is <=1% vs the seed
@@ -249,7 +305,7 @@ void BM_GovernorOverhead(benchmark::State& state) {
 BENCHMARK(BM_GovernorOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
-// Full-repo egolint scan (lex + all four checks over every src/ file). CI
+// Full-repo egolint scan (lex + all five checks over every src/ file). CI
 // treats the lint job as nearly free; this keeps the whole scan honest
 // against the 2s budget the egolint_test smoke asserts.
 void BM_EgolintRepoScan(benchmark::State& state) {

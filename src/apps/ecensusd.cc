@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/server.h"
+#include "obs/log.h"
 #include "obs/obs.h"
 #include "util/build_info.h"
 #include "util/strings.h"
@@ -38,12 +39,19 @@ int Usage() {
       "           [--max-inflight N (default 8)]\n"
       "           [--max-deadline-ms MS] [--max-memory-budget-mb MB]\n"
       "           [--max-threads T] [--ring N] [--obs]\n"
+      "           [--log-file PATH | --log-stderr] [--log-level LEVEL]\n"
+      "           [--log-rate N] [--slow-query-ms MS] [--slow-ring N]\n"
       "  ecensusd --version\n"
       "\n"
       "Serves census queries over TCP (protocol: docs/SERVER.md). Graphs\n"
       "load once at startup (--graph) or at runtime (LOAD frames); QUERY\n"
       "and UPDATE requests run under per-request governors clamped by the\n"
-      "--max-* caps and are rejected with BUSY beyond --max-inflight.\n";
+      "--max-* caps and are rejected with BUSY beyond --max-inflight.\n"
+      "\n"
+      "Request telemetry (docs/OBSERVABILITY.md): --log-file/--log-stderr\n"
+      "emit one JSON line per request (level floor --log-level, at most\n"
+      "--log-rate lines/s); requests slower than --slow-query-ms are\n"
+      "captured into a ring of --slow-ring entries retrievable via STATUS.\n";
   return 2;
 }
 
@@ -54,6 +62,10 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> graphs;  // name, path
   bool have_listen = false;
   bool obs_on = false;
+  std::string log_file;
+  bool log_stderr = false;
+  std::string log_level;
+  std::uint64_t log_rate = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -113,6 +125,28 @@ int main(int argc, char** argv) {
       options.ring_capacity = static_cast<std::size_t>(std::stoull(v));
     } else if (arg == "--obs") {
       obs_on = true;
+    } else if (arg == "--log-file") {
+      const char* v = value("--log-file");
+      if (v == nullptr) return Usage();
+      log_file = v;
+    } else if (arg == "--log-stderr") {
+      log_stderr = true;
+    } else if (arg == "--log-level") {
+      const char* v = value("--log-level");
+      if (v == nullptr) return Usage();
+      log_level = v;
+    } else if (arg == "--log-rate") {
+      const char* v = value("--log-rate");
+      if (v == nullptr) return Usage();
+      log_rate = std::stoull(v);
+    } else if (arg == "--slow-query-ms") {
+      const char* v = value("--slow-query-ms");
+      if (v == nullptr) return Usage();
+      options.slow_query_threshold_ms = std::stoull(v);
+    } else if (arg == "--slow-ring") {
+      const char* v = value("--slow-ring");
+      if (v == nullptr) return Usage();
+      options.slow_ring_capacity = static_cast<std::size_t>(std::stoull(v));
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return Usage();
@@ -123,6 +157,29 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (obs_on) obs::SetEnabled(true);
+
+  if (!log_file.empty() && log_stderr) {
+    std::cerr << "--log-file and --log-stderr are mutually exclusive\n";
+    return Usage();
+  }
+  if ((!log_file.empty() || log_stderr) && !GetBuildInfo().obs_enabled) {
+    std::cerr << "warning: built with EGOCENSUS_OBS=OFF; request logging "
+                 "is compiled out and --log-* flags have no effect\n";
+  }
+  obs::Logger& logger = obs::Logger::Global();
+  if (!log_file.empty()) {
+    Status opened = logger.OpenFile(log_file);
+    if (!opened.ok()) {
+      std::cerr << opened.ToString() << "\n";
+      return Usage();
+    }
+  } else if (log_stderr) {
+    logger.UseStderr();
+  }
+  if (!log_level.empty()) {
+    logger.SetMinLevel(obs::LogLevelFromName(log_level));
+  }
+  if (log_rate > 0) logger.SetRateLimit(log_rate);
 
   net::CensusServer server(options);
   for (const auto& [name, path] : graphs) {

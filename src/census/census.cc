@@ -183,6 +183,9 @@ MatchSet FindMatchesTimed(const CensusContext& ctx, CensusStats* stats,
   EGO_SPAN("census/run", focal.size());
   auto finish = [&](CensusResult result) -> Result<CensusResult> {
     result.stats.threads_used = num_threads;
+    result.stats.pattern_nodes =
+        static_cast<std::uint32_t>(pattern.NumNodes());
+    result.stats.k = options.k;
     if (options.governor != nullptr) {
       EGO_HIST_RECORD("exec/checkpoints_per_census",
                       options.governor->checkpoints());

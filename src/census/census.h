@@ -164,6 +164,13 @@ struct CensusStats {
 
   /// Worker threads used by the counting phase.
   std::uint32_t threads_used = 1;
+  /// Query attribution: pattern size and neighborhood radius of the census
+  /// that produced these stats, so per-request telemetry (docs/SERVER.md,
+  /// "Request telemetry") reports shape/k without re-parsing the query.
+  /// Max-merged: worker shards inherit the run's values, and a
+  /// degraded-pass merge keeps the exact pass's attribution.
+  std::uint32_t pattern_nodes = 0;
+  std::uint32_t k = 0;
   /// Largest per-unit working set seen: the biggest k-hop neighborhood
   /// (node-driven) or simultaneous-expansion footprint (pattern-driven).
   std::uint64_t peak_neighborhood = 0;
@@ -186,6 +193,8 @@ struct CensusStats {
     containment_checks += other.containment_checks;
     fastpath_routed += other.fastpath_routed;
     if (other.threads_used > threads_used) threads_used = other.threads_used;
+    if (other.pattern_nodes > pattern_nodes) pattern_nodes = other.pattern_nodes;
+    if (other.k > k) k = other.k;
     if (other.peak_neighborhood > peak_neighborhood) {
       peak_neighborhood = other.peak_neighborhood;
     }

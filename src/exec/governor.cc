@@ -66,18 +66,20 @@ StopReason Governor::Stop(StopReason r) {
 
 Status Governor::ToStatus(std::string_view context) const {
   std::string what;
+  std::string where(context);
+  if (!annotation_.empty()) where += " [" + annotation_ + "]";
   switch (reason()) {
     case StopReason::kNone:
       return Status::Ok();
     case StopReason::kCancelled:
-      what = std::string(context) + ": cancelled";
+      what = where + ": cancelled";
       return Status::Cancelled(what);
     case StopReason::kDeadlineExceeded:
-      what = std::string(context) + ": deadline exceeded after " +
+      what = where + ": deadline exceeded after " +
              std::to_string(checkpoints()) + " checkpoints";
       return Status::DeadlineExceeded(what);
     case StopReason::kResourceExhausted:
-      what = std::string(context) + ": memory budget exhausted (" +
+      what = where + ": memory budget exhausted (" +
              std::to_string(budget_.charged_bytes()) + " of " +
              std::to_string(budget_.limit_bytes()) + " bytes charged)";
       return Status::ResourceExhausted(what);

@@ -144,6 +144,16 @@ class Governor {
   void SetDeadline(Deadline deadline) { deadline_ = deadline; }
   void SetMemoryLimitBytes(std::uint64_t bytes) { budget_.SetLimit(bytes); }
 
+  /// Attributes this execution to a caller-visible identity — the daemon
+  /// sets the request id — so a governed stop's Status names the request
+  /// that hit the limit ("census: cancelled [request r1a2b-7]"). Configure
+  /// before the execution starts, like the deadline: the string is read by
+  /// ToStatus after workers wind down, never from checkpoint hot paths.
+  void SetAnnotation(std::string annotation) {
+    annotation_ = std::move(annotation);
+  }
+  const std::string& annotation() const { return annotation_; }
+
   const Deadline& deadline() const { return deadline_; }
   const MemoryBudget& budget() const { return budget_; }
 
@@ -192,6 +202,7 @@ class Governor {
   Deadline deadline_;
   MemoryBudget budget_;
   CancelToken cancel_;
+  std::string annotation_;
   std::atomic<std::uint8_t> stop_reason_{
       static_cast<std::uint8_t>(StopReason::kNone)};
   std::atomic<std::uint64_t> checkpoints_{0};

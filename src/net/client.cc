@@ -40,6 +40,12 @@ Message Client::StatusRequest() {
   return request;
 }
 
+Message Client::MetricsRequest() {
+  Message request;
+  request.type = FrameType::kMetrics;
+  return request;
+}
+
 Message Client::LoadRequest(const std::string& name, const std::string& path) {
   Message request;
   request.type = FrameType::kLoad;

@@ -45,6 +45,7 @@ class Client {
                                const std::string& updates_text);
 
   static Message StatusRequest();
+  static Message MetricsRequest();
   static Message LoadRequest(const std::string& name, const std::string& path);
   static Message UnloadRequest(const std::string& name);
   static Message ShutdownRequest();

@@ -24,6 +24,8 @@ const char* FrameTypeName(FrameType type) {
       return "UNLOAD";
     case FrameType::kShutdown:
       return "SHUTDOWN";
+    case FrameType::kMetrics:
+      return "METRICS";
     case FrameType::kResult:
       return "RESULT";
     case FrameType::kError:
@@ -44,6 +46,7 @@ bool IsKnownType(std::uint8_t byte) {
     case FrameType::kLoad:
     case FrameType::kUnload:
     case FrameType::kShutdown:
+    case FrameType::kMetrics:
     case FrameType::kResult:
     case FrameType::kError:
     case FrameType::kBusy:

@@ -58,6 +58,7 @@ enum class FrameType : std::uint8_t {
   kLoad = 0x04,      // load a graph file into the registry under a name
   kUnload = 0x05,    // drop a named graph from the registry
   kShutdown = 0x06,  // orderly daemon shutdown
+  kMetrics = 0x07,   // Prometheus text exposition of the metrics registry
   // Responses.
   kResult = 0x81,  // success; body carries the rendered result
   kError = 0x82,   // request failed; headers carry the status code

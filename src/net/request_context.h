@@ -1,0 +1,99 @@
+#ifndef EGOCENSUS_NET_REQUEST_CONTEXT_H_
+#define EGOCENSUS_NET_REQUEST_CONTEXT_H_
+
+// Per-request attribution state (docs/SERVER.md, "Request telemetry").
+//
+// Every dispatched frame gets a RequestContext carrying its request id —
+// client-propagated via the `request_id` header when valid, otherwise
+// server-assigned — plus the timing, sizing, and execution facts the
+// handlers accumulate. The server threads the context through dispatch →
+// handler → governor (Governor::SetAnnotation), echoes the id on every
+// response, and renders the context into the one canonical wide log event
+// and, past the latency threshold, into the slow-query ring.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace egocensus::net {
+
+/// One phase of a request's server-side span tree, relative to the moment
+/// the frame was dispatched (begin_us = 0). Built from request-local data
+/// (queue wait, execute window, per-aggregate census phase timings), never
+/// from the global tracer, so capture is race-free against concurrent
+/// requests.
+struct PhaseSpan {
+  std::string name;
+  std::uint64_t begin_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+struct RequestContext {
+  std::string id;          // echoed in the response's request_id header
+  const char* verb = "?";  // FrameTypeName of the request frame
+  std::string graph;       // graph/name header ("" for STATUS/SHUTDOWN)
+
+  std::uint64_t received_us = 0;    // dispatch time (steady clock)
+  std::uint64_t exec_begin_us = 0;  // handler past admission + graph lock
+  std::uint64_t bytes_in = 0;
+
+  // Filled by QUERY/UPDATE handlers for the wide event.
+  std::uint32_t threads = 0;
+  std::uint32_t pattern_nodes = 0;  // largest pattern across aggregates
+  std::uint32_t k = 0;              // largest neighborhood radius
+  std::uint64_t rows = 0;
+  std::uint64_t fastpath_routed = 0;
+  std::uint64_t fastpath_generic = 0;
+
+  std::vector<PhaseSpan> spans;
+
+  /// Counter deltas of the obs registry across this request's execution
+  /// (empty when obs is off or compiled out) — the "per-phase snapshot
+  /// delta" section of the wide event and the slow-query capture.
+  std::map<std::string, std::uint64_t> obs_delta;
+
+  /// Microseconds spent before execution began (admission + registry +
+  /// graph-lock wait); 0 for handlers that never mark exec_begin_us.
+  std::uint64_t QueueMicros() const {
+    return exec_begin_us > received_us ? exec_begin_us - received_us : 0;
+  }
+
+  void AddSpan(std::string name, std::uint64_t begin_us,
+               std::uint64_t dur_us) {
+    spans.push_back(PhaseSpan{std::move(name), begin_us, dur_us});
+  }
+};
+
+/// A client-supplied request id is taken verbatim only when it is sane to
+/// echo through headers, logs, and exposition labels: non-empty, at most 64
+/// bytes, characters from [A-Za-z0-9._:-].
+inline bool ValidRequestId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' ||
+              c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Server-assigned id: `r<start-hex>-<seq>`. The prefix (the daemon's start
+/// time in micros, hex) distinguishes restarts; the sequence number makes
+/// ids unique across concurrent connections within one process.
+inline std::string FormatRequestId(std::uint64_t server_start_us,
+                                   std::uint64_t sequence) {
+  static const char* kHex = "0123456789abcdef";
+  std::string prefix;
+  for (std::uint64_t v = server_start_us; v != 0; v >>= 4) {
+    prefix.insert(prefix.begin(), kHex[v & 0xF]);
+  }
+  if (prefix.empty()) prefix = "0";
+  return "r" + prefix + "-" + std::to_string(sequence);
+}
+
+}  // namespace egocensus::net
+
+#endif  // EGOCENSUS_NET_REQUEST_CONTEXT_H_

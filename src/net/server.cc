@@ -11,12 +11,14 @@
 #include "dynamic/update_stream.h"
 #include "exec/governor.h"
 #include "lang/engine.h"
+#include "obs/log.h"
 #include "obs/obs.h"
 #include "util/build_info.h"
 #include "util/strings.h"
 #include "util/timer.h"
 #if EGO_OBS_ENABLED
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #endif
 
 namespace egocensus::net {
@@ -203,6 +205,45 @@ std::size_t TopSortColumn(const ResultTable& table) {
   return cols;
 }
 
+/// Exposition label-value escaping for the always-compiled daemon families
+/// (graph names are user strings). Kept local so this file never touches
+/// the obs exporter outside its EGO_OBS_ENABLED gate.
+std::string PromLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t SecondsToMicros(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+/// The exec_status a response reduces to in telemetry (ring, log event):
+/// BUSY beats everything, then the handler's exec_status, then the error
+/// code, then OK.
+std::string ResponseExecStatus(const Message& response) {
+  if (response.type == FrameType::kBusy) return "BUSY";
+  return response.Header(
+      "exec_status",
+      response.Header(
+          "code", response.type == FrameType::kError ? "INTERNAL" : "OK"));
+}
+
 }  // namespace
 
 CensusServer::CensusServer(Options options) : options_(std::move(options)) {}
@@ -329,8 +370,23 @@ void CensusServer::ServeConnection(Connection* connection) {
 Message CensusServer::Dispatch(const Message& request, int client_fd,
                                bool* close_after) {
   Timer timer;
+  RequestContext ctx;
+  ctx.received_us = Timer::NowMicros();
+  ctx.verb = FrameTypeName(request.type);
+  ctx.graph = request.Header("graph", request.Header("name", ""));
+  ctx.bytes_in = PayloadBytes(request);
+  ctx.id = request.Header("request_id", "");
+  if (!ValidRequestId(ctx.id)) {
+    ctx.id = FormatRequestId(
+        started_micros_,
+        request_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  std::uint8_t verb_byte = static_cast<std::uint8_t>(request.type);
+  if (verb_byte < verb_counts_.size()) {
+    verb_counts_[verb_byte].fetch_add(1, std::memory_order_relaxed);
+  }
+
   Message response;
-  std::string stop_reason = "none";
   switch (request.type) {
     case FrameType::kQuery:
     case FrameType::kUpdate: {
@@ -346,19 +402,21 @@ Message CensusServer::Dispatch(const Message& request, int client_fd,
         break;
       }
       response = request.type == FrameType::kQuery
-                     ? HandleQuery(request, client_fd)
-                     : HandleUpdate(request, client_fd);
-      stop_reason = response.Header("stop_reason", "none");
+                     ? HandleQuery(request, client_fd, ctx)
+                     : HandleUpdate(request, client_fd, ctx);
       break;
     }
     case FrameType::kStatus:
-      response = HandleStatus(request);
+      response = HandleStatus(request, ctx);
+      break;
+    case FrameType::kMetrics:
+      response = HandleMetrics(request, ctx);
       break;
     case FrameType::kLoad:
-      response = HandleLoad(request);
+      response = HandleLoad(request, ctx);
       break;
     case FrameType::kUnload:
-      response = HandleUnload(request);
+      response = HandleUnload(request, ctx);
       break;
     case FrameType::kShutdown:
       response.type = FrameType::kResult;
@@ -373,12 +431,16 @@ Message CensusServer::Dispatch(const Message& request, int client_fd,
       break;
   }
   response.headers["server"] = BuildInfoString();
-  Record(request, response,
-         static_cast<std::uint64_t>(timer.ElapsedMicros()), stop_reason);
+  // Every response — RESULT, ERROR, BUSY — echoes the request id, so a
+  // client can correlate any outcome with the server's log and metrics.
+  response.headers["request_id"] = ctx.id;
+  FinishRequest(ctx, request, response,
+                static_cast<std::uint64_t>(timer.ElapsedMicros()));
   return response;
 }
 
-Message CensusServer::HandleQuery(const Message& request, int client_fd) {
+Message CensusServer::HandleQuery(const Message& request, int client_fd,
+                                  RequestContext& ctx) {
   std::string graph_name = request.Header("graph", "");
   if (graph_name.empty()) {
     return ErrorResponse(
@@ -401,6 +463,7 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
   // governor carries the cancel-on-disconnect token, and the server caps
   // apply regardless of what the client asked for.
   Governor governor;
+  governor.SetAnnotation("request " + ctx.id);
   std::uint64_t deadline_ms =
       ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
   if (deadline_ms > 0) {
@@ -416,6 +479,11 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
   // Shared lock: concurrent QUERYs run together; UPDATE waits for all of
   // them and vice versa.
   std::shared_lock<std::shared_mutex> lock((*entry)->mutex);
+  ctx.exec_begin_us = Timer::NowMicros();
+#if EGO_OBS_ENABLED
+  obs::MetricsSnapshot before;
+  if (obs::Enabled()) before = obs::Registry::Global().Snapshot();
+#endif
   Message response;
   {
     DisconnectWatcher watcher(client_fd, &governor,
@@ -435,19 +503,43 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
     // Per-graph routing tallies (surfaced in STATUS): one count per census
     // aggregate, attributed to the engine that actually ran it.
     std::uint64_t routed = 0, generic = 0;
+    std::uint64_t phase_offset_us = ctx.QueueMicros();
+    std::size_t aggregate = 0;
     for (const CensusStats& stats : engine.last_stats()) {
       if (stats.fastpath_routed != 0) {
         ++routed;
       } else {
         ++generic;
       }
+      if (stats.threads_used > ctx.threads) ctx.threads = stats.threads_used;
+      if (stats.pattern_nodes > ctx.pattern_nodes) {
+        ctx.pattern_nodes = stats.pattern_nodes;
+      }
+      if (stats.k > ctx.k) ctx.k = stats.k;
+      // Per-aggregate phase spans, laid out sequentially from the measured
+      // phase durations (aggregates of one query do run in sequence; the
+      // offsets are therefore approximate only across parse/format gaps).
+      const std::string prefix = "agg" + std::to_string(aggregate++) + "/";
+      const std::pair<const char*, double> phases[] = {
+          {"match", stats.match_seconds},
+          {"index", stats.index_seconds},
+          {"census", stats.census_seconds}};
+      for (const auto& [phase, seconds] : phases) {
+        std::uint64_t dur = SecondsToMicros(seconds);
+        if (dur == 0) continue;
+        ctx.AddSpan(prefix + phase, phase_offset_us, dur);
+        phase_offset_us += dur;
+      }
     }
+    ctx.fastpath_routed = routed;
+    ctx.fastpath_generic = generic;
     (*entry)->fastpath_routed.fetch_add(routed, std::memory_order_relaxed);
     (*entry)->fastpath_generic.fetch_add(generic,
                                          std::memory_order_relaxed);
     if (request.HasHeader("top") && TopSortColumn(*table) >= 2) {
       table->SortByColumnDesc(TopSortColumn(*table) - 1);
     }
+    ctx.rows = table->NumRows();
     response.type = FrameType::kResult;
     response.headers["exec_status"] = StatusCodeName(exec_status.code());
     if (!exec_status.ok()) {
@@ -473,10 +565,26 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd) {
     }
     response.body = body.str();
   }
+#if EGO_OBS_ENABLED
+  // Counter deltas across the execution window: what this request added to
+  // the registry, attributable because the graph lock and admission gate
+  // do not serialize concurrent queries — the delta is exact only for the
+  // metrics this request touched alone, so treat overlapping-traffic
+  // deltas as attribution hints, not invariants.
+  if (obs::Enabled()) {
+    obs::MetricsSnapshot after = obs::Registry::Global().Snapshot();
+    for (const auto& [name, value] : after.counters) {
+      auto it = before.counters.find(name);
+      std::uint64_t prior = it == before.counters.end() ? 0 : it->second;
+      if (value > prior) ctx.obs_delta[name] = value - prior;
+    }
+  }
+#endif
   return response;
 }
 
-Message CensusServer::HandleUpdate(const Message& request, int client_fd) {
+Message CensusServer::HandleUpdate(const Message& request, int client_fd,
+                                   RequestContext& ctx) {
   std::string graph_name = request.Header("graph", "");
   if (graph_name.empty()) {
     return ErrorResponse(
@@ -490,6 +598,7 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd) {
   if (!updates.ok()) return ErrorResponse(updates.status());
 
   Governor governor;
+  governor.SetAnnotation("request " + ctx.id);
   std::uint64_t deadline_ms =
       ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
   if (deadline_ms > 0) {
@@ -499,6 +608,8 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd) {
   // Exclusive lock: the batch is atomic with respect to queries — they see
   // the graph before it or after it, never between two of its updates.
   std::unique_lock<std::shared_mutex> lock((*entry)->mutex);
+  ctx.exec_begin_us = Timer::NowMicros();
+  ctx.threads = 1;
   std::uint64_t applied = 0, noop = 0;
   Status exec_status = Status::Ok();
   {
@@ -546,15 +657,49 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd) {
   return response;
 }
 
-Message CensusServer::HandleStatus(const Message& request) {
+Message CensusServer::HandleStatus(const Message& request,
+                                   RequestContext& ctx) {
+  ctx.exec_begin_us = Timer::NowMicros();
   Message response;
   response.type = FrameType::kResult;
   response.headers["content"] = "application/json";
+  // `slow_trace: <request_id>` (empty value = newest capture) swaps the
+  // body for that slow query's Chrome trace (docs/OBSERVABILITY.md).
+  if (request.HasHeader("slow_trace")) {
+    std::string trace = SlowQueryTraceJson(request.Header("slow_trace", ""));
+    if (trace.empty()) {
+      return ErrorResponse(Status::NotFound(
+          "no slow-query capture for request id '" +
+          request.Header("slow_trace", "") + "'"));
+    }
+    response.body = std::move(trace);
+    return response;
+  }
   response.body = StatusJson();
   return response;
 }
 
-Message CensusServer::HandleLoad(const Message& request) {
+Message CensusServer::HandleMetrics(const Message& request,
+                                    RequestContext& ctx) {
+  ctx.exec_begin_us = Timer::NowMicros();
+  Message response;
+  response.type = FrameType::kResult;
+  response.headers["content"] = "text/plain; version=0.0.4";
+  std::ostringstream os;
+  WriteDaemonExposition(os);
+#if EGO_OBS_ENABLED
+  // The engine-level registry families render from a point-in-time shard
+  // merge — recording threads never block on exposition.
+  if (obs::Enabled()) {
+    obs::WritePrometheus(obs::Registry::Global().Snapshot(), os);
+  }
+#endif
+  response.body = os.str();
+  return response;
+}
+
+Message CensusServer::HandleLoad(const Message& request, RequestContext& ctx) {
+  ctx.exec_begin_us = Timer::NowMicros();
   std::string name = request.Header("name", "");
   std::string path = request.Header("path", "");
   if (name.empty() || path.empty()) {
@@ -569,7 +714,9 @@ Message CensusServer::HandleLoad(const Message& request) {
   return response;
 }
 
-Message CensusServer::HandleUnload(const Message& request) {
+Message CensusServer::HandleUnload(const Message& request,
+                                   RequestContext& ctx) {
+  ctx.exec_begin_us = Timer::NowMicros();
   std::string name = request.Header("name", "");
   if (name.empty()) {
     return ErrorResponse(
@@ -588,6 +735,9 @@ std::string CensusServer::StatusJson() const {
   Counters counters = this->counters();
   std::ostringstream os;
   os << "{\n";
+  // Versioned STATUS schema (docs/SERVER.md): bump on any rename/removal;
+  // additive fields keep the version.
+  os << "  \"schema\": 1,\n";
   os << "  \"server\": {\"build\": \"" << JsonEscape(BuildInfoString())
      << "\", \"git\": \"" << JsonEscape(build.git_describe)
      << "\", \"build_type\": \"" << JsonEscape(build.build_type)
@@ -608,7 +758,20 @@ std::string CensusServer::StatusJson() const {
      << ", \"completed\": " << counters.completed
      << ", \"protocol_errors\": " << counters.protocol_errors
      << ", \"disconnect_cancels\": " << counters.disconnect_cancels
-     << "},\n";
+     << ", \"verbs\": {";
+  {
+    static constexpr FrameType kVerbs[] = {
+        FrameType::kQuery,  FrameType::kUpdate,   FrameType::kStatus,
+        FrameType::kLoad,   FrameType::kUnload,   FrameType::kShutdown,
+        FrameType::kMetrics};
+    bool first_verb = true;
+    for (FrameType verb : kVerbs) {
+      if (!first_verb) os << ", ";
+      first_verb = false;
+      os << "\"" << FrameTypeName(verb) << "\": " << VerbCount(verb);
+    }
+  }
+  os << "}},\n";
   os << "  \"graphs\": [";
   bool first = true;
   for (const GraphSummary& graph : registry_.Summaries()) {
@@ -627,13 +790,28 @@ std::string CensusServer::StatusJson() const {
   for (const RequestRecord& record : RecentRequests()) {
     if (!first) os << ", ";
     first = false;
-    os << "{\"type\": \"" << JsonEscape(record.type) << "\", \"graph\": \""
+    os << "{\"request_id\": \"" << JsonEscape(record.request_id)
+       << "\", \"type\": \"" << JsonEscape(record.type) << "\", \"graph\": \""
        << JsonEscape(record.graph) << "\", \"exec_status\": \""
        << JsonEscape(record.exec_status) << "\", \"stop_reason\": \""
        << JsonEscape(record.stop_reason)
        << "\", \"latency_us\": " << record.latency_us
        << ", \"bytes_in\": " << record.bytes_in
        << ", \"bytes_out\": " << record.bytes_out << "}";
+  }
+  os << "],\n";
+  os << "  \"slow_queries\": [";
+  first = true;
+  for (const SlowQueryRecord& record : SlowQueries()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"request_id\": \"" << JsonEscape(record.request_id)
+       << "\", \"type\": \"" << JsonEscape(record.type) << "\", \"graph\": \""
+       << JsonEscape(record.graph) << "\", \"exec_status\": \""
+       << JsonEscape(record.exec_status) << "\", \"stop_reason\": \""
+       << JsonEscape(record.stop_reason)
+       << "\", \"latency_us\": " << record.latency_us
+       << ", \"spans\": " << record.spans.size() << "}";
   }
   os << "]";
 #if EGO_OBS_ENABLED
@@ -646,28 +824,228 @@ std::string CensusServer::StatusJson() const {
   return os.str();
 }
 
-void CensusServer::Record(const Message& request, const Message& response,
-                          std::uint64_t latency_us,
-                          const std::string& stop_reason) {
+std::uint64_t CensusServer::VerbCount(FrameType type) const {
+  std::uint8_t byte = static_cast<std::uint8_t>(type);
+  if (byte >= verb_counts_.size()) return 0;
+  return verb_counts_[byte].load(std::memory_order_relaxed);
+}
+
+std::deque<CensusServer::SlowQueryRecord> CensusServer::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  return slow_ring_;
+}
+
+std::string CensusServer::SlowQueryTraceJson(
+    const std::string& request_id) const {
+  SlowQueryRecord record;
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (slow_ring_.empty()) return "";
+    if (request_id.empty() || request_id == "latest") {
+      record = slow_ring_.front();
+    } else {
+      bool found = false;
+      for (const SlowQueryRecord& candidate : slow_ring_) {
+        if (candidate.request_id == request_id) {
+          record = candidate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return "";
+    }
+  }
+  // Chrome trace-event JSON (chrome://tracing, Perfetto): one complete
+  // ("ph":"X") event per span plus a request-spanning root, all on one
+  // logical track, timestamps absolute on the server's steady clock.
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "  {\"name\": \"" << JsonEscape(record.type) << " "
+     << JsonEscape(record.request_id) << "\", \"ph\": \"X\", \"ts\": "
+     << record.received_us << ", \"dur\": " << record.latency_us
+     << ", \"pid\": 1, \"tid\": 1, \"args\": {\"graph\": \""
+     << JsonEscape(record.graph) << "\", \"exec_status\": \""
+     << JsonEscape(record.exec_status) << "\", \"stop_reason\": \""
+     << JsonEscape(record.stop_reason) << "\"}}";
+  for (const PhaseSpan& span : record.spans) {
+    os << ",\n  {\"name\": \"" << JsonEscape(span.name)
+       << "\", \"ph\": \"X\", \"ts\": " << (record.received_us + span.begin_us)
+       << ", \"dur\": " << span.dur_us << ", \"pid\": 1, \"tid\": 1}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void CensusServer::WriteDaemonExposition(std::ostream& os) const {
+  Counters counters = this->counters();
+  os << "# HELP egocensus_daemon_uptime_seconds seconds since Start()\n"
+     << "# TYPE egocensus_daemon_uptime_seconds gauge\n"
+     << "egocensus_daemon_uptime_seconds "
+     << static_cast<double>(Timer::NowMicros() - started_micros_) / 1e6
+     << "\n";
+  os << "# HELP egocensus_daemon_inflight executing QUERY/UPDATE requests\n"
+     << "# TYPE egocensus_daemon_inflight gauge\n"
+     << "egocensus_daemon_inflight " << inflight() << "\n";
+  os << "# HELP egocensus_daemon_requests_total dispatched frames by verb\n"
+     << "# TYPE egocensus_daemon_requests_total counter\n";
+  static constexpr FrameType kVerbs[] = {
+      FrameType::kQuery,  FrameType::kUpdate,   FrameType::kStatus,
+      FrameType::kLoad,   FrameType::kUnload,   FrameType::kShutdown,
+      FrameType::kMetrics};
+  for (FrameType verb : kVerbs) {
+    os << "egocensus_daemon_requests_total{verb=\"" << FrameTypeName(verb)
+       << "\"} " << VerbCount(verb) << "\n";
+  }
+  os << "# HELP egocensus_daemon_connections_total accepted sockets\n"
+     << "# TYPE egocensus_daemon_connections_total counter\n"
+     << "egocensus_daemon_connections_total " << counters.connections << "\n";
+  os << "# HELP egocensus_daemon_busy_rejected_total admission rejections\n"
+     << "# TYPE egocensus_daemon_busy_rejected_total counter\n"
+     << "egocensus_daemon_busy_rejected_total " << counters.busy_rejected
+     << "\n";
+  os << "# HELP egocensus_daemon_protocol_errors_total corrupt frames\n"
+     << "# TYPE egocensus_daemon_protocol_errors_total counter\n"
+     << "egocensus_daemon_protocol_errors_total " << counters.protocol_errors
+     << "\n";
+  os << "# HELP egocensus_daemon_disconnect_cancels_total censuses cancelled "
+        "by client hangup\n"
+     << "# TYPE egocensus_daemon_disconnect_cancels_total counter\n"
+     << "egocensus_daemon_disconnect_cancels_total "
+     << counters.disconnect_cancels << "\n";
+  os << "# HELP egocensus_daemon_fastpath_total census aggregates by graph "
+        "and routing\n"
+     << "# TYPE egocensus_daemon_fastpath_total counter\n";
+  for (const GraphSummary& graph : registry_.Summaries()) {
+    os << "egocensus_daemon_fastpath_total{graph=\"" << PromLabel(graph.name)
+       << "\",route=\"routed\"} " << graph.fastpath_routed << "\n";
+    os << "egocensus_daemon_fastpath_total{graph=\"" << PromLabel(graph.name)
+       << "\",route=\"generic\"} " << graph.fastpath_generic << "\n";
+  }
+  std::size_t slow = 0;
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    slow = slow_ring_.size();
+  }
+  os << "# HELP egocensus_daemon_slow_queries captured slow-query ring size\n"
+     << "# TYPE egocensus_daemon_slow_queries gauge\n"
+     << "egocensus_daemon_slow_queries " << slow << "\n";
+}
+
+void CensusServer::FinishRequest(const RequestContext& ctx,
+                                 const Message& request,
+                                 const Message& response,
+                                 std::uint64_t latency_us) {
+  const std::string exec_status = ResponseExecStatus(response);
+  const std::string stop_reason = response.Header("stop_reason", "none");
+  const std::uint64_t bytes_out = PayloadBytes(response);
+  const std::uint64_t queue_us = std::min(ctx.QueueMicros(), latency_us);
+  const std::uint64_t execute_us =
+      ctx.exec_begin_us == 0 ? 0 : latency_us - queue_us;
+
   RequestRecord record;
-  record.type = FrameTypeName(request.type);
-  record.graph = request.Header("graph", request.Header("name", ""));
-  record.exec_status =
-      response.type == FrameType::kBusy
-          ? "BUSY"
-          : response.Header(
-                "exec_status",
-                response.Header("code",
-                                response.type == FrameType::kError
-                                    ? "INTERNAL"
-                                    : "OK"));
+  record.request_id = ctx.id;
+  record.type = ctx.verb;
+  record.graph = ctx.graph;
+  record.exec_status = exec_status;
   record.stop_reason = stop_reason;
   record.latency_us = latency_us;
-  record.bytes_in = PayloadBytes(request);
-  record.bytes_out = PayloadBytes(response);
-  std::lock_guard<std::mutex> lock(ring_mutex_);
-  ring_.push_front(std::move(record));
-  while (ring_.size() > options_.ring_capacity) ring_.pop_back();
+  record.bytes_in = ctx.bytes_in;
+  record.bytes_out = bytes_out;
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    ring_.push_front(std::move(record));
+    while (ring_.size() > options_.ring_capacity) ring_.pop_back();
+  }
+
+#if EGO_OBS_ENABLED
+  // Request-scoped registry families, labeled by verb/graph so the METRICS
+  // exposition can slice traffic (docs/OBSERVABILITY.md).
+  if (obs::Enabled()) {
+    const std::vector<std::pair<std::string_view, std::string_view>> labels =
+        {{"verb", ctx.verb}, {"graph", ctx.graph}};
+    obs::CounterAdd(obs::LabeledName("server/requests", labels), 1);
+    obs::HistogramRecord(obs::LabeledName("server/latency_us", labels),
+                         latency_us);
+    obs::CounterAdd(obs::LabeledName("server/bytes_out", labels), bytes_out);
+    if (exec_status != "OK") {
+      obs::CounterAdd(obs::LabeledName("server/request_errors", labels), 1);
+    }
+  }
+#endif
+
+  // The canonical wide event: one line per request (docs/OBSERVABILITY.md,
+  // "Request telemetry"). No-op unless a sink is configured.
+  obs::Logger& logger = obs::Logger::Global();
+  if (logger.enabled()) {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    if (response.type == FrameType::kBusy) level = obs::LogLevel::kWarn;
+    if (response.type == FrameType::kError) level = obs::LogLevel::kError;
+    if (logger.ShouldLog(level)) {
+      obs::LogEvent event("request");
+      event.Str("request_id", ctx.id)
+          .Str("verb", ctx.verb)
+          .Str("graph", ctx.graph)
+          .Str("status", exec_status)
+          .Str("stop_reason", stop_reason)
+          .Int("queue_us", queue_us)
+          .Int("execute_us", execute_us)
+          .Int("latency_us", latency_us)
+          .Int("bytes_in", ctx.bytes_in)
+          .Int("bytes_out", bytes_out);
+      if (response.HasHeader("exec_message")) {
+        event.Str("exec_message", response.Header("exec_message", ""));
+      }
+      if (request.type == FrameType::kQuery) {
+        event.Int("rows", ctx.rows)
+            .Int("threads", ctx.threads)
+            .Int("pattern_nodes", ctx.pattern_nodes)
+            .Int("k", ctx.k)
+            .Int("fastpath_routed", ctx.fastpath_routed)
+            .Int("fastpath_generic", ctx.fastpath_generic);
+      }
+      if (!ctx.obs_delta.empty()) {
+        std::string deltas = "{";
+        bool first = true;
+        for (const auto& [name, value] : ctx.obs_delta) {
+          if (!first) deltas += ",";
+          first = false;
+          deltas += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+        }
+        deltas += "}";
+        event.Raw("obs", deltas);
+      }
+      logger.Write(level, event);
+    }
+  }
+
+  // Slow-query capture: the request's span tree + metric deltas, bounded
+  // ring, retrievable via STATUS (headers slow_trace / the slow_queries
+  // summary array).
+  if (options_.slow_query_threshold_ms > 0 &&
+      latency_us >= options_.slow_query_threshold_ms * 1000) {
+    SlowQueryRecord slow;
+    slow.request_id = ctx.id;
+    slow.type = ctx.verb;
+    slow.graph = ctx.graph;
+    slow.exec_status = exec_status;
+    slow.stop_reason = stop_reason;
+    slow.received_us = ctx.received_us;
+    slow.latency_us = latency_us;
+    slow.spans = ctx.spans;
+    if (queue_us > 0) {
+      slow.spans.insert(slow.spans.begin(), PhaseSpan{"queue", 0, queue_us});
+    }
+    if (execute_us > 0) {
+      slow.spans.insert(slow.spans.begin() + (queue_us > 0 ? 1 : 0),
+                        PhaseSpan{"execute", queue_us, execute_us});
+    }
+    slow.counters = ctx.obs_delta;
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    slow_ring_.push_front(std::move(slow));
+    while (slow_ring_.size() > options_.slow_ring_capacity) {
+      slow_ring_.pop_back();
+    }
+  }
 }
 
 }  // namespace egocensus::net

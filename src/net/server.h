@@ -24,17 +24,22 @@
 // in-flight queries per graph and queries always see a consistent
 // snapshot + indexes.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/frame.h"
 #include "net/registry.h"
+#include "net/request_context.h"
 #include "net/socket.h"
 #include "util/status.h"
 
@@ -63,6 +68,14 @@ class CensusServer {
     /// Disconnect-watcher poll period. Small: this bounds how long a
     /// cancelled client's census keeps running.
     int disconnect_poll_ms = 5;
+
+    /// Requests slower than this capture their span tree + metric deltas
+    /// into the slow-query ring (docs/OBSERVABILITY.md, "Request
+    /// telemetry"). 0 disables capture.
+    std::uint64_t slow_query_threshold_ms = 0;
+
+    /// Entries kept in the slow-query ring.
+    std::size_t slow_ring_capacity = 16;
   };
 
   /// Execution counters (monotone since Start), surfaced by STATUS and by
@@ -78,6 +91,7 @@ class CensusServer {
 
   /// One recent request, as surfaced in STATUS "recent" (newest first).
   struct RequestRecord {
+    std::string request_id;   // server-assigned or client-propagated id
     std::string type;         // frame-type name
     std::string graph;        // graph header ("" for STATUS/SHUTDOWN)
     std::string exec_status;  // StatusCodeName of the outcome
@@ -85,6 +99,23 @@ class CensusServer {
     std::uint64_t latency_us = 0;
     std::uint64_t bytes_in = 0;   // request payload bytes
     std::uint64_t bytes_out = 0;  // response payload bytes
+  };
+
+  /// One captured slow request: the ring entry behind STATUS
+  /// "slow_queries" and the Chrome-trace dump (SlowQueryTraceJson). Spans
+  /// are request-local (queue wait, execute window, per-aggregate census
+  /// phases), so capture never races the global tracer; counters are the
+  /// request's obs snapshot delta (empty when obs is off or compiled out).
+  struct SlowQueryRecord {
+    std::string request_id;
+    std::string type;
+    std::string graph;
+    std::string exec_status;
+    std::string stop_reason;
+    std::uint64_t received_us = 0;  // server clock at dispatch
+    std::uint64_t latency_us = 0;
+    std::vector<PhaseSpan> spans;
+    std::map<std::string, std::uint64_t> counters;
   };
 
   explicit CensusServer(Options options);
@@ -131,6 +162,18 @@ class CensusServer {
   /// Recent requests, newest first (the STATUS ring).
   std::deque<RequestRecord> RecentRequests() const;
 
+  /// Captured slow requests, newest first.
+  std::deque<SlowQueryRecord> SlowQueries() const;
+
+  /// The captured slow request rendered as a Chrome trace (one complete
+  /// event per phase span). Empty `request_id` = most recent capture;
+  /// unknown id = empty string.
+  std::string SlowQueryTraceJson(const std::string& request_id) const;
+
+  /// Requests dispatched per frame verb since Start (indexed by the
+  /// request-type byte; response types are always 0).
+  std::uint64_t VerbCount(FrameType type) const;
+
  private:
   struct Connection {
     Socket socket;
@@ -146,14 +189,25 @@ class CensusServer {
   /// SHUTDOWN.
   Message Dispatch(const Message& request, int client_fd, bool* close_after);
 
-  Message HandleQuery(const Message& request, int client_fd);
-  Message HandleUpdate(const Message& request, int client_fd);
-  Message HandleStatus(const Message& request);
-  Message HandleLoad(const Message& request);
-  Message HandleUnload(const Message& request);
+  Message HandleQuery(const Message& request, int client_fd,
+                      RequestContext& ctx);
+  Message HandleUpdate(const Message& request, int client_fd,
+                       RequestContext& ctx);
+  Message HandleStatus(const Message& request, RequestContext& ctx);
+  Message HandleMetrics(const Message& request, RequestContext& ctx);
+  Message HandleLoad(const Message& request, RequestContext& ctx);
+  Message HandleUnload(const Message& request, RequestContext& ctx);
 
-  void Record(const Message& request, const Message& response,
-              std::uint64_t latency_us, const std::string& stop_reason);
+  /// End-of-request bookkeeping, one call per dispatched frame: the STATUS
+  /// ring entry, request-scoped metrics, the wide log event, and (past the
+  /// threshold) the slow-query capture.
+  void FinishRequest(const RequestContext& ctx, const Message& request,
+                     const Message& response, std::uint64_t latency_us);
+
+  /// The always-compiled daemon families of the METRICS exposition
+  /// (uptime, per-verb requests, per-graph fastpath routing) — available
+  /// even when the obs registry is off or compiled out.
+  void WriteDaemonExposition(std::ostream& os) const;
 
   Options options_;
   Listener listener_;
@@ -174,8 +228,18 @@ class CensusServer {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
 
+  /// Per-verb dispatch tallies, indexed by the request-type byte
+  /// (0x01..0x07). Slot 0 is unused.
+  std::array<std::atomic<std::uint64_t>, 8> verb_counts_{};
+
+  /// Sequence for server-assigned request ids (net/request_context.h).
+  std::atomic<std::uint64_t> request_seq_{0};
+
   mutable std::mutex ring_mutex_;
   std::deque<RequestRecord> ring_;
+
+  mutable std::mutex slow_mutex_;
+  std::deque<SlowQueryRecord> slow_ring_;
 };
 
 }  // namespace egocensus::net

@@ -1,0 +1,162 @@
+#ifndef EGOCENSUS_OBS_LOG_H_
+#define EGOCENSUS_OBS_LOG_H_
+
+// Structured JSON-lines logger for the daemon's request telemetry
+// (docs/OBSERVABILITY.md, "Request telemetry"): one flat JSON object per
+// line, leveled, thread-safe, and rate-limited, writing to stderr or an
+// append-opened file (`ecensusd --log-file`).
+//
+// The canonical consumer is net/server.cc, which emits exactly one wide
+// "request" event per dispatched frame. Events are assembled off-lock with
+// LogEvent (an ordered key/value JSON builder) and serialized under one
+// mutex in Logger::Write, so concurrent request threads never interleave
+// bytes within a line.
+//
+// Gating: like the metric handles in obs/metrics.h, the whole surface
+// compiles to no-ops when EGO_OBS_ENABLED=0, so call sites stay ungated.
+// Unlike the metrics registry, the logger is independent of the runtime
+// obs::Enabled() toggle: it is active iff a sink is configured (enabled()),
+// because operators want request logs even when the metric shards are off.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace egocensus::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (the --log-level values); anything
+/// else falls back to kInfo.
+LogLevel LogLevelFromName(std::string_view name);
+
+#if EGO_OBS_ENABLED
+
+/// Ordered JSON-object builder for one log line. Keys are emitted in call
+/// order; values are escaped (Str) or rendered verbatim (Raw, for nested
+/// pre-rendered JSON). Not thread-safe; build per event, then hand to
+/// Logger::Write.
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view event_name);
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Int(std::string_view key, std::uint64_t value);
+  LogEvent& Float(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+  /// `json` must already be valid JSON (object/array/number).
+  LogEvent& Raw(std::string_view key, std::string_view json);
+
+  /// The accumulated `"k":v,...` field list (no surrounding braces).
+  const std::string& fields() const { return fields_; }
+
+ private:
+  std::string fields_;
+};
+
+/// Process-wide JSON-lines sink. Leaked singleton like obs::Registry, so
+/// detached threads logging at process exit never touch a destroyed object.
+class Logger {
+ public:
+  static Logger& Global();
+
+  /// Routes lines to `path`, opened for append. Replaces any prior sink.
+  [[nodiscard]] Status OpenFile(const std::string& path);
+  /// Routes lines to stderr. Replaces any prior sink.
+  void UseStderr();
+
+  /// Minimum level written; lower-level events are dropped before the lock.
+  void SetMinLevel(LogLevel level);
+  /// At most `max_per_sec` lines per wall-clock second (fixed windows);
+  /// excess lines count in dropped(). 0 = unlimited (the default).
+  void SetRateLimit(std::uint64_t max_per_sec);
+
+  /// True once a sink is configured. Callers check this before assembling
+  /// an event so a quiet daemon pays one relaxed load per request.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool ShouldLog(LogLevel level) const {
+    return enabled() &&
+           static_cast<std::uint8_t>(level) >=
+               min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes `{"ts_us":...,"level":"...",<fields>}` + newline and
+  /// flushes, under the writer mutex.
+  void Write(LogLevel level, const LogEvent& event);
+
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes the sink and restores defaults (tests run many configurations
+  /// against the one global instance).
+  void ResetForTest();
+
+ private:
+  Logger() = default;
+  ~Logger() = delete;  // leaked
+
+  struct Impl;
+  Impl& impl();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint8_t> min_level_{
+      static_cast<std::uint8_t>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+#else  // !EGO_OBS_ENABLED
+
+/// Kill-switch stubs: same shape, no state, no I/O. Call sites compile and
+/// dead-code eliminate (enabled()/ShouldLog() are constexpr false).
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view) {}
+  LogEvent& Str(std::string_view, std::string_view) { return *this; }
+  LogEvent& Int(std::string_view, std::uint64_t) { return *this; }
+  LogEvent& Float(std::string_view, double) { return *this; }
+  LogEvent& Bool(std::string_view, bool) { return *this; }
+  LogEvent& Raw(std::string_view, std::string_view) { return *this; }
+  const std::string& fields() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+};
+
+class Logger {
+ public:
+  static Logger& Global() {
+    static Logger logger;
+    return logger;
+  }
+  [[nodiscard]] Status OpenFile(const std::string&) { return Status::Ok(); }
+  void UseStderr() {}
+  void SetMinLevel(LogLevel) {}
+  void SetRateLimit(std::uint64_t) {}
+  constexpr bool enabled() const { return false; }
+  constexpr bool ShouldLog(LogLevel) const { return false; }
+  void Write(LogLevel, const LogEvent&) {}
+  constexpr std::uint64_t written() const { return 0; }
+  constexpr std::uint64_t dropped() const { return 0; }
+  void ResetForTest() {}
+};
+
+#endif  // EGO_OBS_ENABLED
+
+}  // namespace egocensus::obs
+
+#endif  // EGOCENSUS_OBS_LOG_H_

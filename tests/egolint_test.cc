@@ -250,6 +250,72 @@ TEST(EgolintObsTest, SuppressionWithReasonSilences) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+// ---- request-discipline ---------------------------------------------------
+
+TEST(EgolintRequestTest, FlagsHandlerWithoutRequestContext) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "Message CensusServer::HandleStatus(const Message& request) {\n"
+       "  return StatusResponse();\n"
+       "}\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "request-discipline");
+  EXPECT_EQ(findings[0].file, "src/net/server.cc");
+  EXPECT_NE(findings[0].message.find("HandleStatus"), std::string::npos);
+}
+
+TEST(EgolintRequestTest, ContextParameterInSignaturePasses) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "Message CensusServer::HandleStatus(const Message& request,\n"
+       "                                   RequestContext& ctx) {\n"
+       "  return StatusResponse();\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, ContextUseInBodyPasses) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "Message CensusServer::HandleStatus(const Message& request) {\n"
+       "  RequestContext ctx = MakeContext(request);\n"
+       "  return StatusResponse(ctx);\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, OutsideNetDirIsExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/lang/engine.cc",
+       "Value HandleAggregate(const Expr& e) {\n  return Eval(e);\n}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, NonHandlerNamesAreExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/socket.cc",
+       "int HandshakeTimeout() {\n  return 5;\n}\n"
+       "void handle_signal(int) {\n}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, SuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "// egolint: no-request-context(internal retry path, not a dispatch "
+       "target)\n"
+       "Message CensusServer::HandlePing(const Message& request) {\n"
+       "  return Pong();\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 // ---- include-hygiene ----------------------------------------------------
 
 TEST(EgolintIncludeTest, FlagsHeaderIncludeCycleOnce) {
@@ -345,6 +411,7 @@ TEST(EgolintDriverTest, KnownCheckNames) {
   EXPECT_TRUE(IsKnownCheck("checkpoint-coverage"));
   EXPECT_TRUE(IsKnownCheck("obs-gating"));
   EXPECT_TRUE(IsKnownCheck("include-hygiene"));
+  EXPECT_TRUE(IsKnownCheck("request-discipline"));
   EXPECT_FALSE(IsKnownCheck("made-up"));
 }
 

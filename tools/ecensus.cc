@@ -123,8 +123,12 @@ int Usage() {
       "  ecensus remote update --connect HOST:PORT --graph NAME\n"
       "                 --updates FILE [--timeout-ms MS]\n"
       "  ecensus remote status|shutdown --connect HOST:PORT\n"
+      "                 [--slow-trace [ID|latest]] (status only)\n"
+      "  ecensus remote metrics --connect HOST:PORT\n"
       "  ecensus remote load --connect HOST:PORT --name NAME --path FILE\n"
       "  ecensus remote unload --connect HOST:PORT --name NAME\n"
+      "  (remote verbs accept --request-id ID; the daemon echoes it in the\n"
+      "   response and its telemetry — docs/OBSERVABILITY.md)\n"
       "  ecensus --version\n"
       "\n"
       "Governed runs (--timeout-ms / --memory-budget-mb) that stop early\n"
@@ -604,6 +608,11 @@ int RunRemote(const std::string& action, const Args& args) {
     return Usage();
   }
 
+  // Client-propagated request id (docs/SERVER.md, "Request telemetry"):
+  // echoed in the response headers and the daemon's log/trace records, so
+  // callers can correlate an invocation with the server-side telemetry.
+  std::string request_id = args.Get("request-id", "");
+
   net::Message request;
   if (action == "query") {
     std::string graph = args.Get("graph", "");
@@ -671,6 +680,13 @@ int RunRemote(const std::string& action, const Args& args) {
     }
   } else if (action == "status") {
     request = net::Client::StatusRequest();
+    if (args.Has("slow-trace")) {
+      // "latest" (or an empty value) dumps the newest capture; a request id
+      // dumps that capture. The body is a Chrome trace JSON.
+      request.headers["slow_trace"] = args.Get("slow-trace", "latest");
+    }
+  } else if (action == "metrics") {
+    request = net::Client::MetricsRequest();
   } else if (action == "load") {
     std::string name = args.Get("name", "");
     std::string path = args.Get("path", "");
@@ -692,6 +708,8 @@ int RunRemote(const std::string& action, const Args& args) {
     std::cerr << "remote: unknown action '" << action << "'\n";
     return Usage();
   }
+
+  if (!request_id.empty()) request.headers["request_id"] = request_id;
 
   auto client = net::Client::Connect(*endpoint);
   if (!client.ok()) return Fail(client.status());
@@ -728,7 +746,7 @@ int main(int argc, char** argv) {
   if (command == "remote") {
     if (argc < 3) {
       std::cerr << "remote: an action is required "
-                   "(query|update|status|load|unload|shutdown)\n";
+                   "(query|update|status|metrics|load|unload|shutdown)\n";
       return Usage();
     }
     return RunRemote(argv[2], Args(argc, argv, 3));

@@ -15,14 +15,19 @@ namespace egolint::internal {
 
 namespace {
 
-/// The self-gated call-site surface of obs/metrics.h, obs/trace.h, and
-/// obs/obs.h: every entry here compiles to a no-op (or a relaxed load plus
-/// an untaken branch) when EGO_OBS_ENABLED=0, so ungated use is safe.
+/// The self-gated call-site surface of obs/metrics.h, obs/trace.h,
+/// obs/log.h, and obs/obs.h: every entry here compiles to a no-op (or a
+/// relaxed load plus an untaken branch) when EGO_OBS_ENABLED=0, so ungated
+/// use is safe. The structured-logging surface (Logger/LogEvent and the
+/// level helpers) is stubbed the same way: Logger::enabled() is constexpr
+/// false in the OFF build, so log call sites stay ungated.
 bool IsStubbedEntryPoint(std::string_view name) {
   return name == "Enabled" || name == "SetEnabled" || name == "CounterAdd" ||
          name == "GaugeMax" || name == "HistogramRecord" ||
          name == "CounterHandle" || name == "GaugeHandle" ||
-         name == "HistogramHandle" || name == "ScopedSpan";
+         name == "HistogramHandle" || name == "ScopedSpan" ||
+         name == "Logger" || name == "LogEvent" || name == "LogLevel" ||
+         name == "LogLevelName" || name == "LogLevelFromName";
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// request-discipline: every request handler in src/net/ must route through
+// the RequestContext (net/request_context.h). A handler that never touches
+// the context produces responses with no request id, no wide log event, and
+// no slow-query capture — exactly the blind spot the telemetry pipeline
+// exists to close (docs/SERVER.md, "Request telemetry"). Handlers are
+// recognized by name: `Handle` followed by an upper-case letter. The
+// context may appear anywhere from the signature (a `RequestContext&`
+// parameter) to the end of the body.
+
+#include <string>
+
+#include "analysis.h"
+#include "egolint.h"
+
+namespace egolint::internal {
+
+namespace {
+
+bool IsHandlerName(std::string_view name) {
+  // Qualified definitions (`CensusServer::HandleQuery`) extract with the
+  // unqualified name; match the trailing component either way.
+  std::size_t pos = name.rfind("Handle");
+  if (pos == std::string_view::npos) return false;
+  if (pos != 0 && name.compare(pos - 2, 2, "::") != 0) return false;
+  std::string_view rest = name.substr(pos + 6);
+  return !rest.empty() && rest[0] >= 'A' && rest[0] <= 'Z';
+}
+
+/// First token of the handler's signature: scan back from the opening brace
+/// past the parameter list and declarator until the previous statement or
+/// scope boundary.
+int SignatureBegin(const std::vector<Token>& tokens, int body_begin) {
+  int i = body_begin - 1;  // the `{`
+  for (--i; i >= 0; --i) {
+    if (TokIs(tokens[i], ";") || TokIs(tokens[i], "}") ||
+        TokIs(tokens[i], "{")) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void CheckRequestDiscipline(const std::vector<FileModel>& models,
+                            std::vector<Finding>* findings) {
+  for (const FileModel& model : models) {
+    if (model.source->path.find("src/net/") == std::string::npos) continue;
+    const std::vector<Token>& toks = model.tokens;
+    for (const FunctionDef& def : ExtractFunctions(model)) {
+      if (!IsHandlerName(def.name)) continue;
+      bool routed = false;
+      int begin = SignatureBegin(toks, def.body_begin);
+      for (int i = begin; i < def.body_end && i < static_cast<int>(toks.size());
+           ++i) {
+        if (toks[i].kind == TokenKind::kIdent &&
+            toks[i].text == "RequestContext") {
+          routed = true;
+          break;
+        }
+      }
+      if (routed) continue;
+      // Anchor the finding on the signature's first line so a
+      // comment-above suppression sits where the definition starts.
+      int line = begin < static_cast<int>(toks.size()) ? toks[begin].line : 0;
+      findings->push_back(Finding{
+          model.source->path, line, "request-discipline",
+          "no-request-context",
+          "request handler " + def.name +
+              " never routes through RequestContext — its requests get no "
+              "id, no wide log event, and no slow-query capture "
+              "(docs/SERVER.md)"});
+    }
+  }
+}
+
+}  // namespace egolint::internal

@@ -15,11 +15,13 @@ namespace egolint {
 namespace {
 
 const char* const kKnownChecks[] = {"status-discipline", "checkpoint-coverage",
-                                    "obs-gating", "include-hygiene"};
+                                    "obs-gating", "include-hygiene",
+                                    "request-discipline"};
 
 const char* const kKnownSuppressions[] = {
     "no-nodiscard", "allow-discard",       "no-checkpoint",
-    "allow-obs",    "allow-using-namespace", "allow-include"};
+    "allow-obs",    "allow-using-namespace", "allow-include",
+    "no-request-context"};
 
 bool Enabled(const LintOptions& options, const std::string& check) {
   if (options.checks.empty()) return true;
@@ -71,6 +73,9 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
   }
   if (Enabled(options, "include-hygiene")) {
     internal::CheckIncludeHygiene(models, &raw);
+  }
+  if (Enabled(options, "request-discipline")) {
+    internal::CheckRequestDiscipline(models, &raw);
   }
 
   // A suppression silences a finding of its kind on the same line or the

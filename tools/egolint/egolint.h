@@ -3,7 +3,7 @@
 
 // egolint: a token-level static-analysis pass over the egocensus sources
 // enforcing project invariants that the compiler cannot see (see
-// docs/STATIC_ANALYSIS.md). No libclang: a hand-rolled C++ lexer feeds four
+// docs/STATIC_ANALYSIS.md). No libclang: a hand-rolled C++ lexer feeds five
 // named checks, each suppressible per line with an audited
 // `// egolint: <suppression>(<reason>)` comment:
 //
@@ -23,6 +23,10 @@
 //                          (suppression: allow-include) and no
 //                          `using namespace` in headers
 //                          (suppression: allow-using-namespace).
+//  * request-discipline  — request handlers (Handle*) in src/net/ must
+//                          route through RequestContext so every request
+//                          carries an id and telemetry
+//                          (suppression: no-request-context).
 //
 // A suppression with an empty reason, or with a name no check owns, is
 // itself a finding (check "suppression") — the escape hatch stays audited.
@@ -87,7 +91,7 @@ struct Finding {
 
 struct LintOptions {
   /// Empty = run every check. Otherwise names from: status-discipline,
-  /// checkpoint-coverage, obs-gating, include-hygiene.
+  /// checkpoint-coverage, obs-gating, include-hygiene, request-discipline.
   std::vector<std::string> checks;
 };
 
@@ -109,7 +113,7 @@ std::string FindingsToJson(const std::vector<Finding>& findings);
 /// 0 = clean, 1 = findings.
 int ExitCodeFor(const std::vector<Finding>& findings);
 
-/// True for the four check names accepted by LintOptions / --check.
+/// True for the five check names accepted by LintOptions / --check.
 bool IsKnownCheck(const std::string& name);
 
 namespace internal {
@@ -134,6 +138,8 @@ void CheckObsGating(const std::vector<FileModel>& models,
                     std::vector<Finding>* findings);
 void CheckIncludeHygiene(const std::vector<FileModel>& models,
                          std::vector<Finding>* findings);
+void CheckRequestDiscipline(const std::vector<FileModel>& models,
+                            std::vector<Finding>* findings);
 
 }  // namespace internal
 
