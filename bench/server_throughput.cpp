@@ -8,11 +8,23 @@
 // speedup; the cold path is even conservative, since it skips the process
 // fork/exec a real `ecensus query` invocation adds on top.
 //
+// A second scenario measures overload behavior: a 2x burst (twice as many
+// closed-loop clients as execution slots) against (a) the legacy
+// reject-on-full daemon (queue_depth=0, clients retry with backoff) and
+// (b) the fair request queue (clients park server-side). Queueing absorbs
+// the burst without the guess-again latency of client backoff, so its p99
+// should come in well under the reject config's. Emitted as one JSON line
+// so CI can assert on it.
+//
 // Usage: server_throughput [nodes] [iters]   (defaults 150000, 15)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -46,6 +58,75 @@ double ColdQueryMicros(const std::string& path) {
   auto table = engine.Execute(kQuery, EngineOptions());
   CheckOk(table.status(), "bench cold query");
   return timer.ElapsedMicros();
+}
+
+double Percentile(std::vector<double>& sorted_inout, double q) {
+  if (sorted_inout.empty()) return 0;
+  std::sort(sorted_inout.begin(), sorted_inout.end());
+  auto idx = static_cast<std::size_t>(q * (sorted_inout.size() - 1) + 0.5);
+  return sorted_inout[idx];
+}
+
+struct BurstResult {
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t attempts = 0;       // total client attempts (retries incl.)
+  std::uint64_t busy_terminal = 0;  // requests that exhausted their retries
+};
+
+// Closed-loop burst: `clients` threads each issue `per_client` requests
+// through the retrying client. With queue_depth=0 the excess load turns
+// into BUSY + client backoff; with a queue it parks server-side.
+BurstResult RunBurst(const std::string& path, int slots,
+                     std::uint64_t queue_depth, int clients, int per_client) {
+  net::CensusServer::Options options;
+  options.listen.port = 0;
+  options.max_inflight = slots;
+  options.queue_depth = queue_depth;
+  net::CensusServer server(options);
+  CheckOk(server.registry().LoadFromFile("g", path), "bench registry load");
+  CheckOk(server.Start(), "bench server start");
+  net::Endpoint endpoint;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = server.port();
+
+  auto request = net::Client::QueryRequest("g", kQuery);
+  request.headers["algorithm"] = "nd-pvot";
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  BurstResult result;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      net::RetryPolicy policy;
+      policy.max_retries = 8;
+      policy.base_backoff_ms = 25;
+      policy.max_backoff_ms = 500;
+      policy.budget_ms = 10000;
+      policy.jitter_seed = 1000 + static_cast<std::uint64_t>(c);
+      for (int i = 0; i < per_client; ++i) {
+        net::RetryStats stats;
+        Timer timer;
+        auto response = net::CallWithRetry(endpoint, request,
+                                           net::Client::Options{}, policy,
+                                           &stats);
+        double us = timer.ElapsedMicros();
+        CheckOk(response.status(), "bench burst call");
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(us);
+        result.attempts += static_cast<std::uint64_t>(stats.attempts);
+        if (response->type == net::FrameType::kBusy) ++result.busy_terminal;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  server.RequestShutdown();
+  server.Wait();
+  result.p50_us = Percentile(latencies, 0.5);
+  result.p99_us = Percentile(latencies, 0.99);
+  return result;
 }
 
 }  // namespace
@@ -108,6 +189,31 @@ int main(int argc, char** argv) {
   std::printf("  graph-resident (daemon round trip):  %10.0f us/query\n",
               warm_us);
   std::printf("  speedup: %.1fx\n", cold_us / warm_us);
+
+  // Overload scenario: 2x burst (8 clients, 4 slots), reject-on-full with
+  // retrying clients vs the fair queue. One JSON line for CI assertions.
+  constexpr int kSlots = 4;
+  constexpr int kBurstClients = 2 * kSlots;
+  constexpr int kPerClient = 6;
+  BurstResult reject = RunBurst(path, kSlots, /*queue_depth=*/0,
+                                kBurstClients, kPerClient);
+  BurstResult queued = RunBurst(path, kSlots, /*queue_depth=*/16,
+                                kBurstClients, kPerClient);
+  std::printf(
+      "{\"scenario\": \"queued_burst\", \"slots\": %d, "
+      "\"burst_clients\": %d, \"requests_per_client\": %d, \"configs\": ["
+      "{\"name\": \"reject_on_full\", \"queue_depth\": 0, \"p50_us\": %.0f, "
+      "\"p99_us\": %.0f, \"attempts\": %llu, \"busy_terminal\": %llu}, "
+      "{\"name\": \"fair_queue\", \"queue_depth\": 16, \"p50_us\": %.0f, "
+      "\"p99_us\": %.0f, \"attempts\": %llu, \"busy_terminal\": %llu}], "
+      "\"p99_ratio_queued_vs_reject\": %.3f}\n",
+      kSlots, kBurstClients, kPerClient, reject.p50_us, reject.p99_us,
+      static_cast<unsigned long long>(reject.attempts),
+      static_cast<unsigned long long>(reject.busy_terminal), queued.p50_us,
+      queued.p99_us, static_cast<unsigned long long>(queued.attempts),
+      static_cast<unsigned long long>(queued.busy_terminal),
+      reject.p99_us > 0 ? queued.p99_us / reject.p99_us : 0.0);
+
   std::remove(path.c_str());
   return 0;
 }

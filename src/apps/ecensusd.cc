@@ -3,12 +3,16 @@
 // over the net/frame protocol (docs/SERVER.md).
 //
 //   ecensusd --listen HOST:PORT [--graph NAME=FILE]... [--max-inflight N]
+//            [--queue-depth N] [--queue-bytes-mb MB] [--drain-ms MS]
 //            [--max-deadline-ms MS] [--max-memory-budget-mb MB]
 //            [--max-threads T] [--obs] [--version]
 //
 // Exit codes follow the ecensus contract: 2 for usage errors, 1 for
-// everything else (port in use, unreadable graph file). SIGINT/SIGTERM
-// shut down cleanly: stop accepting, hang up clients, join workers, exit 0.
+// everything else (port in use, unreadable graph file). SIGINT shuts down
+// immediately: stop accepting, hang up clients, join workers, exit 0.
+// SIGTERM drains gracefully first: stop accepting, serve or BUSY-flush the
+// queue within --drain-ms, then the same clean shutdown — so a rolling
+// restart never drops an admitted request on the floor.
 
 #include <csignal>
 #include <iostream>
@@ -37,6 +41,9 @@ int Usage() {
       "usage:\n"
       "  ecensusd --listen HOST:PORT [--graph NAME=FILE]...\n"
       "           [--max-inflight N (default 8)]\n"
+      "           [--queue-depth N (default 64; 0 = reject-on-full)]\n"
+      "           [--queue-bytes-mb MB (default 32)]\n"
+      "           [--drain-ms MS (default 5000; SIGTERM drain budget)]\n"
       "           [--max-deadline-ms MS] [--max-memory-budget-mb MB]\n"
       "           [--max-threads T] [--ring N] [--obs]\n"
       "           [--log-file PATH | --log-stderr] [--log-level LEVEL]\n"
@@ -46,7 +53,10 @@ int Usage() {
       "Serves census queries over TCP (protocol: docs/SERVER.md). Graphs\n"
       "load once at startup (--graph) or at runtime (LOAD frames); QUERY\n"
       "and UPDATE requests run under per-request governors clamped by the\n"
-      "--max-* caps and are rejected with BUSY beyond --max-inflight.\n"
+      "--max-* caps. Beyond --max-inflight, requests wait in a per-tenant\n"
+      "fair queue bounded by --queue-depth/--queue-bytes-mb; past the\n"
+      "bound they get BUSY with a retry_after_ms hint. SIGTERM drains\n"
+      "gracefully within --drain-ms before exiting.\n"
       "\n"
       "Request telemetry (docs/OBSERVABILITY.md): --log-file/--log-stderr\n"
       "emit one JSON line per request (level floor --log-level, at most\n"
@@ -62,6 +72,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> graphs;  // name, path
   bool have_listen = false;
   bool obs_on = false;
+  std::uint64_t drain_ms = 5000;
   std::string log_file;
   bool log_stderr = false;
   std::string log_level;
@@ -107,6 +118,18 @@ int main(int argc, char** argv) {
         std::cerr << "--max-inflight must be >= 1\n";
         return Usage();
       }
+    } else if (arg == "--queue-depth") {
+      const char* v = value("--queue-depth");
+      if (v == nullptr) return Usage();
+      options.queue_depth = static_cast<std::size_t>(std::stoull(v));
+    } else if (arg == "--queue-bytes-mb") {
+      const char* v = value("--queue-bytes-mb");
+      if (v == nullptr) return Usage();
+      options.queue_bytes = std::stoull(v) << 20;
+    } else if (arg == "--drain-ms") {
+      const char* v = value("--drain-ms");
+      if (v == nullptr) return Usage();
+      drain_ms = std::stoull(v);
     } else if (arg == "--max-deadline-ms") {
       const char* v = value("--max-deadline-ms");
       if (v == nullptr) return Usage();
@@ -206,12 +229,20 @@ int main(int argc, char** argv) {
   std::cout << BuildInfoString() << " listening on " << options.listen.host
             << ":" << server.port() << " (" << graphs.size()
             << " graphs resident, max-inflight=" << options.max_inflight
-            << ")" << std::endl;
+            << ", queue-depth=" << options.queue_depth << ")" << std::endl;
 
   while (!server.ShutdownRequested() && g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  if (g_signal != 0) {
+  if (g_signal == SIGTERM) {
+    // Graceful drain: stop accepting, serve or BUSY-flush the queue within
+    // the budget, wait for in-flight responses, then shut down.
+    std::cerr << "signal " << g_signal << ": draining (budget " << drain_ms
+              << " ms)\n";
+    net::CensusServer::DrainResult drained = server.Drain(drain_ms);
+    std::cerr << "drain " << (drained.completed ? "completed" : "timed out")
+              << " (" << drained.flushed << " queued requests flushed)\n";
+  } else if (g_signal != 0) {
     std::cerr << "signal " << g_signal << ": shutting down\n";
   }
   server.RequestShutdown();

@@ -77,6 +77,10 @@ Status Governor::ToStatus(std::string_view context) const {
     case StopReason::kDeadlineExceeded:
       what = where + ": deadline exceeded after " +
              std::to_string(checkpoints()) + " checkpoints";
+      if (queue_wait_us_ > 0) {
+        what += " (queued " + std::to_string(queue_wait_us_ / 1000) +
+                " ms before execution)";
+      }
       return Status::DeadlineExceeded(what);
     case StopReason::kResourceExhausted:
       what = where + ": memory budget exhausted (" +

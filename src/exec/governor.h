@@ -154,6 +154,16 @@ class Governor {
   }
   const std::string& annotation() const { return annotation_; }
 
+  /// Time the request spent queued before execution began. The daemon's
+  /// admission queue charges queue wait against the request's absolute
+  /// deadline (SetDeadline(Deadline::AtMicros(...)) anchored at frame
+  /// receipt), so a deadline stop may have burned most of its budget
+  /// before the first checkpoint — recording the wait here lets ToStatus
+  /// say so instead of blaming the execution. Configure before the
+  /// execution starts, like the annotation.
+  void SetQueueWaitMicros(std::uint64_t wait_us) { queue_wait_us_ = wait_us; }
+  std::uint64_t queue_wait_micros() const { return queue_wait_us_; }
+
   const Deadline& deadline() const { return deadline_; }
   const MemoryBudget& budget() const { return budget_; }
 
@@ -203,6 +213,7 @@ class Governor {
   MemoryBudget budget_;
   CancelToken cancel_;
   std::string annotation_;
+  std::uint64_t queue_wait_us_ = 0;
   std::atomic<std::uint8_t> stop_reason_{
       static_cast<std::uint8_t>(StopReason::kNone)};
   std::atomic<std::uint64_t> checkpoints_{0};

@@ -1,12 +1,26 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "util/rng.h"
 
 namespace egocensus::net {
 
 Result<Client> Client::Connect(const Endpoint& endpoint) {
-  auto socket = Socket::ConnectTcp(endpoint);
+  return Connect(endpoint, Options{});
+}
+
+Result<Client> Client::Connect(const Endpoint& endpoint,
+                               const Options& options) {
+  auto socket = Socket::ConnectTcp(endpoint, options.connect_timeout_ms);
   if (!socket.ok()) return socket.status();
+  if (options.io_timeout_ms > 0) {
+    Status set = socket->SetIoTimeout(options.io_timeout_ms);
+    if (!set.ok()) return set;
+  }
   return Client(std::move(*socket));
 }
 
@@ -82,6 +96,7 @@ StatusCode StatusCodeFromName(const std::string& name) {
       {"DEADLINE_EXCEEDED", StatusCode::kDeadlineExceeded},
       {"RESOURCE_EXHAUSTED", StatusCode::kResourceExhausted},
       {"CANCELLED", StatusCode::kCancelled},
+      {"INTERRUPTED", StatusCode::kInterrupted},
   };
   for (const auto& entry : kCodes) {
     if (name == entry.name) return entry.code;
@@ -109,6 +124,94 @@ StatusCode StatusCodeFromName(const std::string& name) {
       return Status::Internal(std::string("unexpected response frame ") +
                               FrameTypeName(response.type));
   }
+}
+
+namespace {
+
+std::uint64_t HeaderUint(const Message& response, const char* name) {
+  std::string text = response.Header(name, "");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+BusyInfo BusyInfoFromResponse(const Message& response) {
+  BusyInfo info;
+  info.retry_after_ms = HeaderUint(response, "retry_after_ms");
+  info.inflight = HeaderUint(response, "inflight");
+  info.capacity = HeaderUint(response, "capacity");
+  info.queued = HeaderUint(response, "queued");
+  info.draining = response.Header("draining", "") == "1";
+  info.request_id = response.Header("request_id", "");
+  return info;
+}
+
+[[nodiscard]] Result<Message> CallWithRetry(const Endpoint& endpoint,
+                                            const Message& request,
+                                            const Client::Options& options,
+                                            const RetryPolicy& policy,
+                                            RetryStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  auto elapsed_ms = [&start]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              start)
+            .count());
+  };
+  std::uint64_t seed = policy.jitter_seed;
+  if (seed == 0) {
+    seed = static_cast<std::uint64_t>(Clock::now().time_since_epoch().count());
+  }
+  Rng rng(seed);
+  RetryStats local;
+  RetryStats& tally = stats != nullptr ? *stats : local;
+  tally = RetryStats{};
+
+  Status last_transport = Status::Ok();
+  Result<Message> last_response = Status::Internal("no attempt made");
+  for (int attempt = 0;; ++attempt) {
+    bool transport_failed = false;
+    auto client = Client::Connect(endpoint, options);
+    if (!client.ok()) {
+      transport_failed = true;
+      last_transport = client.status();
+    } else {
+      ++tally.attempts;
+      last_response = client->Call(request);
+      if (!last_response.ok()) {
+        transport_failed = true;
+        last_transport = last_response.status();
+      } else if (last_response->type != FrameType::kBusy) {
+        return last_response;  // RESULT or ERROR: terminal either way
+      }
+    }
+    if (transport_failed && !policy.retry_transport) return last_transport;
+    if (attempt >= policy.max_retries) break;
+
+    // Backoff: exponential from base, capped, floored at the server's own
+    // hint when we have one, then jittered to [0.5, 1.5]x.
+    std::uint64_t backoff = policy.base_backoff_ms;
+    for (int i = 0; i < attempt && backoff < policy.max_backoff_ms; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, policy.max_backoff_ms);
+    if (!transport_failed) {
+      backoff = std::max(backoff,
+                         BusyInfoFromResponse(*last_response).retry_after_ms);
+    }
+    backoff = backoff / 2 + rng.NextBounded(backoff + 1);  // [0.5, 1.5]x
+    if (elapsed_ms() + backoff > policy.budget_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    tally.slept_ms += backoff;
+  }
+  if (!last_response.ok() && !last_transport.ok()) return last_transport;
+  return last_response;
 }
 
 }  // namespace egocensus::net

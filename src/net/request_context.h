@@ -17,6 +17,9 @@
 #include <string_view>
 #include <vector>
 
+#include "net/frame.h"
+#include "util/status.h"
+
 namespace egocensus::net {
 
 /// One phase of a request's server-side span tree, relative to the moment
@@ -34,8 +37,14 @@ struct RequestContext {
   std::string id;          // echoed in the response's request_id header
   const char* verb = "?";  // FrameTypeName of the request frame
   std::string graph;       // graph/name header ("" for STATUS/SHUTDOWN)
+  std::string tenant;      // validated `tenant` header or the default
+                           // tenant; "" for verbs that bypass the queue
 
   std::uint64_t received_us = 0;    // dispatch time (steady clock)
+  std::uint64_t deadline_us = 0;    // absolute clamped deadline (0 = none),
+                                    // anchored at received_us so queue wait
+                                    // is charged against the budget
+  std::uint64_t queue_wait_us = 0;  // measured fair-queue wait
   std::uint64_t exec_begin_us = 0;  // handler past admission + graph lock
   std::uint64_t bytes_in = 0;
 
@@ -80,6 +89,17 @@ inline bool ValidRequestId(std::string_view id) {
   return true;
 }
 
+/// Tenant names travel the same paths as request ids (headers, STATUS
+/// JSON, exposition labels), so the same sanity rule applies. The fair
+/// queue keys sub-queues on this value; an invalid or missing header falls
+/// back to kDefaultTenant rather than erroring, so untagged traffic shares
+/// one sub-queue instead of being rejected.
+inline constexpr const char* kDefaultTenant = "default";
+
+inline bool ValidTenant(std::string_view tenant) {
+  return ValidRequestId(tenant);
+}
+
 /// Server-assigned id: `r<start-hex>-<seq>`. The prefix (the daemon's start
 /// time in micros, hex) distinguishes restarts; the sequence number makes
 /// ids unique across concurrent connections within one process.
@@ -92,6 +112,46 @@ inline std::string FormatRequestId(std::uint64_t server_start_us,
   }
   if (prefix.empty()) prefix = "0";
   return "r" + prefix + "-" + std::to_string(sequence);
+}
+
+// Canonical response composition. Every ERROR/BUSY the server emits is
+// built here so the request id lands on every response unconditionally —
+// egolint's request-discipline check rejects bare FrameType::kError /
+// kBusy assignments outside this header, which keeps future handlers and
+// queue paths honest (docs/STATIC_ANALYSIS.md).
+
+/// ERROR carrying the status code, message, and request id. A non-zero
+/// `retry_after_ms` marks the failure as load-induced (e.g. a deadline
+/// that expired in the queue): clients may retry after the hint.
+inline Message ErrorResponse(const RequestContext& ctx, const Status& status,
+                             std::uint64_t retry_after_ms = 0) {
+  Message response;
+  response.type = FrameType::kError;
+  response.headers["code"] = StatusCodeName(status.code());
+  response.headers["request_id"] = ctx.id;
+  if (retry_after_ms > 0) {
+    response.headers["retry_after_ms"] = std::to_string(retry_after_ms);
+  }
+  response.body = status.message();
+  return response;
+}
+
+/// Structured BUSY: the admission/queueing state a client needs to back
+/// off intelligently (docs/SERVER.md, "Retry guidance").
+inline Message BusyResponse(const RequestContext& ctx, std::uint64_t inflight,
+                            std::uint64_t capacity, std::uint64_t queued,
+                            std::uint64_t retry_after_ms, bool draining,
+                            const std::string& reason) {
+  Message response;
+  response.type = FrameType::kBusy;
+  response.headers["request_id"] = ctx.id;
+  response.headers["inflight"] = std::to_string(inflight);
+  response.headers["capacity"] = std::to_string(capacity);
+  response.headers["queued"] = std::to_string(queued);
+  response.headers["retry_after_ms"] = std::to_string(retry_after_ms);
+  if (draining) response.headers["draining"] = "1";
+  response.body = reason;
+  return response;
 }
 
 }  // namespace egocensus::net

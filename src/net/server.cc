@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -42,14 +43,6 @@ std::uint64_t PayloadBytes(const Message& message) {
     bytes += key.size() + 2 + value.size() + 1;  // "key: value\n"
   }
   return bytes;
-}
-
-Message ErrorResponse(const Status& status) {
-  Message response;
-  response.type = FrameType::kError;
-  response.headers["code"] = StatusCodeName(status.code());
-  response.body = status.message();
-  return response;
 }
 
 /// Watches a client socket while its request executes; a hangup cancels
@@ -114,26 +107,18 @@ class DisconnectWatcher {
   std::thread thread_;
 };
 
-/// RAII slot in the admission gate.
-class AdmissionSlot {
+/// RAII release of a granted fair-queue slot: Dispatch holds it across the
+/// handler, and release (not the response send) is what frees the slot for
+/// the scheduler to grant on.
+class QueueSlot {
  public:
-  AdmissionSlot(std::atomic<std::uint32_t>* inflight, std::uint32_t cap)
-      : inflight_(inflight) {
-    std::uint32_t now = inflight_->fetch_add(1, std::memory_order_relaxed);
-    admitted_ = now < cap;
-    if (!admitted_) inflight_->fetch_sub(1, std::memory_order_relaxed);
-  }
-  ~AdmissionSlot() {
-    if (admitted_) inflight_->fetch_sub(1, std::memory_order_relaxed);
-  }
-  AdmissionSlot(const AdmissionSlot&) = delete;
-  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
-
-  bool admitted() const { return admitted_; }
+  explicit QueueSlot(FairRequestQueue* queue) : queue_(queue) {}
+  ~QueueSlot() { queue_->Release(); }
+  QueueSlot(const QueueSlot&) = delete;
+  QueueSlot& operator=(const QueueSlot&) = delete;
 
  private:
-  std::atomic<std::uint32_t>* inflight_;
-  bool admitted_ = false;
+  FairRequestQueue* queue_;
 };
 
 /// Parses the census-shaping headers shared by the CLI and the wire
@@ -246,7 +231,20 @@ std::string ResponseExecStatus(const Message& response) {
 
 }  // namespace
 
-CensusServer::CensusServer(Options options) : options_(std::move(options)) {}
+namespace {
+QueueOptions QueueOptionsFrom(const CensusServer::Options& options) {
+  QueueOptions queue;
+  queue.slots = options.max_inflight;
+  queue.max_depth = options.queue_depth;
+  queue.max_bytes = options.queue_bytes;
+  queue.quantum = options.queue_quantum;
+  queue.poll_ms = options.queue_poll_ms;
+  return queue;
+}
+}  // namespace
+
+CensusServer::CensusServer(Options options)
+    : options_(std::move(options)), queue_(QueueOptionsFrom(options_)) {}
 
 CensusServer::~CensusServer() {
   RequestShutdown();
@@ -269,6 +267,43 @@ void CensusServer::RequestShutdown() {
   shutdown_.store(true, std::memory_order_relaxed);
 }
 
+CensusServer::DrainResult CensusServer::Drain(std::uint64_t drain_ms) {
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.BeginDrain();
+  DrainResult result;
+  const std::uint64_t deadline_us = Timer::NowMicros() + drain_ms * 1000;
+  // Phase 1: serve. Queued requests keep being granted as slots free; new
+  // arrivals already bounce with BUSY (draining).
+  while (!queue_.Idle() && Timer::NowMicros() < deadline_us) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  result.completed = queue_.Idle();
+  // Phase 2: flush. Whatever is still queued at the deadline gets BUSY;
+  // still-executing requests wind down on their own governors.
+  result.flushed = queue_.FlushForDrain();
+  // Phase 3: settle. Releasing a slot precedes the response send, so give
+  // connection threads a bounded window to put the final RESULT/BUSY bytes
+  // on the wire before shutdown hangs up the sockets: wait until the
+  // completed counter stops moving (two quiet ticks), capped by a grace
+  // budget on top of the drain deadline.
+  const std::uint64_t grace_us =
+      Timer::NowMicros() + std::max<std::uint64_t>(drain_ms * 250, 500'000);
+  std::uint64_t last = completed_.load(std::memory_order_relaxed);
+  int quiet = 0;
+  while (quiet < 2 && Timer::NowMicros() < grace_us) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    std::uint64_t now = completed_.load(std::memory_order_relaxed);
+    if (now == last && queue_.Idle()) {
+      ++quiet;
+    } else {
+      quiet = 0;
+      last = now;
+    }
+  }
+  RequestShutdown();
+  return result;
+}
+
 CensusServer::Counters CensusServer::counters() const {
   Counters counters;
   counters.connections = connections_count_.load(std::memory_order_relaxed);
@@ -289,7 +324,18 @@ std::deque<CensusServer::RequestRecord> CensusServer::RecentRequests() const {
 
 void CensusServer::AcceptLoop() {
   while (!shutdown_.load(std::memory_order_relaxed)) {
-    auto accepted = listener_.AcceptOnce(/*timeout_ms=*/100);
+    // Draining: stop accepting. Closing the listener here is safe — the
+    // accept thread owns it — and turns new connection attempts into
+    // ECONNREFUSED instead of a socket that would only ever see BUSY.
+    if (draining_.load(std::memory_order_relaxed) && listener_.valid()) {
+      listener_.Close();
+    }
+    Result<Socket> accepted = Status::NotFound("listener closed for drain");
+    if (listener_.valid()) {
+      accepted = listener_.AcceptOnce(/*timeout_ms=*/100);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
     // Reap finished connections so a long-lived daemon's list stays small.
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -336,19 +382,28 @@ void CensusServer::ServeConnection(Connection* connection) {
       if (request.status().code() == StatusCode::kParseError) {
         // Corrupt framing: report once (best effort), then drop the
         // connection — a byte stream cannot resynchronize mid-garbage.
+        // The error never reached Dispatch, so stamp a fresh server id.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        RequestContext ctx;
+        ctx.id = FormatRequestId(
+            started_micros_,
+            request_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
         Status sent = connection->socket.SendFrame(
-            ErrorResponse(request.status()));
+            ErrorResponse(ctx, request.status()));
         (void)sent;  // the peer may already be gone
       }
       break;  // clean EOF, corrupt stream, or socket error
     }
     if (!IsRequestType(request->type)) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      RequestContext ctx;
+      ctx.id = FormatRequestId(
+          started_micros_,
+          request_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
       Status sent = connection->socket.SendFrame(ErrorResponse(
-          Status::InvalidArgument(std::string("frame type ") +
-                                  FrameTypeName(request->type) +
-                                  " is a response type")));
+          ctx, Status::InvalidArgument(std::string("frame type ") +
+                                       FrameTypeName(request->type) +
+                                       " is a response type")));
       (void)sent;
       break;
     }
@@ -390,20 +445,69 @@ Message CensusServer::Dispatch(const Message& request, int client_fd,
   switch (request.type) {
     case FrameType::kQuery:
     case FrameType::kUpdate: {
-      AdmissionSlot slot(&inflight_, options_.max_inflight);
-      if (!slot.admitted()) {
-        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
-        response.type = FrameType::kBusy;
-        response.headers["inflight"] = std::to_string(inflight());
-        response.headers["capacity"] = std::to_string(options_.max_inflight);
-        response.body = "admission control: " +
-                        std::to_string(options_.max_inflight) +
-                        " requests already in flight; retry later";
-        break;
+      ctx.tenant = request.Header("tenant", "");
+      if (!ValidTenant(ctx.tenant)) ctx.tenant = kDefaultTenant;
+      // Absolute deadline anchored at frame receipt, computed before
+      // admission: time spent queued is charged against the same budget
+      // the Governor enforces, and a request whose deadline dies in the
+      // queue is evicted without ever executing.
+      std::uint64_t deadline_ms = ClampLimit(
+          request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
+      if (deadline_ms > 0) {
+        ctx.deadline_us = ctx.received_us + deadline_ms * 1000;
       }
-      response = request.type == FrameType::kQuery
-                     ? HandleQuery(request, client_fd, ctx)
-                     : HandleUpdate(request, client_fd, ctx);
+      AdmitOutcome admitted =
+          queue_.Acquire(ctx.tenant, ctx.bytes_in, ctx.deadline_us, client_fd,
+                         &ctx.queue_wait_us);
+      switch (admitted) {
+        case AdmitOutcome::kGranted: {
+          QueueSlot slot(&queue_);
+          response = request.type == FrameType::kQuery
+                         ? HandleQuery(request, client_fd, ctx)
+                         : HandleUpdate(request, client_fd, ctx);
+          break;
+        }
+        case AdmitOutcome::kOverflow:
+          busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+          response = BusyResponse(
+              ctx, inflight(), options_.max_inflight, queue_.depth(),
+              RetryAfterMsHint(), /*draining=*/false,
+              "queue full: " + std::to_string(queue_.depth()) +
+                  " requests queued behind " +
+                  std::to_string(options_.max_inflight) +
+                  " in flight; retry later");
+          break;
+        case AdmitOutcome::kDraining:
+          busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+          response = BusyResponse(
+              ctx, inflight(), options_.max_inflight, queue_.depth(),
+              RetryAfterMsHint(), /*draining=*/true,
+              "server draining: retry against another instance");
+          break;
+        case AdmitOutcome::kDeadlineExpired:
+          response = ErrorResponse(
+              ctx,
+              Status::DeadlineExceeded(
+                  "request " + ctx.id + ": deadline expired after " +
+                      std::to_string(ctx.queue_wait_us / 1000) +
+                      " ms queued, before execution began"),
+              RetryAfterMsHint());
+          response.headers["stop_reason"] =
+              StopReasonName(StopReason::kDeadlineExceeded);
+          break;
+        case AdmitOutcome::kDisconnected:
+          // The client is gone; compose the ERROR anyway so telemetry
+          // records a terminal outcome (the send fails and the connection
+          // closes).
+          disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+          response = ErrorResponse(
+              ctx, Status::Cancelled(
+                       "request " + ctx.id +
+                       ": client disconnected while queued"));
+          response.headers["stop_reason"] =
+              StopReasonName(StopReason::kCancelled);
+          break;
+      }
       break;
     }
     case FrameType::kStatus:
@@ -425,7 +529,7 @@ Message CensusServer::Dispatch(const Message& request, int client_fd,
       *close_after = true;
       break;
     default:
-      response = ErrorResponse(Status::InvalidArgument(
+      response = ErrorResponse(ctx, Status::InvalidArgument(
           std::string("unhandled frame type ") +
           FrameTypeName(request.type)));
       break;
@@ -443,31 +547,32 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
                                   RequestContext& ctx) {
   std::string graph_name = request.Header("graph", "");
   if (graph_name.empty()) {
-    return ErrorResponse(
+    return ErrorResponse(ctx, 
         Status::InvalidArgument("QUERY requires a 'graph' header"));
   }
   if (request.body.empty()) {
-    return ErrorResponse(Status::InvalidArgument(
+    return ErrorResponse(ctx, Status::InvalidArgument(
         "QUERY requires the query text as the frame body"));
   }
   auto entry = registry_.Get(graph_name);
-  if (!entry.ok()) return ErrorResponse(entry.status());
+  if (!entry.ok()) return ErrorResponse(ctx, entry.status());
 
   QueryEngine::Options options;
   Status parsed = QueryOptionsFromHeaders(request, &options);
-  if (!parsed.ok()) return ErrorResponse(parsed);
+  if (!parsed.ok()) return ErrorResponse(ctx, parsed);
   options.census.num_threads = static_cast<std::uint32_t>(ClampLimit(
       options.census.num_threads, options_.max_threads));
 
   // Every remote query is governed: even without explicit limits the
   // governor carries the cancel-on-disconnect token, and the server caps
-  // apply regardless of what the client asked for.
+  // apply regardless of what the client asked for. The deadline is the
+  // absolute one computed at dispatch — queue wait already spent part of
+  // the budget.
   Governor governor;
   governor.SetAnnotation("request " + ctx.id);
-  std::uint64_t deadline_ms =
-      ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
-  if (deadline_ms > 0) {
-    governor.SetDeadline(Deadline::AfterMillis(deadline_ms));
+  governor.SetQueueWaitMicros(ctx.queue_wait_us);
+  if (ctx.deadline_us > 0) {
+    governor.SetDeadline(Deadline::AtMicros(ctx.deadline_us));
   }
   std::uint64_t budget_mb = ClampLimit(request.HeaderInt("memory_budget_mb", 0),
                                        options_.max_memory_budget_mb);
@@ -491,7 +596,7 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
                               &disconnect_cancels_);
     QueryEngine engine((*entry)->snapshot, &(*entry)->indexes);
     auto table = engine.Execute(request.body, options);
-    if (!table.ok()) return ErrorResponse(table.status());
+    if (!table.ok()) return ErrorResponse(ctx, table.status());
 
     Status exec_status = engine.last_exec_status();
     std::uint64_t complete = 0, approx = 0, pending = 0;
@@ -587,22 +692,21 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd,
                                    RequestContext& ctx) {
   std::string graph_name = request.Header("graph", "");
   if (graph_name.empty()) {
-    return ErrorResponse(
+    return ErrorResponse(ctx, 
         Status::InvalidArgument("UPDATE requires a 'graph' header"));
   }
   auto entry = registry_.Get(graph_name);
-  if (!entry.ok()) return ErrorResponse(entry.status());
+  if (!entry.ok()) return ErrorResponse(ctx, entry.status());
 
   std::istringstream body(request.body);
   auto updates = ParseUpdateStream(body);
-  if (!updates.ok()) return ErrorResponse(updates.status());
+  if (!updates.ok()) return ErrorResponse(ctx, updates.status());
 
   Governor governor;
   governor.SetAnnotation("request " + ctx.id);
-  std::uint64_t deadline_ms =
-      ClampLimit(request.HeaderInt("deadline_ms", 0), options_.max_deadline_ms);
-  if (deadline_ms > 0) {
-    governor.SetDeadline(Deadline::AfterMillis(deadline_ms));
+  governor.SetQueueWaitMicros(ctx.queue_wait_us);
+  if (ctx.deadline_us > 0) {
+    governor.SetDeadline(Deadline::AtMicros(ctx.deadline_us));
   }
 
   // Exclusive lock: the batch is atomic with respect to queries — they see
@@ -668,7 +772,7 @@ Message CensusServer::HandleStatus(const Message& request,
   if (request.HasHeader("slow_trace")) {
     std::string trace = SlowQueryTraceJson(request.Header("slow_trace", ""));
     if (trace.empty()) {
-      return ErrorResponse(Status::NotFound(
+      return ErrorResponse(ctx, Status::NotFound(
           "no slow-query capture for request id '" +
           request.Header("slow_trace", "") + "'"));
     }
@@ -703,11 +807,11 @@ Message CensusServer::HandleLoad(const Message& request, RequestContext& ctx) {
   std::string name = request.Header("name", "");
   std::string path = request.Header("path", "");
   if (name.empty() || path.empty()) {
-    return ErrorResponse(Status::InvalidArgument(
+    return ErrorResponse(ctx, Status::InvalidArgument(
         "LOAD requires 'name' and 'path' headers"));
   }
   Status loaded = registry_.LoadFromFile(name, path);
-  if (!loaded.ok()) return ErrorResponse(loaded);
+  if (!loaded.ok()) return ErrorResponse(ctx, loaded);
   Message response;
   response.type = FrameType::kResult;
   response.body = "loaded '" + name + "' from " + path + "\n";
@@ -719,11 +823,11 @@ Message CensusServer::HandleUnload(const Message& request,
   ctx.exec_begin_us = Timer::NowMicros();
   std::string name = request.Header("name", "");
   if (name.empty()) {
-    return ErrorResponse(
+    return ErrorResponse(ctx, 
         Status::InvalidArgument("UNLOAD requires a 'name' header"));
   }
   Status unloaded = registry_.Unload(name);
-  if (!unloaded.ok()) return ErrorResponse(unloaded);
+  if (!unloaded.ok()) return ErrorResponse(ctx, unloaded);
   Message response;
   response.type = FrameType::kResult;
   response.body = "unloaded '" + name + "'\n";
@@ -736,8 +840,9 @@ std::string CensusServer::StatusJson() const {
   std::ostringstream os;
   os << "{\n";
   // Versioned STATUS schema (docs/SERVER.md): bump on any rename/removal;
-  // additive fields keep the version.
-  os << "  \"schema\": 1,\n";
+  // additive fields keep the version. 2 added the fair-queue admission
+  // fields, the tenants array, and tenant/queue_us on recent entries.
+  os << "  \"schema\": 2,\n";
   os << "  \"server\": {\"build\": \"" << JsonEscape(BuildInfoString())
      << "\", \"git\": \"" << JsonEscape(build.git_describe)
      << "\", \"build_type\": \"" << JsonEscape(build.build_type)
@@ -749,7 +854,32 @@ std::string CensusServer::StatusJson() const {
      << "},\n";
   os << "  \"admission\": {\"inflight\": " << inflight()
      << ", \"capacity\": " << options_.max_inflight
+     << ", \"peak_inflight\": " << queue_.peak_active()
+     << ", \"queued\": " << queue_.depth()
+     << ", \"queue_capacity\": " << options_.queue_depth
+     << ", \"queued_bytes\": " << queue_.queued_bytes()
+     << ", \"queue_bytes_capacity\": " << options_.queue_bytes
+     << ", \"draining\": " << (draining() ? "true" : "false")
      << ", \"busy_rejected\": " << counters.busy_rejected << "},\n";
+  os << "  \"tenants\": [";
+  {
+    bool first_tenant = true;
+    for (const TenantQueueStats& t : queue_.TenantStats()) {
+      if (!first_tenant) os << ", ";
+      first_tenant = false;
+      os << "{\"tenant\": \"" << JsonEscape(t.tenant)
+         << "\", \"queued\": " << t.depth << ", \"enqueued\": " << t.enqueued
+         << ", \"granted\": " << t.granted
+         << ", \"busy_overflow\": " << t.busy_overflow
+         << ", \"evicted\": {\"deadline\": " << t.evicted_deadline
+         << ", \"disconnect\": " << t.evicted_disconnect
+         << ", \"drain\": " << t.evicted_drain
+         << "}, \"wait\": {\"count\": " << t.wait_count
+         << ", \"sum_us\": " << t.wait_sum_us
+         << ", \"max_us\": " << t.wait_max_us << "}}";
+    }
+  }
+  os << "],\n";
   os << "  \"caps\": {\"max_deadline_ms\": " << options_.max_deadline_ms
      << ", \"max_memory_budget_mb\": " << options_.max_memory_budget_mb
      << ", \"max_threads\": " << options_.max_threads << "},\n";
@@ -792,10 +922,12 @@ std::string CensusServer::StatusJson() const {
     first = false;
     os << "{\"request_id\": \"" << JsonEscape(record.request_id)
        << "\", \"type\": \"" << JsonEscape(record.type) << "\", \"graph\": \""
-       << JsonEscape(record.graph) << "\", \"exec_status\": \""
+       << JsonEscape(record.graph) << "\", \"tenant\": \""
+       << JsonEscape(record.tenant) << "\", \"exec_status\": \""
        << JsonEscape(record.exec_status) << "\", \"stop_reason\": \""
        << JsonEscape(record.stop_reason)
        << "\", \"latency_us\": " << record.latency_us
+       << ", \"queue_us\": " << record.queue_us
        << ", \"bytes_in\": " << record.bytes_in
        << ", \"bytes_out\": " << record.bytes_out << "}";
   }
@@ -903,6 +1035,60 @@ void CensusServer::WriteDaemonExposition(std::ostream& os) const {
      << "# TYPE egocensus_daemon_busy_rejected_total counter\n"
      << "egocensus_daemon_busy_rejected_total " << counters.busy_rejected
      << "\n";
+  os << "# HELP egocensus_daemon_draining 1 while a graceful drain is in "
+        "progress\n"
+     << "# TYPE egocensus_daemon_draining gauge\n"
+     << "egocensus_daemon_draining " << (draining() ? 1 : 0) << "\n";
+  const std::vector<TenantQueueStats> tenants = queue_.TenantStats();
+  os << "# HELP egocensus_daemon_queue_depth requests queued per tenant\n"
+     << "# TYPE egocensus_daemon_queue_depth gauge\n";
+  for (const TenantQueueStats& t : tenants) {
+    os << "egocensus_daemon_queue_depth{tenant=\"" << PromLabel(t.tenant)
+       << "\"} " << t.depth << "\n";
+  }
+  os << "# HELP egocensus_daemon_queue_granted_total execution slots "
+        "granted per tenant\n"
+     << "# TYPE egocensus_daemon_queue_granted_total counter\n";
+  for (const TenantQueueStats& t : tenants) {
+    os << "egocensus_daemon_queue_granted_total{tenant=\""
+       << PromLabel(t.tenant) << "\"} " << t.granted << "\n";
+  }
+  os << "# HELP egocensus_daemon_queue_rejected_total requests that left "
+        "the queue without executing, by reason\n"
+     << "# TYPE egocensus_daemon_queue_rejected_total counter\n";
+  for (const TenantQueueStats& t : tenants) {
+    const std::pair<const char*, std::uint64_t> reasons[] = {
+        {"overflow", t.busy_overflow},
+        {"deadline", t.evicted_deadline},
+        {"disconnect", t.evicted_disconnect},
+        {"drain", t.evicted_drain}};
+    for (const auto& [reason, count] : reasons) {
+      os << "egocensus_daemon_queue_rejected_total{tenant=\""
+         << PromLabel(t.tenant) << "\",reason=\"" << reason << "\"} " << count
+         << "\n";
+    }
+  }
+  // Queue-wait histogram per tenant, cumulative buckets in the same log2
+  // layout as the obs exporter: upper bounds 0, 2^b - 1, +Inf.
+  os << "# HELP egocensus_daemon_queue_wait_us fair-queue wait of granted "
+        "requests\n"
+     << "# TYPE egocensus_daemon_queue_wait_us histogram\n";
+  for (const TenantQueueStats& t : tenants) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < t.wait_buckets.size(); ++b) {
+      cumulative += t.wait_buckets[b];
+      std::uint64_t upper = b == 0 ? 0 : (1ull << b) - 1;
+      os << "egocensus_daemon_queue_wait_us_bucket{tenant=\""
+         << PromLabel(t.tenant) << "\",le=\"" << upper << "\"} " << cumulative
+         << "\n";
+    }
+    os << "egocensus_daemon_queue_wait_us_bucket{tenant=\""
+       << PromLabel(t.tenant) << "\",le=\"+Inf\"} " << t.wait_count << "\n";
+    os << "egocensus_daemon_queue_wait_us_sum{tenant=\""
+       << PromLabel(t.tenant) << "\"} " << t.wait_sum_us << "\n";
+    os << "egocensus_daemon_queue_wait_us_count{tenant=\""
+       << PromLabel(t.tenant) << "\"} " << t.wait_count << "\n";
+  }
   os << "# HELP egocensus_daemon_protocol_errors_total corrupt frames\n"
      << "# TYPE egocensus_daemon_protocol_errors_total counter\n"
      << "egocensus_daemon_protocol_errors_total " << counters.protocol_errors
@@ -931,6 +1117,17 @@ void CensusServer::WriteDaemonExposition(std::ostream& os) const {
      << "egocensus_daemon_slow_queries " << slow << "\n";
 }
 
+std::uint64_t CensusServer::RetryAfterMsHint() const {
+  std::uint64_t ewma_us = exec_ewma_us_.load(std::memory_order_relaxed);
+  if (ewma_us == 0) ewma_us = 50'000;  // no history yet: assume 50 ms
+  // Rough time until a new arrival would reach a slot: the backlog spread
+  // across the slots, plus one residual execution.
+  const std::uint64_t pending = queue_.depth() + queue_.active();
+  const std::uint64_t slots = std::max<std::uint32_t>(options_.max_inflight, 1);
+  const std::uint64_t hint_ms = ewma_us * (pending / slots + 1) / 1000;
+  return std::clamp<std::uint64_t>(hint_ms, 25, 10'000);
+}
+
 void CensusServer::FinishRequest(const RequestContext& ctx,
                                  const Message& request,
                                  const Message& response,
@@ -938,17 +1135,33 @@ void CensusServer::FinishRequest(const RequestContext& ctx,
   const std::string exec_status = ResponseExecStatus(response);
   const std::string stop_reason = response.Header("stop_reason", "none");
   const std::uint64_t bytes_out = PayloadBytes(response);
-  const std::uint64_t queue_us = std::min(ctx.QueueMicros(), latency_us);
+  // QueueMicros spans dispatch -> exec begin, so it includes both the
+  // fair-queue wait and the graph-lock wait; for requests evicted before
+  // execution it is zero and the measured queue wait is the whole story.
+  const std::uint64_t queue_us =
+      std::min(std::max(ctx.QueueMicros(), ctx.queue_wait_us), latency_us);
   const std::uint64_t execute_us =
       ctx.exec_begin_us == 0 ? 0 : latency_us - queue_us;
+
+  // Feed the retry_after_ms estimator: an EWMA (7/8 old, 1/8 new) of
+  // execute time for requests that actually ran. Racy read-modify-write is
+  // fine — this is a hint, not an invariant.
+  if (execute_us > 0 && (request.type == FrameType::kQuery ||
+                         request.type == FrameType::kUpdate)) {
+    std::uint64_t prev = exec_ewma_us_.load(std::memory_order_relaxed);
+    std::uint64_t next = prev == 0 ? execute_us : (prev * 7 + execute_us) / 8;
+    exec_ewma_us_.store(next, std::memory_order_relaxed);
+  }
 
   RequestRecord record;
   record.request_id = ctx.id;
   record.type = ctx.verb;
   record.graph = ctx.graph;
+  record.tenant = ctx.tenant;
   record.exec_status = exec_status;
   record.stop_reason = stop_reason;
   record.latency_us = latency_us;
+  record.queue_us = queue_us;
   record.bytes_in = ctx.bytes_in;
   record.bytes_out = bytes_out;
   {
@@ -985,8 +1198,9 @@ void CensusServer::FinishRequest(const RequestContext& ctx,
       event.Str("request_id", ctx.id)
           .Str("verb", ctx.verb)
           .Str("graph", ctx.graph)
-          .Str("status", exec_status)
-          .Str("stop_reason", stop_reason)
+          .Str("status", exec_status);
+      if (!ctx.tenant.empty()) event.Str("tenant", ctx.tenant);
+      event.Str("stop_reason", stop_reason)
           .Int("queue_us", queue_us)
           .Int("execute_us", execute_us)
           .Int("latency_us", latency_us)

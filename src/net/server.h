@@ -8,10 +8,16 @@
 // not an event loop, because a census request is seconds of CPU, not
 // microseconds of I/O, so the bound that matters is admission control on
 // in-flight work, not descriptor fan-in. Heavy requests (QUERY/UPDATE)
-// pass an admission gate capped at Options::max_inflight and are rejected
-// with a structured BUSY response beyond it — the daemon never queues
-// unboundedly. Cheap requests (STATUS/LOAD/UNLOAD/SHUTDOWN) bypass the
-// gate so the daemon stays observable and administrable while saturated.
+// pass through a bounded per-tenant fair queue (net/queue.h) feeding
+// Options::max_inflight execution slots: a burst waits briefly instead of
+// failing, one tenant cannot starve the rest, queue wait is charged
+// against the request's deadline, and anything beyond the depth/byte
+// bounds still gets a structured BUSY — now with a retry_after_ms hint —
+// so the daemon never queues unboundedly. Cheap requests
+// (STATUS/LOAD/UNLOAD/SHUTDOWN) bypass the queue so the daemon stays
+// observable and administrable while saturated, including during a
+// graceful drain (Drain): stop accepting, serve or BUSY-flush the queue
+// within a budget, then shut down.
 //
 // Every QUERY/UPDATE runs under its own exec::Governor built from the
 // request's deadline_ms / memory_budget_mb / threads headers, each clamped
@@ -38,6 +44,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/queue.h"
 #include "net/registry.h"
 #include "net/request_context.h"
 #include "net/socket.h"
@@ -52,8 +59,22 @@ class CensusServer {
     Endpoint listen;
 
     /// Admission cap: QUERY/UPDATE requests executing at once. Beyond it,
-    /// requests get an immediate BUSY response.
+    /// requests wait in the fair queue (or get BUSY once that fills).
     std::uint32_t max_inflight = 8;
+
+    /// Requests that may wait beyond the execution slots, across all
+    /// tenants. 0 restores the legacy reject-on-full behavior.
+    std::size_t queue_depth = 64;
+
+    /// Total request payload bytes that may sit queued at once.
+    std::uint64_t queue_bytes = 32ull << 20;
+
+    /// DRR quantum: requests granted per tenant per scheduling round.
+    std::uint64_t queue_quantum = 1;
+
+    /// Queued-waiter self-check period (deadline expiry, client
+    /// disconnect, drain flush).
+    int queue_poll_ms = 5;
 
     // Server-wide caps clamping the per-request limits. 0 = uncapped: the
     // request's own header applies verbatim (and an uncapped request stays
@@ -94,9 +115,11 @@ class CensusServer {
     std::string request_id;   // server-assigned or client-propagated id
     std::string type;         // frame-type name
     std::string graph;        // graph header ("" for STATUS/SHUTDOWN)
+    std::string tenant;       // fair-queue tenant ("" for bypass verbs)
     std::string exec_status;  // StatusCodeName of the outcome
     std::string stop_reason;  // StopReasonName ("none" unless governed stop)
     std::uint64_t latency_us = 0;
+    std::uint64_t queue_us = 0;   // fair-queue + graph-lock wait
     std::uint64_t bytes_in = 0;   // request payload bytes
     std::uint64_t bytes_out = 0;  // response payload bytes
   };
@@ -138,6 +161,22 @@ class CensusServer {
   /// see ecensusd.)
   void RequestShutdown();
 
+  /// Outcome of a graceful drain.
+  struct DrainResult {
+    bool completed = false;    // queue emptied within the budget
+    std::size_t flushed = 0;   // queued requests answered BUSY instead
+  };
+
+  /// Graceful drain (the SIGTERM path): stop accepting new connections and
+  /// reject new QUERY/UPDATE frames with BUSY, serve the already-queued
+  /// requests for up to `drain_ms`, BUSY-flush whatever is still queued at
+  /// the deadline, wait briefly for in-flight responses to reach the wire,
+  /// then RequestShutdown. Blocks until shutdown is initiated; call Wait()
+  /// afterwards as usual. Safe from any thread except the accept thread.
+  DrainResult Drain(std::uint64_t drain_ms);
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   bool ShutdownRequested() const {
     return shutdown_.load(std::memory_order_relaxed);
   }
@@ -151,9 +190,10 @@ class CensusServer {
   Counters counters() const;
 
   /// Currently executing QUERY/UPDATE requests.
-  std::uint32_t inflight() const {
-    return inflight_.load(std::memory_order_relaxed);
-  }
+  std::uint32_t inflight() const { return queue_.active(); }
+
+  /// The fair admission queue (tests assert on depth/peak/tenant stats).
+  const FairRequestQueue& queue() const { return queue_; }
 
   /// The STATUS response body (tests call this directly; the daemon's
   /// monitoring surface is exactly this JSON).
@@ -204,6 +244,11 @@ class CensusServer {
   void FinishRequest(const RequestContext& ctx, const Message& request,
                      const Message& response, std::uint64_t latency_us);
 
+  /// How long an overflowed/dead-on-arrival client should wait before
+  /// retrying: queue pressure ahead of it times an EWMA of recent execute
+  /// times, clamped to [25ms, 10s].
+  std::uint64_t RetryAfterMsHint() const;
+
   /// The always-compiled daemon families of the METRICS exposition
   /// (uptime, per-verb requests, per-graph fastpath routing) — available
   /// even when the obs registry is off or compiled out.
@@ -212,15 +257,18 @@ class CensusServer {
   Options options_;
   Listener listener_;
   GraphRegistry registry_;
+  FairRequestQueue queue_;
   std::uint64_t started_micros_ = 0;
 
   std::thread accept_thread_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> draining_{false};
 
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
 
-  std::atomic<std::uint32_t> inflight_{0};
+  /// EWMA of QUERY/UPDATE execute time feeding retry_after_ms hints.
+  std::atomic<std::uint64_t> exec_ewma_us_{0};
   std::atomic<std::uint64_t> connections_count_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -2,12 +2,14 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -86,7 +88,52 @@ std::string Endpoint::ToString() const {
   return endpoint;
 }
 
-Result<Socket> Socket::ConnectTcp(const Endpoint& endpoint) {
+namespace {
+
+/// Bounded connect: flip the socket non-blocking, start the handshake,
+/// poll for writability, then read SO_ERROR for the actual outcome.
+/// Restores blocking mode on success so the framed I/O path stays simple.
+[[nodiscard]] Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                                        const Endpoint& endpoint,
+                                        int timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(Errno("fcntl O_NONBLOCK"));
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::NotFound(Errno("cannot connect to " + endpoint.ToString()));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return Status::Internal(Errno("poll (connect)"));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect to " + endpoint.ToString() +
+                                      " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::Internal(Errno("getsockopt SO_ERROR"));
+    }
+    if (err != 0) {
+      return Status::NotFound("cannot connect to " + endpoint.ToString() +
+                              ": " + std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::Internal(Errno("fcntl restore flags"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Socket> Socket::ConnectTcp(const Endpoint& endpoint,
+                                  int connect_timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(endpoint.port);
@@ -95,7 +142,15 @@ Result<Socket> Socket::ConnectTcp(const Endpoint& endpoint) {
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal(Errno("socket"));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (connect_timeout_ms > 0) {
+    Status connected = ConnectWithTimeout(fd, addr, endpoint,
+                                          connect_timeout_ms);
+    if (!connected.ok()) {
+      ::close(fd);
+      return connected;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     Status status = Status::NotFound(
         Errno("cannot connect to " + endpoint.ToString()));
     ::close(fd);
@@ -103,6 +158,23 @@ Result<Socket> Socket::ConnectTcp(const Endpoint& endpoint) {
   }
   SetNoDelay(fd);
   return Socket(fd);
+}
+
+Status Socket::SetIoTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::Internal("timeout on a closed socket");
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("io timeout must be >= 0");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("setsockopt SO_RCVTIMEO"));
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("setsockopt SO_SNDTIMEO"));
+  }
+  return Status::Ok();
 }
 
 Status Socket::SendFrame(const Message& message) {
@@ -120,6 +192,9 @@ Status Socket::SendRaw(const void* data, std::size_t size) {
     ssize_t n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out (io timeout)");
+      }
       return Status::Internal(Errno("send"));
     }
     sent += static_cast<std::size_t>(n);
@@ -147,6 +222,9 @@ Result<Message> Socket::RecvFrame() {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out (io timeout)");
+      }
       return Status::Internal(Errno("recv"));
     }
     if (n == 0) {
@@ -215,7 +293,10 @@ Result<Socket> Listener::AcceptOnce(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
   int rc = ::poll(&pfd, 1, timeout_ms);
   if (rc < 0) {
-    if (errno == EINTR) return Status::NotFound("accept poll interrupted");
+    // EINTR is not a timeout: with timeout_ms == -1 a kNotFound here would
+    // masquerade as a poll tick that cannot happen, and callers would spin
+    // past their stop-flag check. Surface it distinctly.
+    if (errno == EINTR) return Status::Interrupted("accept poll interrupted");
     return Status::Internal(Errno("poll"));
   }
   if (rc == 0) return Status::NotFound("accept timeout");

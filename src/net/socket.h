@@ -53,11 +53,21 @@ class Socket {
   }
 
   /// Connects to a TCP endpoint (with TCP_NODELAY: frames are whole
-  /// requests, Nagle only adds latency).
-  [[nodiscard]] static Result<Socket> ConnectTcp(const Endpoint& endpoint);
+  /// requests, Nagle only adds latency). `connect_timeout_ms` > 0 bounds
+  /// the handshake (non-blocking connect + poll), failing with
+  /// kDeadlineExceeded when the peer never answers the SYN — the
+  /// blackholed-server case a plain connect() would ride out for minutes.
+  /// 0 keeps the OS default blocking connect.
+  [[nodiscard]] static Result<Socket> ConnectTcp(const Endpoint& endpoint,
+                                                 int connect_timeout_ms = 0);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
+
+  /// Bounds every subsequent send/recv (SO_SNDTIMEO / SO_RCVTIMEO): a
+  /// stalled peer turns into kDeadlineExceeded from SendFrame/RecvFrame
+  /// instead of a thread parked forever. 0 restores fully blocking I/O.
+  [[nodiscard]] Status SetIoTimeout(int timeout_ms);
 
   /// Sends one complete frame. Partial writes are retried until done.
   [[nodiscard]] Status SendFrame(const Message& message);
@@ -65,7 +75,8 @@ class Socket {
   /// Receives one complete frame, buffering across short reads. Fails with
   /// kNotFound on clean EOF before any byte of a frame (peer closed),
   /// kParseError on corrupt framing or EOF inside a frame (truncation),
-  /// kInternal on socket errors.
+  /// kDeadlineExceeded when an I/O timeout (SetIoTimeout) expires,
+  /// kInternal on other socket errors.
   [[nodiscard]] Result<Message> RecvFrame();
 
   /// Sends raw bytes (tests use this to write deliberately broken frames).
@@ -97,8 +108,11 @@ class Listener {
   [[nodiscard]] Status Listen(const Endpoint& endpoint, int backlog = 64);
 
   /// Accepts one connection, blocking at most `timeout_ms` (-1 = forever).
-  /// Returns kNotFound on timeout (the accept loop's poll tick), kCancelled
-  /// after Close() from another thread.
+  /// Returns kNotFound on timeout (the accept loop's poll tick),
+  /// kInterrupted when a signal cut the poll short (re-check stop flags
+  /// and call again — with timeout -1 a kNotFound here would look like a
+  /// timeout that cannot happen), kCancelled after Close() from another
+  /// thread.
   [[nodiscard]] Result<Socket> AcceptOnce(int timeout_ms);
 
   bool valid() const { return fd_ >= 0; }

@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kInterrupted:
+      return "INTERRUPTED";
   }
   return "UNKNOWN";
 }

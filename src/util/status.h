@@ -20,6 +20,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  kInterrupted,
 };
 
 /// Uppercase wire/CSV name of a code ("OK", "DEADLINE_EXCEEDED", ...).
@@ -74,6 +75,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A blocking wait cut short by a signal (EINTR) — distinct from a
+  /// timeout so callers can tell "nothing arrived" from "re-check your
+  /// stop flag and wait again".
+  [[nodiscard]] static Status Interrupted(std::string msg) {
+    return Status(StatusCode::kInterrupted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

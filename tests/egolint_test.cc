@@ -316,6 +316,64 @@ TEST(EgolintRequestTest, SuppressionWithReasonSilences) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+TEST(EgolintRequestTest, FlagsBareBusyAndErrorComposition) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "void F(Message& response) {\n"
+       "  response.type = FrameType::kBusy;\n"
+       "  response.type = FrameType::kError;\n"
+       "}\n"},
+  });
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].check, "request-discipline");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("kBusy"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("kError"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("request_context.h"), std::string::npos);
+}
+
+TEST(EgolintRequestTest, ComparisonsAndCaseLabelsAreNotComposition) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/client.cc",
+       "int F(const Message& m) {\n"
+       "  if (m.type == FrameType::kBusy) return 1;\n"
+       "  if (m.type != FrameType::kError) return 2;\n"
+       "  switch (m.type) {\n"
+       "    case FrameType::kBusy: return 3;\n"
+       "    case FrameType::kError: return 4;\n"
+       "    default: return 0;\n"
+       "  }\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, HelperFilesMayComposeBusyAndError) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/request_context.h",
+       "inline Message BusyResponse() {\n"
+       "  Message response;\n"
+       "  response.type = FrameType::kBusy;\n"
+       "  return response;\n"
+       "}\n"},
+      {"src/net/frame.h", "struct Message {\n  FrameType type = FrameType::kError;\n};\n"},
+      {"src/lang/engine.cc",
+       "void G(Message& m) {\n  m.type = FrameType::kError;\n}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintRequestTest, BareCompositionSuppressionSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/server.cc",
+       "void F(Message& response) {\n"
+       "  // egolint: allow-bare-response(fuzzer stub, fields unused)\n"
+       "  response.type = FrameType::kError;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 // ---- include-hygiene ----------------------------------------------------
 
 TEST(EgolintIncludeTest, FlagsHeaderIncludeCycleOnce) {

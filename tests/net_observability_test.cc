@@ -449,8 +449,12 @@ TEST(NetObservabilityTest, StatusJsonCarriesSchemaAndVerbCounters) {
   auto status = client->Call(Client::StatusRequest());
   ASSERT_TRUE(status.ok());
   const std::string& body = status->body;
-  EXPECT_NE(body.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"schema\": 2"), std::string::npos);
   EXPECT_NE(body.find("\"verbs\""), std::string::npos);
+  // Schema 2 additions: queue state in "admission", per-tenant accounting.
+  EXPECT_NE(body.find("\"queued\""), std::string::npos);
+  EXPECT_NE(body.find("\"draining\""), std::string::npos);
+  EXPECT_NE(body.find("\"tenants\""), std::string::npos);
   EXPECT_NE(body.find("\"QUERY\": 1"), std::string::npos);
   EXPECT_NE(body.find("\"STATUS\": 1"), std::string::npos);
   EXPECT_NE(body.find("\"uptime_us\""), std::string::npos);

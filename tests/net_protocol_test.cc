@@ -7,6 +7,8 @@
 // races).
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 
 #include <atomic>
@@ -299,6 +301,108 @@ TEST_F(ProtocolServerTest, MidRequestDisconnectCancelsCensus) {
     }
     return false;
   }));
+}
+
+// ---------------------------------------------------------------------------
+// Socket timeouts (client-side robustness against a stalled server).
+
+TEST(SocketTimeoutTest, IoTimeoutTurnsStalledPeerIntoDeadline) {
+  // A listener that accepts and then never responds: exactly the hang an
+  // I/O timeout exists for.
+  Listener listener;
+  Endpoint bind;
+  bind.host = "127.0.0.1";
+  ASSERT_TRUE(listener.Listen(bind).ok());
+  Endpoint endpoint;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = listener.port();
+
+  auto socket = Socket::ConnectTcp(endpoint, /*connect_timeout_ms=*/2000);
+  ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+  ASSERT_TRUE(socket->SetIoTimeout(150).ok());
+
+  auto accepted = listener.AcceptOnce(2000);
+  ASSERT_TRUE(accepted.ok());
+
+  ASSERT_TRUE(socket->SendFrame(MakeMessage()).ok());
+  auto started = std::chrono::steady_clock::now();
+  auto response = socket->RecvFrame();  // the peer stays silent
+  auto waited = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000)
+      << "a 150 ms io timeout must not block for seconds";
+}
+
+TEST(SocketTimeoutTest, ConnectTimeoutFailsFastWhenAcceptQueueIsFull) {
+  // Saturate a backlog-1 listener that never accepts: once the kernel's
+  // accept queue fills, further SYNs are dropped and connect() hangs —
+  // the blackholed-server case the connect timeout bounds.
+  Listener listener;
+  Endpoint bind;
+  bind.host = "127.0.0.1";
+  ASSERT_TRUE(listener.Listen(bind, /*backlog=*/1).ok());
+  Endpoint endpoint;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = listener.port();
+
+  std::vector<Socket> held;
+  bool timed_out = false;
+  for (int i = 0; i < 64 && !timed_out; ++i) {
+    auto socket = Socket::ConnectTcp(endpoint, /*connect_timeout_ms=*/250);
+    if (socket.ok()) {
+      held.push_back(std::move(*socket));
+      continue;
+    }
+    EXPECT_EQ(socket.status().code(), StatusCode::kDeadlineExceeded)
+        << socket.status().ToString();
+    timed_out = true;
+  }
+  EXPECT_TRUE(timed_out)
+      << "64 connects against a backlog-1 listener that never accepts "
+         "should saturate the accept queue and hit the connect timeout";
+}
+
+// ---------------------------------------------------------------------------
+// AcceptOnce must tell a signal (EINTR) apart from a poll timeout: with an
+// infinite timeout a kNotFound "timeout" cannot happen, and callers use the
+// distinction to re-check stop flags.
+
+namespace {
+void IgnoreSignal(int) {}
+}  // namespace
+
+TEST(ListenerTest, AcceptInterruptedBySignalIsNotATimeout) {
+  Listener listener;
+  Endpoint bind;
+  bind.host = "127.0.0.1";
+  ASSERT_TRUE(listener.Listen(bind).ok());
+
+  // sigaction without SA_RESTART: poll() returns EINTR (on Linux poll is
+  // never auto-restarted, but be explicit for portability).
+  struct sigaction action {};
+  action.sa_handler = IgnoreSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  pthread_t accept_thread = pthread_self();
+  std::thread interrupter([accept_thread] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    pthread_kill(accept_thread, SIGUSR1);
+  });
+  auto accepted = listener.AcceptOnce(/*timeout_ms=*/10000);
+  interrupter.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kInterrupted)
+      << accepted.status().ToString();
+  EXPECT_NE(accepted.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

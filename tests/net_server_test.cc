@@ -281,10 +281,12 @@ TEST(NetServerTest, ServerCapClampsRequestedDeadline) {
   EXPECT_EQ(uncapped->Header("stop_reason", ""), "deadline_exceeded");
 }
 
-TEST(NetServerTest, AdmissionControlRejectsBeyondCapAndStatusBypasses) {
+TEST(NetServerTest, AdmissionQueuesBurstsAndRejectsBeyondDepth) {
+  if (!failpoints::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
   failpoints::DisarmAll();
   CensusServer::Options options;
   options.max_inflight = 1;
+  options.queue_depth = 1;
   auto server = StartServer(TestGraph(1500, 5, 13), options);
   Endpoint endpoint = EndpointOf(*server);
 
@@ -308,27 +310,52 @@ TEST(NetServerTest, AdmissionControlRejectsBeyondCapAndStatusBypasses) {
   ASSERT_TRUE(WaitFor([] { return failpoints::Hits("exec/checkpoint") >= 1; }));
   ASSERT_TRUE(WaitFor([&server] { return server->inflight() == 1; }));
 
-  // Second QUERY: immediate BUSY, no queueing.
+  // Second QUERY: the slot is held, so it waits in the fair queue instead
+  // of failing — the burst-absorption the queue exists for.
+  std::thread queued([&] {
+    auto client = Client::Connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    auto response = client->Call(Client::QueryRequest("g", kTriangleQuery));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->type, FrameType::kResult);
+    EXPECT_EQ(response->Header("exec_status", ""), "OK");
+  });
+  ASSERT_TRUE(WaitFor([&server] { return server->queue().depth() == 1; }));
+
+  // Third QUERY: depth bound hit -> structured BUSY. Every advertised
+  // field must survive the round trip through the client parser
+  // (docs/SERVER.md, "Retry guidance").
   auto rejected_client = Client::Connect(endpoint);
   ASSERT_TRUE(rejected_client.ok());
-  auto busy = rejected_client->Call(Client::QueryRequest("g", kTriangleQuery));
+  Message overflow = Client::QueryRequest("g", kTriangleQuery);
+  overflow.headers["request_id"] = "busy-roundtrip-1";
+  auto busy = rejected_client->Call(overflow);
   ASSERT_TRUE(busy.ok());
   EXPECT_EQ(busy->type, FrameType::kBusy);
-  EXPECT_EQ(busy->HeaderInt("capacity", 0), 1u);
+  BusyInfo info = BusyInfoFromResponse(*busy);
+  EXPECT_EQ(info.request_id, "busy-roundtrip-1");
+  EXPECT_EQ(info.inflight, 1u);
+  EXPECT_EQ(info.capacity, 1u);
+  EXPECT_EQ(info.queued, 1u);
+  EXPECT_GE(info.retry_after_ms, 25u);
+  EXPECT_LE(info.retry_after_ms, 10000u);
+  EXPECT_FALSE(info.draining);
   EXPECT_EQ(ResponseToStatus(*busy).code(), StatusCode::kResourceExhausted);
 
-  // STATUS bypasses the admission gate: the daemon stays observable while
-  // saturated, and it reports the saturation.
+  // STATUS bypasses the queue entirely: the daemon stays observable while
+  // saturated, and it reports the saturation — including queue state.
   auto status_client = Client::Connect(endpoint);
   ASSERT_TRUE(status_client.ok());
   auto status = status_client->Call(Client::StatusRequest());
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(status->type, FrameType::kResult);
   EXPECT_NE(status->body.find("\"inflight\": 1"), std::string::npos);
+  EXPECT_NE(status->body.find("\"queued\": 1"), std::string::npos);
   EXPECT_NE(status->body.find("\"busy_rejected\": 1"), std::string::npos);
 
   release.store(true);
   holder.join();
+  queued.join();
   failpoints::DisarmAll();
   EXPECT_EQ(server->counters().busy_rejected, 1u);
 }

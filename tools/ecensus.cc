@@ -97,6 +97,10 @@ int Fail(const Status& status) {
   return status.code() == StatusCode::kInvalidArgument ? 2 : 1;
 }
 
+/// sysexits.h EX_TEMPFAIL: the daemon was busy (or draining) and the
+/// request never ran — retrying later is expected to succeed.
+constexpr int kExitTempFail = 75;
+
 int Usage() {
   std::cerr <<
       "usage:\n"
@@ -128,7 +132,12 @@ int Usage() {
       "  ecensus remote load --connect HOST:PORT --name NAME --path FILE\n"
       "  ecensus remote unload --connect HOST:PORT --name NAME\n"
       "  (remote verbs accept --request-id ID; the daemon echoes it in the\n"
-      "   response and its telemetry — docs/OBSERVABILITY.md)\n"
+      "   response and its telemetry — docs/OBSERVABILITY.md. Also:\n"
+      "   --tenant NAME (fair-queue tenant tag),\n"
+      "   --connect-timeout-ms MS (default 5000), --io-timeout-ms MS,\n"
+      "   --retries N --retry-budget-ms MS (backoff honoring the daemon's\n"
+      "   retry_after_ms hint; off by default, and for update only with\n"
+      "   --idempotent). BUSY exits 75 (EX_TEMPFAIL).)\n"
       "  ecensus --version\n"
       "\n"
       "Governed runs (--timeout-ms / --memory-budget-mb) that stop early\n"
@@ -710,11 +719,51 @@ int RunRemote(const std::string& action, const Args& args) {
   }
 
   if (!request_id.empty()) request.headers["request_id"] = request_id;
+  // Tenant tag for the daemon's fair queue (docs/SERVER.md, "Admission and
+  // queueing"). Invalid names fall back to the shared default tenant
+  // server-side rather than erroring.
+  if (args.Has("tenant")) request.headers["tenant"] = args.Get("tenant", "");
 
-  auto client = net::Client::Connect(*endpoint);
-  if (!client.ok()) return Fail(client.status());
-  auto response = client->Call(request);
+  net::Client::Options client_options;
+  client_options.connect_timeout_ms =
+      static_cast<int>(args.GetInt("connect-timeout-ms", 5000));
+  client_options.io_timeout_ms =
+      static_cast<int>(args.GetInt("io-timeout-ms", 0));
+
+  // Retries are opt-in, and gated for UPDATE: a retried update whose first
+  // attempt actually executed (the response just never arrived) would
+  // apply twice. --idempotent is the caller asserting that is safe.
+  int retries = static_cast<int>(args.GetInt("retries", 0));
+  if (retries > 0 && action == "update" && !args.Has("idempotent")) {
+    return Fail(Status::InvalidArgument(
+        "remote update: --retries requires --idempotent (a retried update "
+        "may apply twice when only the response was lost)"));
+  }
+  net::RetryPolicy policy;
+  policy.max_retries = retries;
+  policy.budget_ms =
+      static_cast<std::uint64_t>(args.GetInt("retry-budget-ms", 15000));
+  net::RetryStats retry_stats;
+  auto response = net::CallWithRetry(*endpoint, request, client_options,
+                                     policy, &retry_stats);
   if (!response.ok()) return Fail(response.status());
+  if (retry_stats.attempts > 1) {
+    std::cerr << "retried: " << retry_stats.attempts << " attempts, "
+              << retry_stats.slept_ms << " ms backed off\n";
+  }
+
+  // BUSY is a temporary condition, not a failure of the request itself:
+  // exit 75 (EX_TEMPFAIL) so wrappers can distinguish "try again later"
+  // from a real error's exit 1.
+  if (response->type == net::FrameType::kBusy) {
+    net::BusyInfo busy = net::BusyInfoFromResponse(*response);
+    std::cerr << net::ResponseToStatus(*response).ToString() << "\n";
+    std::cerr << "busy: inflight=" << busy.inflight << "/" << busy.capacity
+              << " queued=" << busy.queued
+              << " retry_after_ms=" << busy.retry_after_ms
+              << (busy.draining ? " (draining)" : "") << "\n";
+    return kExitTempFail;
+  }
 
   // The RESULT body is the payload (result table, JSON, or confirmation);
   // side data (stop_reason, focal tallies) goes to stderr so stdout stays

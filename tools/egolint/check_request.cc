@@ -6,6 +6,14 @@
 // recognized by name: `Handle` followed by an upper-case letter. The
 // context may appear anywhere from the signature (a `RequestContext&`
 // parameter) to the end of the body.
+//
+// A second rule polices response composition: BUSY and ERROR frames carry
+// structured fields (code, retry_after_ms, echoed request_id) that clients
+// parse, so they must be built by the canonical helpers (ErrorResponse /
+// BusyResponse in net/request_context.h), never assembled by hand. Any
+// `... = FrameType::kBusy` / `= FrameType::kError` assignment in src/net/
+// outside request_context.h and frame.h is flagged; comparisons (`==`,
+// `!=`) and `case` labels are fine.
 
 #include <string>
 
@@ -40,6 +48,22 @@ int SignatureBegin(const std::vector<Token>& tokens, int body_begin) {
   return 0;
 }
 
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when token i is the `=` of an assignment, not half of a
+/// comparison. The lexer emits `==`, `!=`, `<=`, `>=` as two one-char
+/// punctuation tokens, so look one token back for the other half.
+bool IsAssignmentEquals(const std::vector<Token>& toks, int i) {
+  if (!TokIs(toks[i], "=")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  return !(TokIs(prev, "=") || TokIs(prev, "!") || TokIs(prev, "<") ||
+           TokIs(prev, ">"));
+}
+
 }  // namespace
 
 void CheckRequestDiscipline(const std::vector<FileModel>& models,
@@ -70,6 +94,32 @@ void CheckRequestDiscipline(const std::vector<FileModel>& models,
               " never routes through RequestContext — its requests get no "
               "id, no wide log event, and no slow-query capture "
               "(docs/SERVER.md)"});
+    }
+
+    // Bare BUSY/ERROR composition. The helpers themselves (and the frame
+    // struct's NSDMI default) are the allowed assembly sites.
+    if (EndsWith(model.source->path, "request_context.h") ||
+        EndsWith(model.source->path, "frame.h")) {
+      continue;
+    }
+    for (int i = 3; i < static_cast<int>(toks.size()); ++i) {
+      if (toks[i].kind != TokenKind::kIdent ||
+          (toks[i].text != "kBusy" && toks[i].text != "kError")) {
+        continue;
+      }
+      if (!TokIs(toks[i - 1], "::")) continue;
+      if (toks[i - 2].kind != TokenKind::kIdent ||
+          toks[i - 2].text != "FrameType") {
+        continue;
+      }
+      if (!IsAssignmentEquals(toks, i - 3)) continue;
+      findings->push_back(Finding{
+          model.source->path, toks[i].line, "request-discipline",
+          "allow-bare-response",
+          std::string("bare FrameType::") + std::string(toks[i].text) +
+              " assignment — compose BUSY/ERROR responses with the "
+              "canonical helpers in net/request_context.h so the "
+              "structured fields clients parse stay complete"});
     }
   }
 }

@@ -21,7 +21,7 @@ const char* const kKnownChecks[] = {"status-discipline", "checkpoint-coverage",
 const char* const kKnownSuppressions[] = {
     "no-nodiscard", "allow-discard",       "no-checkpoint",
     "allow-obs",    "allow-using-namespace", "allow-include",
-    "no-request-context"};
+    "no-request-context", "allow-bare-response"};
 
 bool Enabled(const LintOptions& options, const std::string& check) {
   if (options.checks.empty()) return true;

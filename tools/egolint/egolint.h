@@ -26,7 +26,11 @@
 //  * request-discipline  — request handlers (Handle*) in src/net/ must
 //                          route through RequestContext so every request
 //                          carries an id and telemetry
-//                          (suppression: no-request-context).
+//                          (suppression: no-request-context); BUSY/ERROR
+//                          frames in src/net/ must be composed by the
+//                          request_context.h helpers, never by bare
+//                          `= FrameType::kBusy/kError` assignment
+//                          (suppression: allow-bare-response).
 //
 // A suppression with an empty reason, or with a name no check owns, is
 // itself a finding (check "suppression") — the escape hatch stays audited.
