@@ -305,22 +305,29 @@ void BM_GovernorOverhead(benchmark::State& state) {
 BENCHMARK(BM_GovernorOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
-// Full-repo egolint scan (lex + all five checks over every src/ file). CI
+// Full-repo egolint scan (lex + all six checks over every src/ and tools/
+// file, matching what CI's lint job and the egolint_repo ctest run). CI
 // treats the lint job as nearly free; this keeps the whole scan honest
 // against the 2s budget the egolint_test smoke asserts.
 void BM_EgolintRepoScan(benchmark::State& state) {
   namespace fs = std::filesystem;
   std::vector<egolint::SourceFile> files;
-  for (auto it = fs::recursive_directory_iterator(EGOCENSUS_REPO_SRC);
-       it != fs::recursive_directory_iterator(); ++it) {
-    if (!it->is_regular_file()) continue;
-    std::string ext = it->path().extension().string();
-    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
-    std::ifstream in(it->path());
-    std::ostringstream content;
-    content << in.rdbuf();
-    files.push_back(
-        egolint::SourceFile{it->path().generic_string(), content.str()});
+  std::vector<fs::path> roots = {EGOCENSUS_REPO_SRC};
+#ifdef EGOCENSUS_REPO_TOOLS
+  roots.emplace_back(EGOCENSUS_REPO_TOOLS);
+#endif
+  for (const fs::path& root : roots) {
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(it->path());
+      std::ostringstream content;
+      content << in.rdbuf();
+      files.push_back(
+          egolint::SourceFile{it->path().generic_string(), content.str()});
+    }
   }
   std::size_t findings = 0;
   for (auto _ : state) {

@@ -3,9 +3,11 @@
 #if EGO_FAILPOINTS_ENABLED
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::failpoints {
 
@@ -23,9 +25,9 @@ struct Point {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // std::less<> so string_view lookups don't allocate on the hot path.
-  std::map<std::string, Point, std::less<>> points;
+  std::map<std::string, Point, std::less<>> points EGO_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -33,7 +35,7 @@ Registry& registry() {
   return *r;
 }
 
-void RecomputeAnyArmedLocked(Registry& r) {
+void RecomputeAnyArmedLocked(Registry& r) EGO_REQUIRES(r.mu) {
   bool any = false;
   for (const auto& [name, p] : r.points) {
     if (p.armed) {
@@ -52,7 +54,7 @@ void HitSlow(std::string_view name) {
   Registry& r = registry();
   Handler to_run;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.points.find(name);
     if (it == r.points.end() || !it->second.armed) return;
     Point& p = it->second;
@@ -71,7 +73,7 @@ void HitSlow(std::string_view name) {
 
 void Arm(std::string_view name, std::uint64_t nth_hit, Handler handler) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   Point& p = r.points[std::string(name)];
   p.handler = std::move(handler);
   p.nth_hit = nth_hit;
@@ -82,7 +84,7 @@ void Arm(std::string_view name, std::uint64_t nth_hit, Handler handler) {
 
 void Disarm(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it == r.points.end()) return;
   it->second.armed = false;
@@ -92,21 +94,21 @@ void Disarm(std::string_view name) {
 
 void DisarmAll() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.points.clear();
   internal::g_any_armed.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t Hits(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 void ResetHits(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it != r.points.end()) it->second.hits = 0;
 }

@@ -159,19 +159,19 @@ AdmitOutcome FairRequestQueue::Acquire(const std::string& tenant,
   *wait_us = 0;
   Waiter waiter;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Tenant& t = TenantLocked(tenant);
     ++t.stats.enqueued;
     if (draining_) {
       ++t.stats.evicted_drain;
-      lock.unlock();
+      lock.Unlock();
       EGO_FAILPOINT("net/queue/evict");
       return AdmitOutcome::kDraining;
     }
     if (deadline_us != 0 && enqueue_us >= deadline_us) {
       // Dead on arrival: the deadline already covers zero execution time.
       ++t.stats.evicted_deadline;
-      lock.unlock();
+      lock.Unlock();
       EGO_FAILPOINT("net/queue/evict");
       return AdmitOutcome::kDeadlineExpired;
     }
@@ -182,14 +182,14 @@ AdmitOutcome FairRequestQueue::Acquire(const std::string& tenant,
       peak_active_ = std::max(peak_active_, active_);
       ++t.stats.granted;
       RecordWaitLocked(t, 0);
-      lock.unlock();
+      lock.Unlock();
       EGO_FAILPOINT("net/queue/dequeue");
       return AdmitOutcome::kGranted;
     }
     if (options_.max_depth == 0 || depth_ >= options_.max_depth ||
         queued_bytes_ + bytes > options_.max_bytes) {
       ++t.stats.busy_overflow;
-      lock.unlock();
+      lock.Unlock();
       EGO_FAILPOINT("net/queue/evict");
       return AdmitOutcome::kOverflow;
     }
@@ -210,7 +210,7 @@ AdmitOutcome FairRequestQueue::Acquire(const std::string& tenant,
     ScheduleLocked();  // a slot may already be free
 
     while (!waiter.decided) {
-      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms));
+      lock.WaitFor(cv_, std::chrono::milliseconds(options_.poll_ms));
       if (waiter.decided) break;
       const std::uint64_t now = Timer::NowMicros();
       if (waiter.deadline_us != 0 && now >= waiter.deadline_us) {
@@ -238,7 +238,7 @@ AdmitOutcome FairRequestQueue::Acquire(const std::string& tenant,
 
 void FairRequestQueue::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (active_ > 0) --active_;
     ScheduleLocked();
   }
@@ -247,7 +247,7 @@ void FairRequestQueue::Release() {
 
 void FairRequestQueue::BeginDrain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
   cv_.notify_all();
@@ -256,7 +256,7 @@ void FairRequestQueue::BeginDrain() {
 std::size_t FairRequestQueue::FlushForDrain() {
   std::size_t flushed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
     for (auto& [name, t] : tenants_) {
       while (!t.fifo.empty()) {
@@ -277,37 +277,37 @@ std::size_t FairRequestQueue::FlushForDrain() {
 }
 
 bool FairRequestQueue::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return draining_;
 }
 
 bool FairRequestQueue::Idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return depth_ == 0 && active_ == 0;
 }
 
 std::uint32_t FairRequestQueue::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
 std::uint32_t FairRequestQueue::peak_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return peak_active_;
 }
 
 std::size_t FairRequestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return depth_;
 }
 
 std::uint64_t FairRequestQueue::queued_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_bytes_;
 }
 
 std::vector<TenantQueueStats> FairRequestQueue::TenantStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TenantQueueStats> out;
   out.reserve(tenants_.size());
   for (const auto& [name, t] : tenants_) {

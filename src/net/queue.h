@@ -35,9 +35,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::net {
 
@@ -145,34 +147,37 @@ class FairRequestQueue {
   struct Waiter;
   struct Tenant;
 
-  /// Grants free slots to queued waiters in DRR order. Caller holds mu_.
-  void ScheduleLocked();
+  /// Grants free slots to queued waiters in DRR order.
+  void ScheduleLocked() EGO_REQUIRES(mu_);
 
-  /// Removes a still-queued waiter from its tenant FIFO. Caller holds mu_.
-  void EvictLocked(Waiter* waiter, AdmitOutcome outcome);
+  /// Removes a still-queued waiter from its tenant FIFO.
+  void EvictLocked(Waiter* waiter, AdmitOutcome outcome) EGO_REQUIRES(mu_);
 
-  /// Looks up / creates the per-tenant state. Caller holds mu_.
-  Tenant& TenantLocked(const std::string& tenant);
+  /// Looks up / creates the per-tenant state.
+  Tenant& TenantLocked(const std::string& tenant) EGO_REQUIRES(mu_);
 
-  void RecordWaitLocked(Tenant& tenant, std::uint64_t wait_us);
+  void RecordWaitLocked(Tenant& tenant, std::uint64_t wait_us)
+      EGO_REQUIRES(mu_);
 
+  /// Normalized in the constructor, read-only afterwards.
+  // egolint: no-guard(immutable after construction, read lock-free)
   QueueOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  bool draining_ = false;
-  std::uint32_t active_ = 0;
-  std::uint32_t peak_active_ = 0;
-  std::size_t depth_ = 0;
-  std::uint64_t queued_bytes_ = 0;
+  bool draining_ EGO_GUARDED_BY(mu_) = false;
+  std::uint32_t active_ EGO_GUARDED_BY(mu_) = 0;
+  std::uint32_t peak_active_ EGO_GUARDED_BY(mu_) = 0;
+  std::size_t depth_ EGO_GUARDED_BY(mu_) = 0;
+  std::uint64_t queued_bytes_ EGO_GUARDED_BY(mu_) = 0;
 
   /// Tenant states live for the process lifetime (tenant names are
   /// validated to <= 64 bytes, so cardinality is operator-controlled).
   /// std::map: node stability lets Waiter/ring hold Tenant pointers.
-  std::map<std::string, Tenant> tenants_;
+  std::map<std::string, Tenant> tenants_ EGO_GUARDED_BY(mu_);
 
   /// DRR ring of tenants with queued work, in visit order.
-  std::deque<Tenant*> ring_;
+  std::deque<Tenant*> ring_ EGO_GUARDED_BY(mu_);
 };
 
 }  // namespace egocensus::net

@@ -18,7 +18,7 @@ Status GraphRegistry::Add(const std::string& name, Graph graph) {
     return Status::InvalidArgument("graph name must not be empty");
   }
   auto entry = std::make_shared<GraphEntry>(name, std::move(graph));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = entries_.emplace(name, std::move(entry));
   (void)it;
   if (!inserted) {
@@ -29,7 +29,7 @@ Status GraphRegistry::Add(const std::string& name, Graph graph) {
 }
 
 Status GraphRegistry::Unload(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.erase(name) == 0) {
     return Status::NotFound("graph '" + name + "' is not loaded");
   }
@@ -38,7 +38,7 @@ Status GraphRegistry::Unload(const std::string& name) {
 
 Result<std::shared_ptr<GraphEntry>> GraphRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end()) return it->second;
   std::string known;
@@ -53,14 +53,14 @@ Result<std::shared_ptr<GraphEntry>> GraphRegistry::Get(
 std::vector<GraphSummary> GraphRegistry::Summaries() const {
   std::vector<std::shared_ptr<GraphEntry>> entries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) entries.push_back(entry);
   }
   std::vector<GraphSummary> summaries;
   summaries.reserve(entries.size());
   for (const auto& entry : entries) {
-    std::shared_lock<std::shared_mutex> lock(entry->mutex);
+    SharedMutexLock lock(entry->mutex);
     GraphSummary summary;
     summary.name = entry->name;
     summary.nodes = entry->dynamic.NumNodes();
@@ -77,7 +77,7 @@ std::vector<GraphSummary> GraphRegistry::Summaries() const {
 }
 
 std::size_t GraphRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -8,9 +8,9 @@
 // per-process execution).
 //
 // Locking, two levels:
-//  * The registry map itself is guarded by a plain mutex held only for
+//  * The registry map itself is guarded by a plain Mutex held only for
 //    lookup/insert/erase — never across a census.
-//  * Each entry carries a std::shared_mutex: QUERY holds it shared for the
+//  * Each entry carries a SharedMutex: QUERY holds it shared for the
 //    whole census (any number in parallel), UPDATE holds it exclusive while
 //    mutating + re-materializing + re-indexing. UPDATE therefore serializes
 //    against in-flight QUERYs per graph and queries never observe a
@@ -19,42 +19,48 @@
 // Entries are handed out as shared_ptr, so UNLOAD only removes the name:
 // requests already inside the entry finish against the old snapshot and the
 // memory dies with the last reference.
+//
+// Both levels are compile-time contracts: the mutexes are the annotated
+// util/mutex.h capabilities and every guarded field carries EGO_GUARDED_BY,
+// so a QUERY path touching the snapshot without the entry lock fails the
+// clang -Werror=thread-safety build (docs/STATIC_ANALYSIS.md).
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
 #include "lang/engine.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::net {
 
-/// One resident graph. Fields guarded by `mutex` as documented; `name` is
+/// One resident graph. Fields guarded by `mutex` as annotated; `name` is
 /// immutable after construction.
 struct GraphEntry {
+  // egolint: no-guard(immutable after construction, read lock-free)
   std::string name;
 
-  /// Guards everything below: shared for QUERY, exclusive for UPDATE.
-  std::shared_mutex mutex;
+  /// Guards the graph state below: shared for QUERY, exclusive for UPDATE.
+  SharedMutex mutex;
 
   /// Ground truth under updates.
-  DynamicGraph dynamic;
+  DynamicGraph dynamic EGO_GUARDED_BY(mutex);
 
   /// Materialized immutable view of `dynamic` + indexes over it. Rebuilt
   /// under the exclusive lock after every UPDATE batch; QueryEngines borrow
   /// both for the duration of a shared lock.
-  Graph snapshot;
-  GraphIndexes indexes;
+  Graph snapshot EGO_GUARDED_BY(mutex);
+  GraphIndexes indexes EGO_GUARDED_BY(mutex);
 
   /// Monotone update-batch counter (0 = as loaded).
-  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_applied EGO_GUARDED_BY(mutex) = 0;
 
   /// Fast-path routing outcomes per census aggregate served against this
   /// graph (docs/FAST_PATH.md). Atomic, not mutex-guarded: concurrent
@@ -64,12 +70,16 @@ struct GraphEntry {
 
   GraphEntry(std::string graph_name, Graph loaded)
       : name(std::move(graph_name)), dynamic(std::move(loaded)) {
-    RefreshSnapshot();
+    // Materialized inline rather than via RefreshSnapshot(): no other
+    // thread can reach the entry during construction, so the lock
+    // RefreshSnapshot() requires would be pure overhead here.
+    snapshot = dynamic.Materialize();
+    indexes = GraphIndexes::Build(snapshot);
   }
 
-  /// Re-materializes `snapshot` + `indexes` from `dynamic`. Caller holds
-  /// the exclusive lock (or is the constructor).
-  void RefreshSnapshot() {
+  /// Re-materializes `snapshot` + `indexes` from `dynamic` after an UPDATE
+  /// batch, under the exclusive lock the annotation demands.
+  void RefreshSnapshot() EGO_REQUIRES(mutex) {
     snapshot = dynamic.Materialize();
     indexes = GraphIndexes::Build(snapshot);
   }
@@ -112,8 +122,9 @@ class GraphRegistry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<GraphEntry>> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<GraphEntry>> entries_
+      EGO_GUARDED_BY(mutex_);
 };
 
 }  // namespace egocensus::net

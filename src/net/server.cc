@@ -318,7 +318,7 @@ CensusServer::Counters CensusServer::counters() const {
 }
 
 std::deque<CensusServer::RequestRecord> CensusServer::RecentRequests() const {
-  std::lock_guard<std::mutex> lock(ring_mutex_);
+  MutexLock lock(ring_mutex_);
   return ring_;
 }
 
@@ -338,7 +338,7 @@ void CensusServer::AcceptLoop() {
     }
     // Reap finished connections so a long-lived daemon's list stays small.
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       for (auto it = connections_.begin(); it != connections_.end();) {
         if ((*it)->done.load(std::memory_order_acquire)) {
           (*it)->thread.join();
@@ -354,7 +354,7 @@ void CensusServer::AcceptLoop() {
     connection->socket = std::move(*accepted);
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       connections_.push_back(std::move(connection));
     }
     raw->thread = std::thread([this, raw] { ServeConnection(raw); });
@@ -363,7 +363,7 @@ void CensusServer::AcceptLoop() {
   // then join the workers.
   std::list<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (auto& connection : connections) {
@@ -583,7 +583,8 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
 
   // Shared lock: concurrent QUERYs run together; UPDATE waits for all of
   // them and vice versa.
-  std::shared_lock<std::shared_mutex> lock((*entry)->mutex);
+  GraphEntry& graph = **entry;
+  SharedMutexLock lock(graph.mutex);
   ctx.exec_begin_us = Timer::NowMicros();
 #if EGO_OBS_ENABLED
   obs::MetricsSnapshot before;
@@ -594,7 +595,7 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
     DisconnectWatcher watcher(client_fd, &governor,
                               options_.disconnect_poll_ms,
                               &disconnect_cancels_);
-    QueryEngine engine((*entry)->snapshot, &(*entry)->indexes);
+    QueryEngine engine(graph.snapshot, &graph.indexes);
     auto table = engine.Execute(request.body, options);
     if (!table.ok()) return ErrorResponse(ctx, table.status());
 
@@ -638,8 +639,8 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
     }
     ctx.fastpath_routed = routed;
     ctx.fastpath_generic = generic;
-    (*entry)->fastpath_routed.fetch_add(routed, std::memory_order_relaxed);
-    (*entry)->fastpath_generic.fetch_add(generic,
+    graph.fastpath_routed.fetch_add(routed, std::memory_order_relaxed);
+    graph.fastpath_generic.fetch_add(generic,
                                          std::memory_order_relaxed);
     if (request.HasHeader("top") && TopSortColumn(*table) >= 2) {
       table->SortByColumnDesc(TopSortColumn(*table) - 1);
@@ -657,7 +658,7 @@ Message CensusServer::HandleQuery(const Message& request, int client_fd,
     response.headers["focal_pending"] = std::to_string(pending);
     response.headers["fastpath_routed"] = std::to_string(routed);
     response.headers["graph_version"] =
-        std::to_string((*entry)->dynamic.version());
+        std::to_string(graph.dynamic.version());
     std::ostringstream body;
     if (request.Header("format", "csv") == "text") {
       std::size_t limit = request.HasHeader("top")
@@ -711,7 +712,8 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd,
 
   // Exclusive lock: the batch is atomic with respect to queries — they see
   // the graph before it or after it, never between two of its updates.
-  std::unique_lock<std::shared_mutex> lock((*entry)->mutex);
+  GraphEntry& graph = **entry;
+  SharedMutexExclusiveLock lock(graph.mutex);
   ctx.exec_begin_us = Timer::NowMicros();
   ctx.threads = 1;
   std::uint64_t applied = 0, noop = 0;
@@ -725,7 +727,7 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd,
         exec_status = governor.ToStatus("update batch");
         break;
       }
-      auto result = (*entry)->dynamic.Apply(update);
+      auto result = graph.dynamic.Apply(update);
       if (!result.ok()) {
         exec_status = result.status();
         break;
@@ -738,9 +740,9 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd,
     }
   }
   if (applied > 0) {
-    if ((*entry)->dynamic.DeltaFraction() > 0.25) (*entry)->dynamic.Compact();
-    (*entry)->RefreshSnapshot();
-    ++(*entry)->updates_applied;
+    if (graph.dynamic.DeltaFraction() > 0.25) graph.dynamic.Compact();
+    graph.RefreshSnapshot();
+    ++graph.updates_applied;
   }
 
   Message response;
@@ -752,10 +754,10 @@ Message CensusServer::HandleUpdate(const Message& request, int client_fd,
   response.headers["stop_reason"] = StopReasonName(governor.reason());
   response.headers["applied"] = std::to_string(applied);
   response.headers["noop"] = std::to_string(noop);
-  response.headers["nodes"] = std::to_string((*entry)->dynamic.NumNodes());
-  response.headers["edges"] = std::to_string((*entry)->dynamic.NumEdges());
+  response.headers["nodes"] = std::to_string(graph.dynamic.NumNodes());
+  response.headers["edges"] = std::to_string(graph.dynamic.NumEdges());
   response.headers["graph_version"] =
-      std::to_string((*entry)->dynamic.version());
+      std::to_string(graph.dynamic.version());
   response.body = "applied " + std::to_string(applied) + " updates (" +
                   std::to_string(noop) + " no-ops)\n";
   return response;
@@ -963,7 +965,7 @@ std::uint64_t CensusServer::VerbCount(FrameType type) const {
 }
 
 std::deque<CensusServer::SlowQueryRecord> CensusServer::SlowQueries() const {
-  std::lock_guard<std::mutex> lock(slow_mutex_);
+  MutexLock lock(slow_mutex_);
   return slow_ring_;
 }
 
@@ -971,7 +973,7 @@ std::string CensusServer::SlowQueryTraceJson(
     const std::string& request_id) const {
   SlowQueryRecord record;
   {
-    std::lock_guard<std::mutex> lock(slow_mutex_);
+    MutexLock lock(slow_mutex_);
     if (slow_ring_.empty()) return "";
     if (request_id.empty() || request_id == "latest") {
       record = slow_ring_.front();
@@ -1109,7 +1111,7 @@ void CensusServer::WriteDaemonExposition(std::ostream& os) const {
   }
   std::size_t slow = 0;
   {
-    std::lock_guard<std::mutex> lock(slow_mutex_);
+    MutexLock lock(slow_mutex_);
     slow = slow_ring_.size();
   }
   os << "# HELP egocensus_daemon_slow_queries captured slow-query ring size\n"
@@ -1165,7 +1167,7 @@ void CensusServer::FinishRequest(const RequestContext& ctx,
   record.bytes_in = ctx.bytes_in;
   record.bytes_out = bytes_out;
   {
-    std::lock_guard<std::mutex> lock(ring_mutex_);
+    MutexLock lock(ring_mutex_);
     ring_.push_front(std::move(record));
     while (ring_.size() > options_.ring_capacity) ring_.pop_back();
   }
@@ -1254,7 +1256,7 @@ void CensusServer::FinishRequest(const RequestContext& ctx,
                         PhaseSpan{"execute", queue_us, execute_us});
     }
     slow.counters = ctx.obs_delta;
-    std::lock_guard<std::mutex> lock(slow_mutex_);
+    MutexLock lock(slow_mutex_);
     slow_ring_.push_front(std::move(slow));
     while (slow_ring_.size() > options_.slow_ring_capacity) {
       slow_ring_.pop_back();

@@ -38,7 +38,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,7 +47,9 @@
 #include "net/registry.h"
 #include "net/request_context.h"
 #include "net/socket.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::net {
 
@@ -254,18 +255,30 @@ class CensusServer {
   /// even when the obs registry is off or compiled out.
   void WriteDaemonExposition(std::ostream& os) const;
 
+  // egolint: no-guard(immutable after construction, read lock-free)
   Options options_;
+  /// Owned by the accept thread after Start (AcceptLoop closes it).
+  // egolint: no-guard(accept-thread-owned after Start)
   Listener listener_;
+  /// Internally synchronized (its own mutex_ capability).
+  // egolint: no-guard(internally synchronized, see net/registry.h)
   GraphRegistry registry_;
+  /// Internally synchronized (its own mu_ capability).
+  // egolint: no-guard(internally synchronized, see net/queue.h)
   FairRequestQueue queue_;
+  /// Written once in Start before any worker thread exists.
+  // egolint: no-guard(written before threads start, read-only after)
   std::uint64_t started_micros_ = 0;
 
+  /// Touched only by Start and the shutdown path, serialized by shutdown_.
+  // egolint: no-guard(Start/Wait lifecycle only, never concurrent)
   std::thread accept_thread_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> draining_{false};
 
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_
+      EGO_GUARDED_BY(connections_mutex_);
 
   /// EWMA of QUERY/UPDATE execute time feeding retry_after_ms hints.
   std::atomic<std::uint64_t> exec_ewma_us_{0};
@@ -283,11 +296,11 @@ class CensusServer {
   /// Sequence for server-assigned request ids (net/request_context.h).
   std::atomic<std::uint64_t> request_seq_{0};
 
-  mutable std::mutex ring_mutex_;
-  std::deque<RequestRecord> ring_;
+  mutable Mutex ring_mutex_;
+  std::deque<RequestRecord> ring_ EGO_GUARDED_BY(ring_mutex_);
 
-  mutable std::mutex slow_mutex_;
-  std::deque<SlowQueryRecord> slow_ring_;
+  mutable Mutex slow_mutex_;
+  std::deque<SlowQueryRecord> slow_ring_ EGO_GUARDED_BY(slow_mutex_);
 };
 
 }  // namespace egocensus::net

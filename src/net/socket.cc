@@ -19,8 +19,25 @@ namespace egocensus::net {
 
 namespace {
 
+// strerror() hands back a pointer into static storage — racy once the
+// server has accept/worker threads formatting errors concurrently
+// (concurrency-mt-unsafe). strerror_r is the reentrant form, but glibc's
+// _GNU_SOURCE variant returns char* while the XSI variant returns int;
+// overload dispatch on the actual signature keeps both building.
+inline std::string StrErrorResult(char* result, const char* /*buf*/) {
+  return result;  // GNU: may point into buf or immutable static storage
+}
+inline std::string StrErrorResult(int result, const char* buf) {
+  return result == 0 ? buf : "unknown error";  // XSI: 0 = buf filled
+}
+
+std::string ErrnoMessage(int err) {
+  char buf[256] = "unknown error";
+  return StrErrorResult(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 std::string Errno(const std::string& what) {
-  return what + ": " + std::strerror(errno);
+  return what + ": " + ErrnoMessage(errno);
 }
 
 /// Resolves `host` to an IPv4 address ("localhost", dotted quad, or a
@@ -121,7 +138,7 @@ namespace {
     }
     if (err != 0) {
       return Status::NotFound("cannot connect to " + endpoint.ToString() +
-                              ": " + std::strerror(err));
+                              ": " + ErrnoMessage(err));
     }
   }
   if (::fcntl(fd, F_SETFL, flags) != 0) {

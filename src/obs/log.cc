@@ -8,7 +8,9 @@
 #if EGO_OBS_ENABLED
 #include <fstream>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #endif
 
 namespace egocensus::obs {
@@ -72,12 +74,14 @@ LogEvent& LogEvent::Raw(std::string_view key, std::string_view json) {
 /// (one request each) and requests are milliseconds-plus, so a single
 /// writer lock never becomes the bottleneck the metric shards avoid.
 struct Logger::Impl {
-  std::mutex mutex;
-  std::ofstream file;
-  bool use_stderr = false;
-  std::uint64_t rate_limit = 0;       // lines per second; 0 = unlimited
-  std::uint64_t window_start_us = 0;  // current 1s rate window
-  std::uint64_t window_count = 0;
+  Mutex mutex;
+  std::ofstream file EGO_GUARDED_BY(mutex);
+  bool use_stderr EGO_GUARDED_BY(mutex) = false;
+  // Lines per second; 0 = unlimited.
+  std::uint64_t rate_limit EGO_GUARDED_BY(mutex) = 0;
+  // Current 1s rate window.
+  std::uint64_t window_start_us EGO_GUARDED_BY(mutex) = 0;
+  std::uint64_t window_count EGO_GUARDED_BY(mutex) = 0;
 };
 
 Logger& Logger::Global() {
@@ -92,7 +96,7 @@ Logger::Impl& Logger::impl() {
 
 Status Logger::OpenFile(const std::string& path) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   if (i.file.is_open()) i.file.close();
   i.file.open(path, std::ios::out | std::ios::app);
   if (!i.file.is_open()) {
@@ -106,7 +110,7 @@ Status Logger::OpenFile(const std::string& path) {
 
 void Logger::UseStderr() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   if (i.file.is_open()) i.file.close();
   i.use_stderr = true;
   enabled_.store(true, std::memory_order_relaxed);
@@ -119,7 +123,7 @@ void Logger::SetMinLevel(LogLevel level) {
 
 void Logger::SetRateLimit(std::uint64_t max_per_sec) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   i.rate_limit = max_per_sec;
   i.window_start_us = 0;
   i.window_count = 0;
@@ -132,7 +136,7 @@ void Logger::Write(LogLevel level, const LogEvent& event) {
                      ",\"level\":\"" + LogLevelName(level) + "\"," +
                      event.fields() + "}\n";
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   if (i.rate_limit > 0) {
     std::uint64_t now = Timer::NowMicros();
     if (now - i.window_start_us >= 1'000'000) {
@@ -158,7 +162,7 @@ void Logger::Write(LogLevel level, const LogEvent& event) {
 
 void Logger::ResetForTest() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   if (i.file.is_open()) i.file.close();
   i.use_stderr = false;
   i.rate_limit = 0;

@@ -6,9 +6,11 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::obs {
 
@@ -89,24 +91,26 @@ struct Registry::Impl {
     ShardSlots slots;
   };
 
-  mutable std::mutex mu;
+  mutable Mutex mu;
   // name -> id per kind, and id -> name (ids index snapshot arrays).
-  std::unordered_map<std::string, std::uint32_t> counter_ids;
-  std::unordered_map<std::string, std::uint32_t> gauge_ids;
-  std::unordered_map<std::string, std::uint32_t> hist_ids;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> hist_names;
+  std::unordered_map<std::string, std::uint32_t> counter_ids
+      EGO_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::uint32_t> gauge_ids
+      EGO_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::uint32_t> hist_ids EGO_GUARDED_BY(mu);
+  std::vector<std::string> counter_names EGO_GUARDED_BY(mu);
+  std::vector<std::string> gauge_names EGO_GUARDED_BY(mu);
+  std::vector<std::string> hist_names EGO_GUARDED_BY(mu);
 
-  std::vector<Shard*> live_shards;
+  std::vector<Shard*> live_shards EGO_GUARDED_BY(mu);
   // Values of shards whose threads exited, folded under mu.
-  std::vector<std::uint64_t> retired_counters;
-  std::vector<std::uint64_t> retired_gauges;  // max-merged
-  std::vector<HistogramSnapshot> retired_hists;
+  std::vector<std::uint64_t> retired_counters EGO_GUARDED_BY(mu);
+  std::vector<std::uint64_t> retired_gauges EGO_GUARDED_BY(mu);  // max-merged
+  std::vector<HistogramSnapshot> retired_hists EGO_GUARDED_BY(mu);
 
   Shard* ThisShard();
   void Retire(Shard* shard);
-  void FoldLocked(const ShardSlots& slots);
+  void FoldLocked(const ShardSlots& slots) EGO_REQUIRES(mu);
 };
 
 namespace {
@@ -128,7 +132,7 @@ Registry::Impl::Shard* Registry::Impl::ThisShard() {
   if (owner.shard == nullptr) {
     auto* shard = new Shard();
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       live_shards.push_back(shard);
     }
     owner.impl = this;
@@ -167,7 +171,7 @@ void Registry::Impl::FoldLocked(const ShardSlots& slots) {
 }
 
 void Registry::Impl::Retire(Shard* shard) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   FoldLocked(shard->slots);
   live_shards.erase(
       std::remove(live_shards.begin(), live_shards.end(), shard),
@@ -198,17 +202,17 @@ std::uint32_t InternLocked(std::unordered_map<std::string, std::uint32_t>* ids,
 }  // namespace
 
 std::uint32_t Registry::InternCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return InternLocked(&impl_->counter_ids, &impl_->counter_names, name);
 }
 
 std::uint32_t Registry::InternGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return InternLocked(&impl_->gauge_ids, &impl_->gauge_names, name);
 }
 
 std::uint32_t Registry::InternHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return InternLocked(&impl_->hist_ids, &impl_->hist_names, name);
 }
 
@@ -242,7 +246,7 @@ void Registry::HistogramRecord(std::uint32_t id, std::uint64_t value) {
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
 
   std::vector<std::uint64_t> counters = impl_->retired_counters;
   std::vector<std::uint64_t> gauges = impl_->retired_gauges;
@@ -291,7 +295,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->retired_counters.clear();
   impl_->retired_gauges.clear();
   impl_->retired_hists.clear();

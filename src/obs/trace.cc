@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus::obs {
 
 struct Tracer::Impl {
+  /// One thread's span buffer. The owning thread appends without the lock
+  /// (thread-local sharding is the point); `mu` covers the buffer list and
+  /// the retired accumulator, plus span reads during Snapshot.
   struct Buffer {
     std::vector<SpanRecord> spans;
   };
 
-  mutable std::mutex mu;
-  std::vector<Buffer*> live;
-  std::vector<SpanRecord> retired;
+  mutable Mutex mu;
+  std::vector<Buffer*> live EGO_GUARDED_BY(mu);
+  std::vector<SpanRecord> retired EGO_GUARDED_BY(mu);
   std::atomic<std::uint32_t> next_tid{0};
 
   Buffer* ThisBuffer();
@@ -37,7 +42,7 @@ Tracer::Impl::Buffer* Tracer::Impl::ThisBuffer() {
   if (owner.buffer == nullptr) {
     auto* buffer = new Buffer();
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       live.push_back(buffer);
     }
     owner.impl = this;
@@ -47,7 +52,7 @@ Tracer::Impl::Buffer* Tracer::Impl::ThisBuffer() {
 }
 
 void Tracer::Impl::Retire(Buffer* buffer) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   retired.insert(retired.end(), buffer->spans.begin(), buffer->spans.end());
   live.erase(std::remove(live.begin(), live.end(), buffer), live.end());
   delete buffer;
@@ -79,7 +84,7 @@ void Tracer::Record(const char* name, std::uint64_t begin_us,
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<SpanRecord> spans = impl_->retired;
   for (const Impl::Buffer* buffer : impl_->live) {
     spans.insert(spans.end(), buffer->spans.begin(), buffer->spans.end());
@@ -88,7 +93,7 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->retired.clear();
   for (Impl::Buffer* buffer : impl_->live) buffer->spans.clear();
 }

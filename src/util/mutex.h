@@ -1,0 +1,143 @@
+#ifndef EGOCENSUS_UTIL_MUTEX_H_
+#define EGOCENSUS_UTIL_MUTEX_H_
+
+// Annotated mutex wrappers: std::mutex / std::shared_mutex behind the
+// EGO_CAPABILITY vocabulary of util/thread_annotations.h, so Clang's
+// thread-safety analysis can see every acquire and release. The analysis
+// does not understand the standard-library types (std::lock_guard is
+// invisible to it), which is why every locked subsystem holds one of these
+// instead of a raw standard mutex — egolint's lock-discipline check flags
+// raw std::mutex/std::shared_mutex outside src/util/ on every compiler.
+//
+// The scoped lock types follow the reference implementation in the Clang
+// thread-safety docs: a bool tracks whether the capability is still held so
+// Unlock() can release mid-scope (the fair queue's early-return paths) and
+// the destructor releases only what is still held.
+//
+// Condition-variable waits go through MutexLock::Wait/WaitFor, which adopt
+// the held native mutex for the duration of the wait. The analysis treats
+// the capability as held across the wait — exactly the contract guarded
+// fields need, since the wait reacquires before returning.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace egocensus {
+
+/// Exclusive-only lockable capability wrapping std::mutex.
+class EGO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EGO_ACQUIRE() { mu_.lock(); }
+  void Unlock() EGO_RELEASE() { mu_.unlock(); }
+  bool TryLock() EGO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for condition-variable plumbing (MutexLock::Wait).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer lockable capability wrapping std::shared_mutex.
+class EGO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() EGO_ACQUIRE() { mu_.lock(); }
+  void Unlock() EGO_RELEASE() { mu_.unlock(); }
+  void LockShared() EGO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() EGO_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex. Supports early release (Unlock) and
+/// condition-variable waits while held.
+class EGO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EGO_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() EGO_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  /// Releases before scope end (the queue's early-return paths release the
+  /// lock before firing failpoints that may run arbitrary handlers).
+  void Unlock() EGO_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  /// Blocks on `cv` with the capability released for the duration of the
+  /// wait and reacquired before returning, like std::condition_variable
+  /// requires. Spurious wakeups pass through; loop on the condition.
+  void Wait(std::condition_variable& cv) {
+    std::unique_lock<std::mutex> native(mu_.native(), std::adopt_lock);
+    cv.wait(native);
+    native.release();
+  }
+
+  template <typename Rep, typename Period>
+  void WaitFor(std::condition_variable& cv,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> native(mu_.native(), std::adopt_lock);
+    cv.wait_for(native, timeout);
+    native.release();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex — QUERY-side graph access.
+class EGO_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) EGO_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+  ~SharedMutexLock() EGO_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex — UPDATE-side graph
+/// access, serializing against all shared holders.
+class EGO_SCOPED_CAPABILITY SharedMutexExclusiveLock {
+ public:
+  explicit SharedMutexExclusiveLock(SharedMutex& mu) EGO_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock();
+  }
+  SharedMutexExclusiveLock(const SharedMutexExclusiveLock&) = delete;
+  SharedMutexExclusiveLock& operator=(const SharedMutexExclusiveLock&) =
+      delete;
+  ~SharedMutexExclusiveLock() EGO_RELEASE_GENERIC() { mu_.Unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace egocensus
+
+#endif  // EGOCENSUS_UTIL_MUTEX_H_

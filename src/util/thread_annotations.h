@@ -1,0 +1,90 @@
+#ifndef EGOCENSUS_UTIL_THREAD_ANNOTATIONS_H_
+#define EGOCENSUS_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attributes behind EGO_* macros, so the
+// locking protocol that used to live in comments ("caller holds mu_") is a
+// compile-time contract under clang (-Wthread-safety, promoted to an error
+// in the thread-safety CI job) and free on every other compiler, where each
+// macro expands to nothing.
+//
+// The vocabulary (mirrors the Clang documentation and the Abseil/Chromium
+// wrappers the pattern comes from):
+//
+//  * EGO_CAPABILITY("mutex")    — on a class: instances are lockable
+//                                 capabilities (util/mutex.h Mutex,
+//                                 SharedMutex).
+//  * EGO_GUARDED_BY(mu)         — on a data member: reads and writes
+//                                 require holding `mu` (shared suffices for
+//                                 reads when `mu` is a SharedMutex).
+//  * EGO_PT_GUARDED_BY(mu)      — like GUARDED_BY, but guards the pointee
+//                                 of a pointer member rather than the
+//                                 pointer itself.
+//  * EGO_REQUIRES(mu)           — on a function: callers must already hold
+//                                 `mu` exclusively (the *Locked helper
+//                                 convention); EGO_REQUIRES_SHARED for
+//                                 read-side helpers.
+//  * EGO_ACQUIRE / EGO_RELEASE  — on a function: it acquires / releases the
+//                                 capability (plus _SHARED variants and
+//                                 EGO_TRY_ACQUIRE(bool, mu)).
+//  * EGO_EXCLUDES(mu)           — on a function: callers must NOT hold
+//                                 `mu` (self-deadlock guard).
+//  * EGO_SCOPED_CAPABILITY      — on an RAII class whose constructor
+//                                 acquires and destructor releases.
+//  * EGO_NO_THREAD_SAFETY_ANALYSIS — opts one function out; every use must
+//                                 say why in a comment (audited the same
+//                                 way egolint suppressions are).
+//
+// The analysis is clang-only and purely static: it does not see through
+// raw std::mutex / std::lock_guard, which is why all locked subsystems use
+// the annotated wrappers in util/mutex.h (enforced by egolint's
+// lock-discipline check on every compiler — see docs/STATIC_ANALYSIS.md).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EGO_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef EGO_THREAD_ANNOTATION_
+#define EGO_THREAD_ANNOTATION_(x)
+#endif
+
+#define EGO_CAPABILITY(name) EGO_THREAD_ANNOTATION_(capability(name))
+#define EGO_SCOPED_CAPABILITY EGO_THREAD_ANNOTATION_(scoped_lockable)
+
+#define EGO_GUARDED_BY(x) EGO_THREAD_ANNOTATION_(guarded_by(x))
+#define EGO_PT_GUARDED_BY(x) EGO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define EGO_ACQUIRED_BEFORE(...) \
+  EGO_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define EGO_ACQUIRED_AFTER(...) \
+  EGO_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define EGO_REQUIRES(...) \
+  EGO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define EGO_REQUIRES_SHARED(...) \
+  EGO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define EGO_ACQUIRE(...) \
+  EGO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define EGO_ACQUIRE_SHARED(...) \
+  EGO_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define EGO_RELEASE(...) \
+  EGO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define EGO_RELEASE_SHARED(...) \
+  EGO_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define EGO_RELEASE_GENERIC(...) \
+  EGO_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define EGO_TRY_ACQUIRE(...) \
+  EGO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EGO_TRY_ACQUIRE_SHARED(...) \
+  EGO_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EGO_EXCLUDES(...) EGO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define EGO_ASSERT_CAPABILITY(x) \
+  EGO_THREAD_ANNOTATION_(assert_capability(x))
+#define EGO_RETURN_CAPABILITY(x) EGO_THREAD_ANNOTATION_(lock_returned(x))
+
+#define EGO_NO_THREAD_SAFETY_ANALYSIS \
+  EGO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // EGOCENSUS_UTIL_THREAD_ANNOTATIONS_H_

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -63,7 +63,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     cursors_[w].limit = num_chunks * (w + 1) / num_workers_;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_begin_ = begin;
     job_end_ = end;
     job_grain_ = grain;
@@ -76,10 +76,9 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
 
   RunJob(0);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  if (--workers_remaining_ > 0) {
-    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
-  }
+  MutexLock lock(mu_);
+  --workers_remaining_;
+  while (workers_remaining_ > 0) lock.Wait(done_cv_);
   job_fn_ = nullptr;
   job_governor_ = nullptr;
 }
@@ -139,15 +138,17 @@ void ThreadPool::WorkerLoop(unsigned rank) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock,
-                    [&] { return stop_ || generation_ != seen; });
+      // Explicit wait loop (not the predicate overload): the analysis
+      // checks the predicate body as its own function, where the lambda
+      // would read guarded fields without visibly holding mu_.
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) lock.Wait(wake_cv_);
       if (stop_) return;
       seen = generation_;
     }
     RunJob(rank);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--workers_remaining_ == 0) done_cv_.notify_all();
     }
   }

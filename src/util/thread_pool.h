@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace egocensus {
 
@@ -95,23 +97,40 @@ class ThreadPool {
   /// Drains own partition, then steals; returns when no chunk remains.
   void RunJob(unsigned rank);
 
+  // egolint: no-guard(immutable after construction, read lock-free)
   unsigned num_workers_;
+  /// Lock-free steal cursors: the atomics are their own synchronization,
+  /// and `limit` is re-armed by ParallelFor before the generation bump that
+  /// publishes it (the mutex release/acquire pair is the happens-before).
+  // egolint: no-guard(atomic cursors + generation-protocol publication)
   std::vector<Cursor> cursors_;
 
-  // Current job (valid while workers_remaining_ > 0).
+  // Current job (valid while workers_remaining_ > 0). Written under mu_ by
+  // ParallelFor, but read lock-free in RunJob: a worker only enters RunJob
+  // after observing the generation bump under mu_, and the caller only
+  // clears the fields after every worker has decremented
+  // workers_remaining_ under mu_ — the generation protocol, not the lock,
+  // is what makes the reads safe, so GUARDED_BY would overclaim.
+  // egolint: no-guard(generation-protocol publication, see RunJob)
   std::size_t job_begin_ = 0;
+  // egolint: no-guard(generation-protocol publication, see RunJob)
   std::size_t job_end_ = 0;
+  // egolint: no-guard(generation-protocol publication, see RunJob)
   std::size_t job_grain_ = 1;
+  // egolint: no-guard(generation-protocol publication, see RunJob)
   const ChunkFn* job_fn_ = nullptr;
+  // egolint: no-guard(generation-protocol publication, see RunJob)
   const Governor* job_governor_ = nullptr;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable wake_cv_;   // workers wait for a new generation
   std::condition_variable done_cv_;   // caller waits for workers_remaining_
-  std::uint64_t generation_ = 0;
-  unsigned workers_remaining_ = 0;
-  bool stop_ = false;
+  std::uint64_t generation_ EGO_GUARDED_BY(mu_) = 0;
+  unsigned workers_remaining_ EGO_GUARDED_BY(mu_) = 0;
+  bool stop_ EGO_GUARDED_BY(mu_) = false;
 
+  /// Joined only by the destructor; workers never touch the vector.
+  // egolint: no-guard(constructor/destructor lifecycle only)
   std::vector<std::thread> threads_;
 };
 

@@ -413,6 +413,148 @@ TEST(EgolintIncludeTest, SuppressionWithReasonSilences) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+// ---- lock-discipline ----------------------------------------------------
+
+TEST(EgolintLockTest, FlagsRawStdMutexOutsideUtil) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/session.h",
+       "#include <mutex>\n"
+       "class Session {\n"
+       "  std::mutex mu_;\n"
+       "};\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "lock-discipline");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("util/mutex.h"), std::string::npos);
+  EXPECT_EQ(ExitCodeFor(findings), 1);
+}
+
+TEST(EgolintLockTest, FlagsRawSharedMutexToo) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/entry.h", "struct E {\n  std::shared_mutex mu;\n};\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("shared_mutex"), std::string::npos);
+}
+
+TEST(EgolintLockTest, UtilDirectoryMayUseRawMutexes) {
+  // util/mutex.h is where the annotated wrappers wrap the raw types.
+  std::vector<Finding> findings = Lint({
+      {"src/util/mutex.h", "class Mutex {\n  std::mutex mu_;\n};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, RawMutexSuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/session.h",
+       "class Session {\n"
+       "  // egolint: allow-raw-mutex(interops with a C callback API)\n"
+       "  std::mutex mu_;\n"
+       "};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, FlagsUnannotatedMemberOfLockOwningClass) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/cache.h",
+       "class Cache {\n"
+       "  Mutex mu_;\n"
+       "  std::vector<int> entries_ EGO_GUARDED_BY(mu_);\n"
+       "  int hits_ = 0;\n"
+       "};\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "lock-discipline");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("hits_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Cache"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("EGO_GUARDED_BY"), std::string::npos);
+}
+
+TEST(EgolintLockTest, NoGuardSuppressionWithReasonSilences) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/cache.h",
+       "class Cache {\n"
+       "  Mutex mu_;\n"
+       "  // egolint: no-guard(written once before threads start)\n"
+       "  int hits_ = 0;\n"
+       "};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, ReasonlessNoGuardIsAFindingAndDoesNotHide) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/cache.h",
+       "class Cache {\n"
+       "  Mutex mu_;\n"
+       "  // egolint: no-guard()\n"
+       "  int hits_ = 0;\n"
+       "};\n"},
+  });
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].check, "suppression");
+  EXPECT_EQ(findings[1].check, "lock-discipline");
+}
+
+TEST(EgolintLockTest, SelfSynchronizingAndConstMembersAreExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/cache.h",
+       "class Cache {\n"
+       "  mutable Mutex mu_;\n"
+       "  SharedMutex data_mu_;\n"
+       "  std::condition_variable cv_;\n"
+       "  std::atomic<int> fast_{0};\n"
+       "  std::array<std::atomic<int>, 4> tallies_{};\n"
+       "  const std::string name_;\n"
+       "  static constexpr int kLimit = 8;\n"
+       "  int guarded_ EGO_GUARDED_BY(mu_);\n"
+       "};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, MemberFunctionsAndNestedTypesAreNotMembers) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/cache.h",
+       "class Cache {\n"
+       " public:\n"
+       "  Cache() : guarded_(0) {}\n"
+       "  void Touch() { ++guarded_; }\n"
+       "  int Peek() const;\n"
+       "  using Clock = std::chrono::steady_clock;\n"
+       "  struct Stats { int hits = 0; };\n"
+       " private:\n"
+       "  Mutex mu_;\n"
+       "  int guarded_ EGO_GUARDED_BY(mu_);\n"
+       "};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, ClassHoldingOnlyACapabilityReferenceIsExempt) {
+  // A scoped-lock style class references a capability it does not own;
+  // its book-keeping members are owner-thread state, not shared state.
+  std::vector<Finding> findings = Lint({
+      {"src/net/scoped.h",
+       "class Scoped {\n"
+       "  Mutex& mu_;\n"
+       "  bool held_ = true;\n"
+       "};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(EgolintLockTest, ClassWithoutALockIsExempt) {
+  std::vector<Finding> findings = Lint({
+      {"src/net/plain.h", "struct Plain {\n  int x = 0;\n  int y = 0;\n};\n"},
+  });
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 // ---- suppression audit --------------------------------------------------
 
 TEST(EgolintSuppressionTest, UnknownSuppressionNameIsAFinding) {
@@ -470,6 +612,7 @@ TEST(EgolintDriverTest, KnownCheckNames) {
   EXPECT_TRUE(IsKnownCheck("obs-gating"));
   EXPECT_TRUE(IsKnownCheck("include-hygiene"));
   EXPECT_TRUE(IsKnownCheck("request-discipline"));
+  EXPECT_TRUE(IsKnownCheck("lock-discipline"));
   EXPECT_FALSE(IsKnownCheck("made-up"));
 }
 
@@ -488,15 +631,22 @@ TEST(EgolintDriverTest, FormatAndJsonCarryFileLineCheck) {
 TEST(EgolintRepoTest, RepoLintsCleanWithinBudget) {
   namespace fs = std::filesystem;
   std::vector<SourceFile> files;
-  for (auto it = fs::recursive_directory_iterator(EGOCENSUS_REPO_SRC);
-       it != fs::recursive_directory_iterator(); ++it) {
-    if (!it->is_regular_file()) continue;
-    std::string ext = it->path().extension().string();
-    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
-    std::ifstream in(it->path());
-    std::ostringstream content;
-    content << in.rdbuf();
-    files.push_back(SourceFile{it->path().generic_string(), content.str()});
+  std::vector<fs::path> roots = {EGOCENSUS_REPO_SRC};
+#ifdef EGOCENSUS_REPO_TOOLS
+  // The linter's own sources (and the CLI) live by the rules they enforce.
+  roots.emplace_back(EGOCENSUS_REPO_TOOLS);
+#endif
+  for (const fs::path& root : roots) {
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(it->path());
+      std::ostringstream content;
+      content << in.rdbuf();
+      files.push_back(SourceFile{it->path().generic_string(), content.str()});
+    }
   }
   ASSERT_GT(files.size(), 50u) << "repo scan found suspiciously few files";
 

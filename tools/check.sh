@@ -4,12 +4,16 @@
 #   tools/check.sh [build-dir]     (default build dir: build)
 #
 # Enforced (non-zero exit on failure):
-#   * egolint over src/ — the four project-invariant checks.
+#   * egolint over src/ and tools/ — the six project-invariant checks.
+#   * clang -Wthread-safety over the annotated lock subsystems (when a
+#     clang++ is installed; skipped loudly otherwise — GCC compiles the
+#     annotations away, which is exactly why the egolint lock-discipline
+#     check exists).
 # Advisory (reported, never fail the script; CI uploads their output):
 #   * clang-tidy (bugprone-*, performance-*, concurrency-* via .clang-tidy)
 #   * clang-format --dry-run --Werror against .clang-format
-# The advisory tier is skipped loudly when the tool is not installed, so the
-# script works in minimal containers that only carry the compiler.
+# The optional tiers are skipped loudly when the tool is not installed, so
+# the script works in minimal containers that only carry the compiler.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -23,11 +27,36 @@ if [[ ! -x "${BUILD_DIR}/tools/egolint" ]]; then
   cmake -B "${BUILD_DIR}" >/dev/null || exit 2
   cmake --build "${BUILD_DIR}" --target egolint -j >/dev/null || exit 2
 fi
-echo "== egolint src/ (enforced) =="
-if ! "${BUILD_DIR}/tools/egolint" src --report="${BUILD_DIR}/egolint-report.json"; then
+echo "== egolint src/ tools/ (enforced) =="
+if ! "${BUILD_DIR}/tools/egolint" src tools --report="${BUILD_DIR}/egolint-report.json"; then
   FAILED=1
 fi
 echo "   report: ${BUILD_DIR}/egolint-report.json"
+
+# --- clang thread-safety analysis (enforced when clang is present) -----------
+# Syntax-only pass with -Werror=thread-safety over the lock-annotated TUs:
+# the same contract CI's thread-safety job enforces with a full clang build.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang -Wthread-safety (enforced) =="
+  TSA_FAILED=0
+  for tu in src/net/registry.cc src/net/queue.cc src/net/server.cc \
+            src/util/thread_pool.cc src/obs/log.cc src/obs/trace.cc \
+            src/obs/metrics.cc src/exec/failpoints.cc; do
+    if ! clang++ -std=c++20 -fsyntax-only -I src \
+         -Wthread-safety -Werror=thread-safety "${tu}"; then
+      echo "   thread-safety violation in ${tu}"
+      TSA_FAILED=1
+    fi
+  done
+  if [[ ${TSA_FAILED} -ne 0 ]]; then
+    FAILED=1
+  else
+    echo "   all annotated TUs clean"
+  fi
+else
+  echo "== clang -Wthread-safety == SKIPPED: clang++ not installed" \
+       "(GCC compiles the annotations away; egolint lock-discipline still ran)"
+fi
 
 # --- clang-tidy (advisory) --------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -57,7 +86,7 @@ else
 fi
 
 if [[ ${FAILED} -ne 0 ]]; then
-  echo "check.sh: FAILED (egolint findings above)"
+  echo "check.sh: FAILED (findings above)"
   exit 1
 fi
 echo "check.sh: OK"

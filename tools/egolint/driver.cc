@@ -16,12 +16,13 @@ namespace {
 
 const char* const kKnownChecks[] = {"status-discipline", "checkpoint-coverage",
                                     "obs-gating", "include-hygiene",
-                                    "request-discipline"};
+                                    "request-discipline", "lock-discipline"};
 
 const char* const kKnownSuppressions[] = {
     "no-nodiscard", "allow-discard",       "no-checkpoint",
     "allow-obs",    "allow-using-namespace", "allow-include",
-    "no-request-context", "allow-bare-response"};
+    "no-request-context", "allow-bare-response",
+    "allow-raw-mutex", "no-guard"};
 
 bool Enabled(const LintOptions& options, const std::string& check) {
   if (options.checks.empty()) return true;
@@ -76,6 +77,9 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
   }
   if (Enabled(options, "request-discipline")) {
     internal::CheckRequestDiscipline(models, &raw);
+  }
+  if (Enabled(options, "lock-discipline")) {
+    internal::CheckLockDiscipline(models, &raw);
   }
 
   // A suppression silences a finding of its kind on the same line or the

@@ -1,9 +1,9 @@
 #ifndef EGOCENSUS_TOOLS_EGOLINT_EGOLINT_H_
 #define EGOCENSUS_TOOLS_EGOLINT_EGOLINT_H_
 
-// egolint: a token-level static-analysis pass over the egocensus sources
+// egolint — a token-level static-analysis pass over the egocensus sources
 // enforcing project invariants that the compiler cannot see (see
-// docs/STATIC_ANALYSIS.md). No libclang: a hand-rolled C++ lexer feeds five
+// docs/STATIC_ANALYSIS.md). No libclang: a hand-rolled C++ lexer feeds six
 // named checks, each suppressible per line with an audited
 // `// egolint: <suppression>(<reason>)` comment:
 //
@@ -31,6 +31,15 @@
 //                          request_context.h helpers, never by bare
 //                          `= FrameType::kBusy/kError` assignment
 //                          (suppression: allow-bare-response).
+//  * lock-discipline     — raw std::mutex / std::shared_mutex outside
+//                          src/util/ must be the annotated egocensus
+//                          wrappers from util/mutex.h (suppression:
+//                          allow-raw-mutex); a class owning a Mutex /
+//                          SharedMutex capability must annotate every
+//                          mutable member EGO_GUARDED_BY or record why it
+//                          is safe (suppression: no-guard). Keeps the
+//                          clang -Wthread-safety contract honest on
+//                          compilers that compile the annotations away.
 //
 // A suppression with an empty reason, or with a name no check owns, is
 // itself a finding (check "suppression") — the escape hatch stays audited.
@@ -95,7 +104,8 @@ struct Finding {
 
 struct LintOptions {
   /// Empty = run every check. Otherwise names from: status-discipline,
-  /// checkpoint-coverage, obs-gating, include-hygiene, request-discipline.
+  /// checkpoint-coverage, obs-gating, include-hygiene, request-discipline,
+  /// lock-discipline.
   std::vector<std::string> checks;
 };
 
@@ -117,7 +127,7 @@ std::string FindingsToJson(const std::vector<Finding>& findings);
 /// 0 = clean, 1 = findings.
 int ExitCodeFor(const std::vector<Finding>& findings);
 
-/// True for the five check names accepted by LintOptions / --check.
+/// True for the six check names accepted by LintOptions / --check.
 bool IsKnownCheck(const std::string& name);
 
 namespace internal {
@@ -144,6 +154,8 @@ void CheckIncludeHygiene(const std::vector<FileModel>& models,
                          std::vector<Finding>* findings);
 void CheckRequestDiscipline(const std::vector<FileModel>& models,
                             std::vector<Finding>* findings);
+void CheckLockDiscipline(const std::vector<FileModel>& models,
+                         std::vector<Finding>* findings);
 
 }  // namespace internal
 

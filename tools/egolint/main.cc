@@ -35,7 +35,8 @@ int Usage(std::ostream& out, int code) {
   out << "usage: egolint [--check=NAME]... [--report=FILE] "
          "[--list-suppressions] PATH...\n"
          "checks: status-discipline checkpoint-coverage obs-gating "
-         "include-hygiene request-discipline (default: all)\n";
+         "include-hygiene request-discipline lock-discipline "
+         "(default: all)\n";
   return code;
 }
 
